@@ -1,0 +1,70 @@
+"""E13 (extension) — §3.4's numeric failure mode, and a mitigation.
+
+The hands-on session highlights "accurately representing numeric tables"
+as a standing challenge.  This bench ablates the magnitude-aware numeric
+channel (``EncoderConfig.numeric_features``) on column-type prediction
+over numeric-heavy GitTables-style data: distinguishing `temperature`
+from `pressure` from `hours-per-week` requires value magnitudes, which
+subword tokens of digits barely expose.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.corpus import build_coltype_dataset, split_tables
+from repro.tables import ColumnType, infer_schema
+from repro.tasks import (
+    ColumnTypePredictor,
+    FinetuneConfig,
+    build_label_set,
+    finetune,
+)
+
+from .conftest import print_table
+
+
+def numeric_column_examples(tables):
+    """Column-type examples restricted to numeric columns."""
+    examples = []
+    for example in build_coltype_dataset(tables):
+        schema = infer_schema(example.table)
+        if schema[example.column] is ColumnType.NUMBER:
+            examples.append(example)
+    return examples
+
+
+def test_numeric_channel_ablation(benchmark, git_corpus, tokenizer, config):
+    train_tables, _, test_tables = split_tables(git_corpus)
+    train = numeric_column_examples(train_tables)
+    test = numeric_column_examples(test_tables)
+    labels = build_label_set(train)
+
+    def run(numeric_features: bool) -> dict[str, float]:
+        model_config = dataclasses.replace(config,
+                                           numeric_features=numeric_features)
+        model = create_model("tapas", tokenizer, config=model_config, seed=0)
+        predictor = ColumnTypePredictor(model, labels,
+                                        np.random.default_rng(0))
+        finetune(predictor, train,
+                 FinetuneConfig(epochs=8, batch_size=8, learning_rate=3e-3))
+        return predictor.evaluate(test)
+
+    def experiment():
+        return {"tokens only": run(False),
+                "tokens + numeric channel": run(True)}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[name, f"{m['accuracy']:.3f}", f"{m['macro_f1']:.3f}"]
+            for name, m in results.items()]
+    print_table(
+        f"E13: numeric-channel ablation on numeric-column typing "
+        f"({len(train)} train / {len(test)} test columns, "
+        f"{len(labels)} labels)",
+        ["input channels", "accuracy", "macro-F1"],
+        rows,
+    )
+    for metrics in results.values():
+        assert 0.0 <= metrics["accuracy"] <= 1.0

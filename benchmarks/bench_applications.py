@@ -1,0 +1,132 @@
+"""E10 — §2.1: the applications sweep ("versatility" takeaway).
+
+One fine-tuning run per surveyed task family — QA, fact verification,
+retrieval, column types, imputation, text-to-SQL — on the same corpus with
+the same encoder family, each reporting its standard metric.  This is the
+table the tutorial's first take-away gestures at: a single representation
+substrate serves every data application.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.corpus import (
+    build_coltype_dataset,
+    build_imputation_dataset,
+    build_nli_dataset,
+    build_qa_dataset,
+    build_retrieval_dataset,
+    build_text2sql_dataset,
+    split_tables,
+)
+from repro.tasks import (
+    BiEncoderRetriever,
+    CellSelectionQA,
+    ColumnTypePredictor,
+    FinetuneConfig,
+    LexicalRetriever,
+    NliClassifier,
+    SketchParser,
+    ValueImputer,
+    build_label_set,
+    build_value_vocabulary_from_tables,
+    finetune,
+)
+
+from .conftest import print_table
+
+FT = FinetuneConfig(epochs=6, batch_size=8, learning_rate=3e-3, seed=0)
+
+
+def test_applications_sweep(benchmark, wiki_corpus, tokenizer, config):
+    train_tables, _, test_tables = split_tables(wiki_corpus[:60])
+    rng = np.random.default_rng(0)
+
+    def encoder():
+        return create_model("tapas", tokenizer, config=config, seed=0)
+
+    def run_qa():
+        train = build_qa_dataset(train_tables, rng, per_table=2)
+        test = build_qa_dataset(test_tables, rng, per_table=2)
+        qa = CellSelectionQA(encoder(), np.random.default_rng(0))
+        finetune(qa, train, FT)
+        return "cell accuracy", qa.evaluate(test)["cell_accuracy"]
+
+    def run_nli():
+        train = build_nli_dataset(train_tables, rng, per_table=2)
+        test = build_nli_dataset(test_tables, rng, per_table=2)
+        clf = NliClassifier(encoder(), np.random.default_rng(0))
+        finetune(clf, train, FT)
+        return "accuracy", clf.evaluate(test)["accuracy"]
+
+    def run_retrieval():
+        examples = build_retrieval_dataset(wiki_corpus[:60],
+                                           np.random.default_rng(0))
+        retriever = BiEncoderRetriever(encoder(), corpus=wiki_corpus[:60])
+        finetune(retriever, examples, FT)
+        return "mrr", retriever.evaluate(examples, wiki_corpus[:60])["mrr"]
+
+    def run_coltype():
+        train = build_coltype_dataset(train_tables)
+        test = build_coltype_dataset(test_tables)
+        predictor = ColumnTypePredictor(encoder(), build_label_set(train),
+                                        np.random.default_rng(0))
+        finetune(predictor, train, FT)
+        return "accuracy", predictor.evaluate(test)["accuracy"]
+
+    def run_imputation():
+        train = build_imputation_dataset(train_tables, rng, per_table=2)
+        test = build_imputation_dataset(test_tables, rng, per_table=2)
+        imputer = ValueImputer(
+            encoder(),
+            build_value_vocabulary_from_tables(train_tables, text_only=True),
+            np.random.default_rng(0))
+        finetune(imputer, train, FT)
+        return "accuracy", imputer.evaluate(test)["accuracy"]
+
+    def run_text2sql():
+        train = build_text2sql_dataset(train_tables, rng, per_table=2)
+        test = build_text2sql_dataset(test_tables, rng, per_table=2)
+        parser = SketchParser(encoder(), np.random.default_rng(0))
+        finetune(parser, train, FT)
+        return "denotation acc", parser.evaluate(test)["denotation_accuracy"]
+
+    tasks = {
+        "question answering": run_qa,
+        "fact verification (NLI)": run_nli,
+        "table retrieval": run_retrieval,
+        "column types (metadata)": run_coltype,
+        "data imputation": run_imputation,
+        "text-to-SQL": run_text2sql,
+    }
+
+    def experiment():
+        return {name: fn() for name, fn in tasks.items()}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[task, metric, f"{value:.3f}"]
+            for task, (metric, value) in results.items()]
+    print_table(
+        "E10: one encoder family across the surveyed application sweep",
+        ["task", "metric", "hold-out score"],
+        rows,
+    )
+    for _, value in results.values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_retrieval_lexical_reference(benchmark, wiki_corpus):
+    """BM25 reference point for the retrieval row of E10."""
+    examples = build_retrieval_dataset(wiki_corpus[:60],
+                                       np.random.default_rng(0))
+    retriever = LexicalRetriever()
+
+    def experiment():
+        return retriever.evaluate(examples, wiki_corpus[:60])
+
+    metrics = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("E10: BM25 lexical reference",
+                ["metric", "score"],
+                [[k, f"{v:.3f}"] for k, v in metrics.items()])
+    assert metrics["mrr"] > 0.2

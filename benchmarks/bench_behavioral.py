@@ -1,0 +1,50 @@
+"""E14 (extension) — the behavioral test battery across the model zoo.
+
+Runs the CheckList-style suite of :mod:`repro.eval.behavioral` (the
+"family of data-driven basic tests" §2.4 asks for) over every encoder in
+the zoo, including the extension models, and prints pass rates per test.
+Expected shape: structure-aware models pass the INV battery at higher
+rates than the flat baseline; MFT tests pass universally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.eval import run_suite
+
+from .conftest import print_table
+
+MODELS = ["bert", "tapas", "turl", "mate", "tabbie", "tuta"]
+
+
+def test_behavioral_battery(benchmark, wiki_corpus, tokenizer, config):
+    probes = [t for t in wiki_corpus[:8] if t.num_rows >= 2]
+
+    def experiment():
+        reports = {}
+        for name in MODELS:
+            model = create_model(name, tokenizer, config=config, seed=0)
+            reports[name] = run_suite(model, probes, seed=0)
+        return reports
+
+    reports = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    test_names = [r.name for r in next(iter(reports.values())).reports]
+    rows = []
+    for test_name in test_names:
+        row = [test_name]
+        for name in MODELS:
+            report = next(r for r in reports[name].reports
+                          if r.name == test_name)
+            row.append(f"{report.pass_rate:.2f}")
+        rows.append(row)
+    print_table(
+        "E14: behavioral suite pass rates (rows = tests, columns = models)",
+        ["test"] + MODELS,
+        rows,
+    )
+
+    for name, report in reports.items():
+        for mft in report.by_kind("MFT"):
+            assert mft.pass_rate == 1.0, f"{name} failed MFT {mft.name}"

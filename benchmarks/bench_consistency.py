@@ -1,0 +1,57 @@
+"""E11 — §2.4: the representation-consistency benchmark gap.
+
+The survey closes by calling for "a new family of data-driven basic tests
+[...] to measure the consistency of the data representation".  This bench
+runs three such tests across the model zoo: row-permutation consistency,
+value-substitution sensitivity, header-drop shift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.eval import (
+    header_drop_shift,
+    row_permutation_consistency,
+    value_substitution_sensitivity,
+)
+
+from .conftest import print_table
+
+MODELS = ["bert", "tapas", "turl", "mate", "tabbie", "tuta"]
+
+
+def test_consistency_suite(benchmark, wiki_corpus, tokenizer, config):
+    probes = [t for t in wiki_corpus[:10] if t.num_rows >= 2]
+
+    def run(name: str) -> dict[str, float]:
+        model = create_model(name, tokenizer, config=config, seed=0)
+        rng = np.random.default_rng(0)
+        permutation = np.mean([row_permutation_consistency(model, t, rng)
+                               for t in probes])
+        sensitivity = np.mean([value_substitution_sensitivity(model, t, rng)
+                               for t in probes])
+        header_shift = np.mean([header_drop_shift(model, t) for t in probes])
+        return {"permutation": float(permutation),
+                "sensitivity": float(sensitivity),
+                "header_shift": float(header_shift)}
+
+    def experiment():
+        return {name: run(name) for name in MODELS}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[name, f"{r['permutation']:.3f}", f"{r['sensitivity']:.4f}",
+             f"{r['header_shift']:.4f}"]
+            for name, r in results.items()]
+    print_table(
+        "E11: representation consistency tests "
+        "(permutation: ↑ better; sensitivity: ↑ better)",
+        ["model", "row-permutation consistency", "value sensitivity",
+         "header-drop shift"],
+        rows,
+    )
+    for r in results.values():
+        assert -1.0 <= r["permutation"] <= 1.0
+        assert r["sensitivity"] >= 0.0
+        # A representation that ignores cell values entirely is degenerate.
+        assert r["sensitivity"] > 1e-6

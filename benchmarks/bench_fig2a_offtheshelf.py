@@ -1,0 +1,64 @@
+"""E2 — Fig. 2a / §3.1: off-the-shelf model inputs and outputs.
+
+Regenerates the hands-on comparison of input formats and output encodings
+across the model zoo: per model, its serialized input length on the Fig. 1
+sample table, parameter count, structural channels, and encode latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+
+from .conftest import print_table
+
+MODELS = ["bert", "tapas", "tabert", "turl", "mate", "tabbie", "tuta"]
+_results: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_encode_offtheshelf(benchmark, name, tokenizer, config, fig1_table):
+    """Time ``model.encode(table)`` — the Fig. 2a inference call."""
+    model = create_model(name, tokenizer, config=config, seed=0)
+    encoding = benchmark(model.encode, fig1_table)
+
+    info = model.describe()
+    _results[name] = {
+        "tokens": len(encoding),
+        "params": info["parameters"],
+        "channels": "/".join("y" if info[k] else "n" for k in
+                             ("row_embeddings", "column_embeddings",
+                              "role_embeddings")),
+        "cells": len(encoding.cell_embeddings),
+        "dim": encoding.dim,
+    }
+    assert encoding.table_embedding.shape == (config.dim,)
+    assert np.all(np.isfinite(encoding.token_embeddings))
+
+
+def test_report(benchmark, tokenizer, config, fig1_table):
+    """Print the Fig. 2a comparison table once all models ran."""
+    def build_report():
+        rows = []
+        for name in MODELS:
+            if name not in _results:  # run standalone: fill in
+                model = create_model(name, tokenizer, config=config, seed=0)
+                encoding = model.encode(fig1_table)
+                info = model.describe()
+                _results[name] = {
+                    "tokens": len(encoding), "params": info["parameters"],
+                    "channels": "-", "cells": len(encoding.cell_embeddings),
+                    "dim": encoding.dim,
+                }
+            r = _results[name]
+            rows.append([name, r["params"], r["tokens"], r["cells"],
+                         r["dim"], r["channels"]])
+        return rows
+
+    rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    print_table(
+        "E2 (Fig. 2a): off-the-shelf inputs and outputs",
+        ["model", "params", "input tokens", "cell embeddings", "dim",
+         "row/col/role"],
+        rows,
+    )

@@ -1,0 +1,66 @@
+"""E3 — Fig. 2b / §3.2: table processing and encoding.
+
+Sweeps the serialization strategies over a grid of table sizes and reports
+sequence length, truncation rate and cell-alignment preservation — the
+input-processing trade-offs §3.2 demonstrates — plus serialization
+throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serialize import SERIALIZERS
+from repro.tables import Table
+
+from .conftest import print_table
+
+SIZES = [(3, 3), (8, 4), (20, 5), (60, 6)]
+
+
+def grid_table(rows: int, cols: int) -> Table:
+    header = [f"column {c}" for c in range(cols)]
+    body = [[f"value {r} {c}" for c in range(cols)] for r in range(rows)]
+    return Table(header, body, table_id=f"grid-{rows}x{cols}")
+
+
+@pytest.mark.parametrize("name", sorted(SERIALIZERS))
+def test_serialize_throughput(benchmark, name, tokenizer):
+    """Time serializing a mid-size table with each strategy."""
+    serializer = SERIALIZERS[name](tokenizer, max_tokens=192)
+    table = grid_table(8, 4)
+    out = benchmark(serializer.serialize, table)
+    assert len(out) <= 192
+
+
+def test_processing_grid(benchmark, tokenizer):
+    """The Fig. 2b comparison: length / truncation / alignment per strategy."""
+    def experiment():
+        rows = []
+        for name in sorted(SERIALIZERS):
+            serializer = SERIALIZERS[name](tokenizer, max_tokens=192)
+            for n_rows, n_cols in SIZES:
+                table = grid_table(n_rows, n_cols)
+                out = serializer.serialize(table)
+                total_cells = n_rows * n_cols
+                kept = len(out.cell_spans)
+                rows.append([
+                    name, f"{n_rows}x{n_cols}", len(out),
+                    f"{out.truncated_cells / total_cells:.2f}",
+                    f"{kept / total_cells:.2f}",
+                    out.num_rows_serialized,
+                ])
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "E3 (Fig. 2b): serialization strategies vs table size (budget=192)",
+        ["serializer", "table", "tokens", "truncated", "cells kept", "rows kept"],
+        rows,
+    )
+    # Template serialization repeats headers per row → longer sequences on
+    # the smallest (untruncated) table.
+    smallest = {row[0]: int(row[2]) for row in rows
+                if row[1] == f"{SIZES[0][0]}x{SIZES[0][1]}"}
+    assert smallest["template"] >= smallest["row_major"]
+    # Everything respects the token budget.
+    assert all(int(row[2]) <= 192 for row in rows)

@@ -1,0 +1,89 @@
+"""E4 — Fig. 2c / §3.3: pretraining and output encoding.
+
+Runs TURL pretraining with its two objectives and regenerates the
+exercise's artefacts: loss curves per objective, masked-recovery accuracy
+over steps, and the attention-entropy contrast between TURL's visibility
+matrix and dense attention.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.models import dense_mask
+from repro.pretrain import Pretrainer, PretrainConfig
+from repro.viz import attention_entropy
+
+from .conftest import print_table
+
+STEPS = 120
+REPORT_EVERY = 20
+
+
+def test_pretraining_curves(benchmark, wiki_corpus, tokenizer, config):
+    """Loss/accuracy series for MLM + MER joint pretraining."""
+    def experiment():
+        model = create_model("turl", tokenizer, config=config, seed=0)
+        trainer = Pretrainer(model, PretrainConfig(
+            steps=STEPS, batch_size=8, learning_rate=3e-3,
+            mask_probability=0.15, mer_mask_probability=0.3, seed=0))
+        history = trainer.train(wiki_corpus)
+        return model, history
+
+    model, history = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for start in range(0, STEPS, REPORT_EVERY):
+        window = history[start:start + REPORT_EVERY]
+        rows.append([
+            f"{start}-{start + REPORT_EVERY - 1}",
+            f"{np.mean([r.mlm_loss for r in window]):.3f}",
+            f"{np.mean([r.mer_loss for r in window]):.3f}",
+            f"{np.mean([r.mlm_accuracy for r in window]):.3f}",
+            f"{np.mean([r.mer_accuracy for r in window]):.3f}",
+        ])
+    print_table(
+        "E4 (Fig. 2c): TURL pretraining curves (MLM + MER)",
+        ["steps", "mlm loss", "mer loss", "mlm acc", "mer acc"],
+        rows,
+    )
+
+    first, last = history[:REPORT_EVERY], history[-REPORT_EVERY:]
+    assert np.mean([r.mlm_loss for r in last]) < np.mean([r.mlm_loss for r in first])
+    assert np.mean([r.mer_loss for r in last]) < np.mean([r.mer_loss for r in first])
+    assert np.mean([r.mer_accuracy for r in last]) > np.mean(
+        [r.mer_accuracy for r in first])
+
+    # Attention-entropy report: the visibility matrix concentrates attention.
+    batch, _ = model.batch(wiki_corpus[:2])
+    model(batch)
+    turl_entropy = np.mean([attention_entropy(m)
+                            for m in model.encoder.attention_maps()])
+    bert = create_model("bert", tokenizer, config=config, seed=0)
+    bert_batch, _ = bert.batch(wiki_corpus[:2])
+    bert(bert_batch)
+    bert_entropy = np.mean([attention_entropy(m)
+                            for m in bert.encoder.attention_maps()])
+    print_table(
+        "E4: mean attention entropy (nats)",
+        ["model", "entropy"],
+        [["turl (visibility matrix)", f"{turl_entropy:.3f}"],
+         ["bert (dense, untrained)", f"{bert_entropy:.3f}"]],
+    )
+    assert turl_entropy < bert_entropy
+
+
+def test_masking_throughput(benchmark, wiki_corpus, tokenizer, config):
+    """Cost of producing one masked batch (the §3.3 masking procedure)."""
+    from repro.pretrain import combine_masking, mask_for_mer, mask_for_mlm
+    model = create_model("turl", tokenizer, config=config, seed=0)
+    batch, serialized = model.batch(wiki_corpus[:8])
+    rng = np.random.default_rng(0)
+
+    def mask_once():
+        mlm = mask_for_mlm(batch, serialized, tokenizer.vocab, rng)
+        mer = mask_for_mer(batch, serialized, tokenizer.vocab, rng)
+        return combine_masking(mlm, mer)
+
+    masked = benchmark(mask_once)
+    assert masked.batch.token_ids.shape == batch.token_ids.shape

@@ -1,0 +1,78 @@
+"""E9 — §2.3: output representation granularity.
+
+"The Output Model Representation has different granularity depending on
+the intended downstream task, i.e., cell, row, column or table
+representations."  This bench probes that claim directly: a 1-nearest-
+neighbour column-type probe using column vectors vs. table vectors vs.
+the [CLS]-free token mean — matching granularity to the task should win.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.corpus import build_coltype_dataset, split_tables
+from repro.pretrain import Pretrainer, PretrainConfig
+
+from .conftest import print_table
+
+
+def probe_accuracy(vectors_train, labels_train, vectors_test, labels_test):
+    """1-NN classification accuracy with cosine similarity."""
+    train = np.asarray(vectors_train, dtype=np.float64)
+    test = np.asarray(vectors_test, dtype=np.float64)
+    train = train / (np.linalg.norm(train, axis=1, keepdims=True) + 1e-9)
+    test = test / (np.linalg.norm(test, axis=1, keepdims=True) + 1e-9)
+    hits = 0
+    for vector, gold in zip(test, labels_test):
+        nearest = int(np.argmax(train @ vector))
+        hits += labels_train[nearest] == gold
+    return hits / max(1, len(labels_test))
+
+
+def test_granularity_probe(benchmark, wiki_corpus, tokenizer, config):
+    """Column-type 1-NN probe at three representation granularities."""
+    train_tables, _, test_tables = split_tables(wiki_corpus[:60])
+    train_examples = build_coltype_dataset(train_tables)
+    test_examples = build_coltype_dataset(test_tables)
+
+    def experiment():
+        model = create_model("tapas", tokenizer, config=config, seed=0)
+        # Brief MLM pretraining so representations carry content signal.
+        Pretrainer(model, PretrainConfig(steps=60, batch_size=8,
+                                         learning_rate=3e-3)).train(train_tables)
+
+        def collect(examples):
+            by_granularity = {"column": [], "table": [], "token-mean": []}
+            labels = []
+            for example in examples:
+                encoding = model.encode(example.table)
+                if example.column not in encoding.column_embeddings:
+                    continue
+                by_granularity["column"].append(
+                    encoding.column_embeddings[example.column])
+                by_granularity["table"].append(encoding.table_embedding)
+                by_granularity["token-mean"].append(
+                    encoding.token_embeddings.mean(axis=0))
+                labels.append(example.label)
+            return by_granularity, labels
+
+        train_vecs, train_labels = collect(train_examples)
+        test_vecs, test_labels = collect(test_examples)
+        return {
+            granularity: probe_accuracy(train_vecs[granularity], train_labels,
+                                        test_vecs[granularity], test_labels)
+            for granularity in train_vecs
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[granularity, f"{accuracy:.3f}"]
+            for granularity, accuracy in results.items()]
+    print_table(
+        "E9: column-type 1-NN probe per representation granularity",
+        ["granularity", "accuracy"],
+        rows,
+    )
+    # Matching granularity (column vectors for a column task) must beat the
+    # table-level vector, which cannot distinguish columns at all.
+    assert results["column"] > results["table"]

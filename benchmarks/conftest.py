@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench file regenerates one experiment from DESIGN.md's experiment
+index (E1–E12) and prints the corresponding rows/series.  Heavyweight
+resources (knowledge base, corpora, tokenizer) are session-scoped so the
+suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tokenizer_for_tables
+from repro.corpus import KnowledgeBase, generate_git_corpus, generate_wiki_corpus
+from repro.models import EncoderConfig
+from repro.tables import Table, TableContext
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+@pytest.fixture(scope="session")
+def wiki_corpus(kb):
+    return generate_wiki_corpus(kb, 80, seed=0)
+
+
+@pytest.fixture(scope="session")
+def git_corpus():
+    return generate_git_corpus(80, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(wiki_corpus, git_corpus):
+    extra = ["what is the when how many entries are there lowest highest "
+             "total average where and not below above at most least "
+             "select from t sum avg min max count limit"] * 3
+    return build_tokenizer_for_tables(wiki_corpus + git_corpus,
+                                      vocab_size=1400, extra_texts=extra)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=32, num_heads=4, num_layers=2,
+        hidden_dim=64, max_position=192, max_rows=24, max_columns=12,
+        num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+        hidden_dim=32, max_position=192, num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig1_table():
+    """The paper's running example table (Fig. 1)."""
+    return Table(
+        ["country", "capital", "population"],
+        [["Australia", "Canberra", 25.69],
+         ["France", "Paris", 67.75],
+         ["Japan", "Tokyo", 125.7]],
+        context=TableContext(title="population in million by country"),
+        table_id="fig1",
+    )
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render an experiment's result table to stdout."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,56 @@
+"""Behavioral testing of table representations (§2.4's open challenge).
+
+The paper closes: "a new family of data-driven basic tests should be
+designed to measure the consistency of the data representation."  This
+example runs exactly such a battery — CheckList-style invariance (INV),
+directional (DIR) and minimum-functionality (MFT) tests — across the model
+zoo, showing how structure-aware designs earn their consistency.
+
+Run:  python examples/behavioral_testing.py
+"""
+
+import numpy as np
+
+from repro.core import build_tokenizer_for_tables, create_model
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.eval import default_suite, run_suite
+from repro.models import EncoderConfig
+
+
+def main() -> None:
+    kb = KnowledgeBase(seed=0)
+    probes = [t for t in generate_wiki_corpus(kb, 12, seed=0)
+              if t.num_rows >= 2]
+    tokenizer = build_tokenizer_for_tables(probes, vocab_size=900)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab), dim=24,
+                           num_heads=2, num_layers=1, hidden_dim=48,
+                           max_position=192, num_entities=kb.num_entities)
+
+    print("Test battery:")
+    for test in default_suite():
+        print(f"  [{test.kind}] {test.name} (threshold {test.threshold})")
+    print()
+
+    models = ["bert", "tapas", "turl", "mate", "tabbie", "tuta"]
+    reports = {}
+    for name in models:
+        model = create_model(name, tokenizer, config=config, seed=0)
+        reports[name] = run_suite(model, probes, seed=0)
+        print(reports[name].render())
+        print()
+
+    # The headline: flat serialization is NOT order-consistent; every
+    # structure-aware design is.
+    print("=== takeaway ===")
+    for name in models:
+        inv = reports[name].by_kind("INV")
+        rate = float(np.mean([r.pass_rate for r in inv]))
+        print(f"  {name:<7} invariance pass rate: {rate:.2f}")
+    print("\nRow/column embeddings and structural attention buy exactly the "
+          "consistency\nproperties a relational representation should have — "
+          "the benchmark family\nthe paper's §2.4 calls for makes that "
+          "measurable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Table fact verification with cell-level explanations (§2.1 + §2.4).
+
+Fine-tunes an NLI classifier on entailed/refuted statements, then explains
+individual verdicts with gradient×input saliency — addressing the paper's
+closing complaint that "model usage remains a black box".
+
+Run:  python examples/fact_verification.py
+"""
+
+import numpy as np
+
+from repro.core import build_tokenizer_for_tables, create_model
+from repro.corpus import KnowledgeBase, build_nli_dataset, generate_wiki_corpus
+from repro.models import EncoderConfig
+from repro.tasks import FinetuneConfig, NliClassifier, finetune
+from repro.viz import gradient_saliency, render_attribution
+
+
+def main() -> None:
+    kb = KnowledgeBase(seed=0)
+    corpus = generate_wiki_corpus(kb, 50, seed=0)
+    tokenizer = build_tokenizer_for_tables(corpus, vocab_size=1200)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab), dim=32,
+                           num_heads=4, num_layers=2, hidden_dim=64,
+                           max_position=192, num_entities=kb.num_entities)
+
+    model = create_model("tapas", tokenizer, config=config, seed=0)
+    classifier = NliClassifier(model, np.random.default_rng(0))
+
+    examples = build_nli_dataset(corpus, np.random.default_rng(0), per_table=3)
+    print(f"Fine-tuning the fact checker on {len(examples)} statements ...")
+    finetune(classifier, examples,
+             FinetuneConfig(epochs=10, batch_size=8, learning_rate=3e-3))
+    metrics = classifier.evaluate(examples)
+    print(f"training-set metrics: accuracy={metrics['accuracy']:.3f} "
+          f"f1={metrics['f1']:.3f}\n")
+
+    # Verify a few statements and justify each verdict with saliency.
+    label_names = {0: "REFUTED", 1: "ENTAILED"}
+    for example in examples[:2]:
+        (prediction,) = classifier.predict([example])
+        verdict = label_names[prediction]
+        gold = label_names[example.label]
+        print(f'Statement: "{example.statement}"')
+        print(f"Verdict:   {verdict} (gold: {gold})")
+
+        def verdict_logit(hidden, _pred=prediction):
+            logits = classifier.head(hidden[:, 0])
+            return logits[0, _pred]
+
+        batch, _ = model.batch([example.table], [example.statement])
+        attribution = gradient_saliency(
+            model, example.table, context=example.statement,
+            scalar_fn=verdict_logit)
+        print("Cell relevance (gradient × input):")
+        print(render_attribution(attribution))
+        top = attribution.top_cells(2)
+        cells = ", ".join(f"{example.table.cell(r, c).text()!r}"
+                          for (r, c), _ in top)
+        print(f"Most influential cells: {cells}\n")
+
+
+if __name__ == "__main__":
+    main()

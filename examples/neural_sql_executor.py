@@ -1,0 +1,77 @@
+"""TAPEX in miniature: pretraining a neural SQL executor (§2.3, [27]).
+
+Generates executor-labelled (SQL, table) → denotation pairs, trains the
+encoder-decoder to *be* the executor, and reports denotation accuracy
+against the symbolic engine — plus a look at where it still fails.
+
+Run:  python examples/neural_sql_executor.py
+"""
+
+import numpy as np
+
+from repro.core import build_tokenizer_for_tables
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig, Tapex
+from repro.nn import Adam
+from repro.sql import denotation_text, generate_labeled_queries
+
+
+def main() -> None:
+    kb = KnowledgeBase(seed=0)
+    tables = generate_wiki_corpus(kb, 6, seed=0)
+    rng = np.random.default_rng(0)
+
+    # Executor-labelled supervision: the symbolic engine provides gold
+    # denotations for randomly generated queries.
+    dataset = []
+    for table in tables:
+        for query, denotation in generate_labeled_queries(table, 4, rng):
+            dataset.append((table, query.render(), denotation_text(denotation)))
+    print(f"Training set: {len(dataset)} (query, table, denotation) triples")
+    print(f"  e.g. {dataset[0][1]}  →  {dataset[0][2]!r}\n")
+
+    sql_texts = [q for _, q, _ in dataset] + [a for _, _, a in dataset]
+    tokenizer = build_tokenizer_for_tables(tables, vocab_size=900,
+                                           extra_texts=sql_texts * 2)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab), dim=32,
+                           num_heads=4, num_layers=1, hidden_dim=64,
+                           max_position=160, decoder_layers=1,
+                           num_entities=kb.num_entities)
+    model = Tapex(config, tokenizer, np.random.default_rng(0),
+                  max_answer_tokens=10)
+    optimizer = Adam(model.parameters(), lr=5e-3)
+
+    batch_tables = [t for t, _, _ in dataset]
+    batch_queries = [q for _, q, _ in dataset]
+    batch_answers = [a for _, _, a in dataset]
+    print("Learning to execute ...")
+    for epoch in range(45):
+        optimizer.zero_grad()
+        loss = model.loss(batch_tables, batch_queries, batch_answers)
+        loss.backward()
+        optimizer.step()
+        if epoch % 10 == 0 or epoch == 29:
+            print(f"  epoch {epoch:>2}: loss={float(loss.data):.3f}")
+
+    def normalize(text: str) -> str:
+        # Compare in token space so "a, b" ≡ "a , b" (decoder spacing).
+        return tokenizer.decode(tokenizer.encode(text))
+
+    correct = 0
+    failures = []
+    for table, query, answer in dataset:
+        predicted = model.generate(table, query)
+        if predicted == normalize(answer):
+            correct += 1
+        elif len(failures) < 3:
+            failures.append((query, answer, predicted))
+    print(f"\nDenotation accuracy vs. symbolic executor: "
+          f"{correct}/{len(dataset)} = {correct / len(dataset):.2f}")
+    if failures:
+        print("Sample failures (query → gold | predicted):")
+        for query, gold, predicted in failures:
+            print(f"  {query}\n    → {gold!r} | {predicted!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Table question answering with a TAPAS-style model (§2.1's live demo).
+
+Fine-tunes cell-selection QA on executor-labelled questions, then answers a
+few questions over the Fig. 1 example table, and visualizes where the model
+attends while answering — the attention utility code of §3.3.
+
+Run:  python examples/question_answering.py
+"""
+
+import numpy as np
+
+from repro.core import build_tokenizer_for_tables, create_model
+from repro.corpus import KnowledgeBase, build_qa_dataset, generate_wiki_corpus
+from repro.models import EncoderConfig
+from repro.tasks import CellSelectionQA, FinetuneConfig, finetune
+from repro.viz import attention_heatmap, top_attended_tokens
+
+
+def main() -> None:
+    kb = KnowledgeBase(seed=0)
+    corpus = generate_wiki_corpus(kb, 50, seed=0)
+    tokenizer = build_tokenizer_for_tables(
+        corpus, vocab_size=1000,
+        extra_texts=["what is the when is ?"] * 3)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab), dim=24,
+                           num_heads=2, num_layers=2, hidden_dim=48,
+                           max_position=160, num_entities=kb.num_entities)
+
+    model = create_model("tapas", tokenizer, config=config, seed=0)
+    qa = CellSelectionQA(model, np.random.default_rng(0))
+
+    examples = build_qa_dataset(corpus, np.random.default_rng(0), per_table=3)
+    print(f"Fine-tuning on {len(examples)} executor-labelled QA examples ...")
+    finetune(qa, examples, FinetuneConfig(epochs=10, batch_size=8,
+                                          learning_rate=3e-3))
+    metrics = qa.evaluate(examples)
+    print(f"train metrics: cell accuracy={metrics['cell_accuracy']:.3f} "
+          f"value accuracy={metrics['value_accuracy']:.3f}\n")
+
+    # Demo on tables the model was fine-tuned over (at this miniature scale
+    # the model does not yet generalize to unseen tables — one of the open
+    # challenges §2.4 discusses; E7 quantifies it).
+    print("Answering questions (Fig. 1 style):")
+    seen_questions = set()
+    demos = []
+    for e in examples:
+        if "country" in e.table.header and e.question not in seen_questions:
+            seen_questions.add(e.question)
+            demos.append(e)
+        if len(demos) == 3:
+            break
+    demos = demos or examples[:3]
+    for example in demos:
+        (prediction,) = qa.predict([example])
+        row, col = prediction
+        gold = {example.table.cell(r, c).text()
+                for r, c in example.answer_coordinates}
+        predicted = example.table.cell(row, col).text()
+        marker = "✓" if predicted in gold else "✗"
+        print(f"  Q: {example.question}")
+        print(f"  A: {predicted}  (cell {prediction}, gold {sorted(gold)}) {marker}\n")
+
+    # Peek inside: what does the model attend to for the last question?
+    table, question = demos[-1].table, demos[-1].question
+    batch, serialized = model.batch([table], [question])
+    model(batch)
+    weights = model.encoder.attention_maps()[-1][0, 0]  # last layer, head 0
+    tokens = serialized[0].tokens
+    print("Attention of layer -1 / head 0 (first 20 tokens):")
+    print(attention_heatmap(weights, tokens, max_tokens=20))
+    cls_top = top_attended_tokens(weights, tokens, query_index=0, k=5)
+    print("\n[CLS] attends most to:",
+          ", ".join(f"{t} ({w:.2f})" for t, w in cls_top))
+
+
+if __name__ == "__main__":
+    main()

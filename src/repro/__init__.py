@@ -1,0 +1,37 @@
+"""repro — Models and Practice of Neural Table Representations.
+
+A from-scratch reproduction of the system taught by the SIGMOD 2023
+tutorial: structure-aware transformer encoders for relational tables
+(BERT/TAPAS/TaBERT/TURL/TAPEX/MATE analogues), their pretraining objectives
+(masked cell LM, masked entity recovery), and the downstream task zoo the
+survey covers (QA, fact verification, retrieval, metadata prediction, data
+imputation, text-to-SQL) — all on a pure-numpy autograd substrate.
+
+Quickstart (the Fig. 2a snippet):
+
+    >>> from repro import load_table, create_model, build_tokenizer_for_tables
+    >>> table = load_table("data/countries.csv")          # load sample table
+    >>> tokenizer = build_tokenizer_for_tables([table])
+    >>> model = create_model("tapas", tokenizer)           # or load_pretrained
+    >>> encoding = model.encode(table)                     # encode the table
+    >>> encoding.table_embedding.shape
+    (48,)
+"""
+
+from .core import (
+    build_tokenizer_for_tables,
+    create_model,
+    load_pretrained,
+    run_imputation_pipeline,
+    save_pretrained,
+)
+from .tables import Table, TableContext, load_table
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Table", "TableContext", "load_table",
+    "create_model", "save_pretrained", "load_pretrained",
+    "build_tokenizer_for_tables", "run_imputation_pipeline",
+    "__version__",
+]

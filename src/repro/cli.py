@@ -1,0 +1,207 @@
+"""Command-line interface: the tutorial's workflow without writing code.
+
+Subcommands mirror the hands-on session's stages:
+
+- ``repro corpus``     generate a synthetic table corpus to CSV files;
+- ``repro encode``     encode a CSV table and summarize the result (§3.1);
+- ``repro pretrain``   pretrain a model over a corpus and save the bundle
+  (§3.3);
+- ``repro behavioral`` run the §2.4 behavioral battery on a model.
+
+Every command is pure-stdout and deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neural table representations: models and practice.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="generate a synthetic table corpus")
+    corpus.add_argument("--kind", choices=("wiki", "git"), default="wiki")
+    corpus.add_argument("--size", type=int, default=20)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--out", required=True, help="output directory")
+
+    encode = sub.add_parser("encode", help="encode a CSV table (Fig. 2a)")
+    encode.add_argument("table", help="path to a CSV file")
+    encode.add_argument("--model", default="tapas",
+                        help="model name or pretrained bundle directory")
+    encode.add_argument("--context", default="", help="context/question text")
+    encode.add_argument("--seed", type=int, default=0)
+    encode.add_argument("--top-cells", type=int, default=3,
+                        help="cells to list by attention attribution")
+
+    pretrain = sub.add_parser("pretrain",
+                              help="pretrain over a corpus directory of CSVs")
+    pretrain.add_argument("corpus", help="directory containing *.csv tables")
+    pretrain.add_argument("--model", default="turl")
+    pretrain.add_argument("--steps", type=int, default=60)
+    pretrain.add_argument("--batch-size", type=int, default=8)
+    pretrain.add_argument("--learning-rate", type=float, default=3e-3)
+    pretrain.add_argument("--vocab-size", type=int, default=1200)
+    pretrain.add_argument("--dim", type=int, default=32)
+    pretrain.add_argument("--layers", type=int, default=2)
+    pretrain.add_argument("--seed", type=int, default=0)
+    pretrain.add_argument("--out", required=True,
+                          help="bundle output directory")
+
+    behavioral = sub.add_parser(
+        "behavioral", help="run the §2.4 behavioral battery on a model")
+    behavioral.add_argument("corpus", help="directory containing *.csv tables")
+    behavioral.add_argument("--model", default="tapas",
+                            help="model name or pretrained bundle directory")
+    behavioral.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _load_corpus_dir(directory: str) -> list:
+    from .tables import load_table
+
+    paths = sorted(Path(directory).glob("*.csv"))
+    if not paths:
+        raise SystemExit(f"no *.csv files found in {directory}")
+    return [load_table(path) for path in paths]
+
+
+def _resolve_model(spec: str, tables: list, seed: int):
+    """A model name builds a fresh model; a directory loads a bundle."""
+    from .core import build_tokenizer_for_tables, create_model, load_pretrained
+    from .models import MODEL_CLASSES
+
+    if Path(spec).is_dir():
+        return load_pretrained(spec)
+    if spec not in MODEL_CLASSES:
+        raise SystemExit(
+            f"unknown model {spec!r}; choose one of {sorted(MODEL_CLASSES)} "
+            "or pass a bundle directory")
+    tokenizer = build_tokenizer_for_tables(tables)
+    return create_model(spec, tokenizer, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import KnowledgeBase, generate_git_corpus, generate_wiki_corpus
+    from .tables import save_table
+
+    if args.kind == "wiki":
+        tables = generate_wiki_corpus(KnowledgeBase(seed=args.seed),
+                                      args.size, seed=args.seed)
+    else:
+        tables = generate_git_corpus(args.size, seed=args.seed)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for table in tables:
+        path = save_table(table, out / f"{table.table_id}.csv")
+        manifest.append({
+            "table_id": table.table_id,
+            "file": path.name,
+            "rows": table.num_rows,
+            "columns": table.num_columns,
+            "title": table.context.title,
+        })
+    (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    print(f"wrote {len(tables)} {args.kind} tables to {out}")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from .tables import load_table
+    from .viz import attention_attribution
+
+    table = load_table(args.table, title=args.context)
+    model = _resolve_model(args.model, [table], args.seed)
+    encoding = model.encode(table, context=args.context or None)
+
+    print(f"table: {table}")
+    print(f"model: {model.model_name} ({model.num_parameters()} parameters)")
+    print(f"serialized tokens: {len(encoding)}")
+    print(f"table embedding: dim={encoding.dim} "
+          f"norm={float(np.linalg.norm(encoding.table_embedding)):.3f}")
+    print(f"cell embeddings: {len(encoding.cell_embeddings)}; "
+          f"column embeddings: {len(encoding.column_embeddings)}")
+
+    attribution = attention_attribution(model, table,
+                                        context=args.context or None)
+    print(f"\ntop-{args.top_cells} cells by [CLS] attention:")
+    for (row, column), score in attribution.top_cells(args.top_cells):
+        value = table.cell(row, column).text()
+        print(f"  ({row}, {column}) {value!r}: {score:.4f}")
+    return 0
+
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    from .core import build_tokenizer_for_tables, create_model, save_pretrained
+    from .models import EncoderConfig
+    from .pretrain import Pretrainer, PretrainConfig
+
+    tables = _load_corpus_dir(args.corpus)
+    tokenizer = build_tokenizer_for_tables(tables, vocab_size=args.vocab_size)
+    # CSV corpora carry no entity annotations, so give TURL a small slack
+    # entity vocabulary; MER simply finds no targets and MLM drives training.
+    config = EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=args.dim, num_heads=4,
+        num_layers=args.layers, hidden_dim=args.dim * 2, max_position=192,
+        num_entities=max(1, 8),
+    )
+    model = create_model(args.model, tokenizer, config=config, seed=args.seed)
+    trainer = Pretrainer(model, PretrainConfig(
+        steps=args.steps, batch_size=args.batch_size,
+        learning_rate=args.learning_rate, seed=args.seed))
+    history = trainer.train(tables)
+    print(f"pretrained {args.model} for {args.steps} steps over "
+          f"{len(tables)} tables")
+    print(f"loss: {history[0].loss:.3f} -> {history[-1].loss:.3f}")
+    bundle = save_pretrained(model, args.out)
+    print(f"bundle saved to {bundle}")
+    return 0
+
+
+def _cmd_behavioral(args: argparse.Namespace) -> int:
+    from .eval import run_suite
+
+    tables = _load_corpus_dir(args.corpus)
+    model = _resolve_model(args.model, tables, args.seed)
+    report = run_suite(model, tables, seed=args.seed)
+    print(report.render())
+    failed = [r for r in report.by_kind("MFT") if r.pass_rate < 1.0]
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "corpus": _cmd_corpus,
+    "encode": _cmd_encode,
+    "pretrain": _cmd_pretrain,
+    "behavioral": _cmd_behavioral,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

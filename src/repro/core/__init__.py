@@ -1,0 +1,16 @@
+"""High-level API: model registry, pretrained bundles, the Fig. 1 pipeline."""
+
+from .pipeline import PipelineResult, run_imputation_pipeline
+from .registry import (
+    build_tokenizer_for_tables,
+    create_model,
+    load_pretrained,
+    save_pretrained,
+    text_corpus_from_tables,
+)
+
+__all__ = [
+    "create_model", "save_pretrained", "load_pretrained",
+    "text_corpus_from_tables", "build_tokenizer_for_tables",
+    "PipelineResult", "run_imputation_pipeline",
+]

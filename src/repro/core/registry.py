@@ -1,0 +1,112 @@
+"""Model registry and pretrained-bundle IO — the Fig. 2a loading API.
+
+``load_pretrained(path)`` mirrors the tutorial's
+``transformers.load_pretrained(path/to/model)`` line: a bundle directory
+holds the weights, the model/config metadata and the tokenizer, and loading
+reconstructs a ready-to-use model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..models import MODEL_CLASSES, EncoderConfig
+from ..nn import Module, load_checkpoint, save_checkpoint
+from ..tables import Table
+from ..text import WordPieceTokenizer, train_tokenizer
+
+__all__ = [
+    "create_model",
+    "save_pretrained",
+    "load_pretrained",
+    "text_corpus_from_tables",
+    "build_tokenizer_for_tables",
+]
+
+
+def text_corpus_from_tables(tables: list[Table]) -> list[str]:
+    """All text a table corpus exposes: contexts, headers, cell values."""
+    texts: list[str] = []
+    for table in tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        for _, _, cell in table.iter_cells():
+            texts.append(cell.text())
+    return texts
+
+
+# Glyphs and template words the serializers emit; seeded into every trained
+# vocabulary so serialized sequences never degrade to [UNK] on structure.
+_SERIALIZER_SEED_TEXTS = [
+    "| ; - row column one two three four five six seven eight is",
+] * 2
+
+
+def build_tokenizer_for_tables(tables: list[Table], vocab_size: int = 1000,
+                               extra_texts: list[str] | None = None
+                               ) -> WordPieceTokenizer:
+    """Train a WordPiece tokenizer on a table corpus (+optional texts).
+
+    Serializer glyphs (``|``, ``;``, template ordinals) are always included
+    so every linearization stays in-vocabulary.
+    """
+    texts = text_corpus_from_tables(tables) + list(_SERIALIZER_SEED_TEXTS)
+    if extra_texts:
+        texts.extend(extra_texts)
+    return train_tokenizer(texts, vocab_size=vocab_size)
+
+
+def create_model(name: str, tokenizer: WordPieceTokenizer,
+                 config: EncoderConfig | None = None, seed: int = 0,
+                 **kwargs) -> Module:
+    """Instantiate a model from the zoo by name.
+
+    ``kwargs`` pass through to the model constructor (e.g. TaBERT's
+    ``snapshot_rows``) and are recorded for bundle reconstruction.
+    """
+    if name not in MODEL_CLASSES:
+        raise KeyError(f"unknown model {name!r}; have {sorted(MODEL_CLASSES)}")
+    if config is None:
+        config = EncoderConfig(vocab_size=len(tokenizer.vocab))
+    if config.vocab_size != len(tokenizer.vocab):
+        raise ValueError(
+            f"config.vocab_size={config.vocab_size} does not match the "
+            f"tokenizer ({len(tokenizer.vocab)} tokens)")
+    rng = np.random.default_rng(seed)
+    model = MODEL_CLASSES[name](config, tokenizer, rng, **kwargs)
+    object.__setattr__(model, "_init_kwargs", dict(kwargs))
+    object.__setattr__(model, "_init_seed", seed)
+    return model
+
+
+def save_pretrained(model: Module, directory: str | Path) -> Path:
+    """Write a loadable bundle: weights.npz + config.json + tokenizer.json."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    metadata = {
+        "model_name": model.model_name,
+        "config": model.config.to_dict(),
+        "kwargs": getattr(model, "_init_kwargs", {}),
+        "seed": getattr(model, "_init_seed", 0),
+    }
+    save_checkpoint(model, directory / "weights.npz")
+    (directory / "config.json").write_text(json.dumps(metadata, indent=2))
+    model.tokenizer.save(directory / "tokenizer.json")
+    return directory
+
+
+def load_pretrained(directory: str | Path) -> Module:
+    """Reconstruct a model bundle written by :func:`save_pretrained`."""
+    directory = Path(directory)
+    metadata = json.loads((directory / "config.json").read_text())
+    tokenizer = WordPieceTokenizer.load(directory / "tokenizer.json")
+    config = EncoderConfig.from_dict(metadata["config"])
+    model = create_model(metadata["model_name"], tokenizer, config=config,
+                         seed=metadata.get("seed", 0),
+                         **metadata.get("kwargs", {}))
+    load_checkpoint(model, directory / "weights.npz")
+    model.eval()
+    return model

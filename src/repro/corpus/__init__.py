@@ -1,0 +1,36 @@
+"""Corpus substrate: knowledge base, table generators, datasets, splits."""
+
+from .datasets import (
+    ColumnTypeExample,
+    ImputationExample,
+    NLIExample,
+    QAExample,
+    RetrievalExample,
+    Text2SqlExample,
+    build_coltype_dataset,
+    build_imputation_dataset,
+    build_nli_dataset,
+    build_qa_dataset,
+    build_retrieval_dataset,
+    build_text2sql_dataset,
+    question_from_query,
+)
+from .gittables import GitTablesConfig, generate_git_corpus, generate_git_table
+from .infobox import generate_infobox, generate_infobox_corpus
+from .knowledge import DOMAINS, Entity, KnowledgeBase
+from .splits import assign_split, split_tables, stable_hash
+from .wikitables import WikiTablesConfig, generate_wiki_corpus, generate_wiki_table
+
+__all__ = [
+    "Entity", "KnowledgeBase", "DOMAINS",
+    "WikiTablesConfig", "generate_wiki_table", "generate_wiki_corpus",
+    "GitTablesConfig", "generate_git_table", "generate_git_corpus",
+    "generate_infobox", "generate_infobox_corpus",
+    "ImputationExample", "build_imputation_dataset",
+    "QAExample", "build_qa_dataset", "question_from_query",
+    "NLIExample", "build_nli_dataset",
+    "RetrievalExample", "build_retrieval_dataset",
+    "ColumnTypeExample", "build_coltype_dataset",
+    "Text2SqlExample", "build_text2sql_dataset",
+    "stable_hash", "assign_split", "split_tables",
+]

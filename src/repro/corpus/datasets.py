@@ -1,0 +1,365 @@
+"""Downstream-task datasets derived from table corpora.
+
+Each builder turns tables into labelled examples for one of the application
+families surveyed in Section 2.1 of the paper:
+
+- data imputation (hands-on 3.4) — blank a cell, predict its value;
+- question answering (TAPAS demo) — templated questions with gold answer
+  cells derived by the symbolic SQL executor;
+- table NLI / fact verification (TabFact-style) — statements entailed or
+  refuted by the table;
+- table retrieval — (query, positive table) pairs;
+- column type prediction (metadata) — column values → semantic label;
+- text-to-SQL (WikiSQL-style) — question → query sketch.
+
+Labels are exact by construction: answers come from executing the very
+query a question was templated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sql import (
+    Aggregate,
+    Comparator,
+    Condition,
+    Denotation,
+    SelectQuery,
+    execute,
+)
+from ..tables import Cell, ColumnType, Table, infer_schema
+
+__all__ = [
+    "ImputationExample", "build_imputation_dataset",
+    "QAExample", "build_qa_dataset", "question_from_query",
+    "NLIExample", "build_nli_dataset",
+    "RetrievalExample", "build_retrieval_dataset",
+    "ColumnTypeExample", "build_coltype_dataset",
+    "Text2SqlExample", "build_text2sql_dataset",
+]
+
+
+# ----------------------------------------------------------------------
+# Data imputation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImputationExample:
+    """A table with one blanked cell and the value that belongs there."""
+
+    table: Table            # cell (row, column) already blanked
+    row: int
+    column: int
+    answer_text: str
+    answer_entity_id: int | None = None
+
+
+def build_imputation_dataset(tables: list[Table], rng: np.random.Generator,
+                             per_table: int = 2,
+                             text_cells_only: bool = True) -> list[ImputationExample]:
+    """Blank ``per_table`` random cells per table.
+
+    ``text_cells_only`` restricts to non-numeric cells, the setting of the
+    hands-on exercise (imputing categorical/entity cells); pass False to
+    probe the numeric failure mode (E5 does).
+    """
+    examples: list[ImputationExample] = []
+    for table in tables:
+        candidates = [
+            (r, c) for r, c, cell in table.iter_cells()
+            if not cell.is_empty and (not text_cells_only or not cell.is_numeric)
+        ]
+        if not candidates:
+            continue
+        count = min(per_table, len(candidates))
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        for index in np.atleast_1d(chosen):
+            row, column = candidates[int(index)]
+            cell = table.cell(row, column)
+            blanked = table.replace_cell(row, column, Cell(None))
+            examples.append(ImputationExample(
+                table=blanked, row=row, column=column,
+                answer_text=cell.text(), answer_entity_id=cell.entity_id,
+            ))
+    return examples
+
+
+# ----------------------------------------------------------------------
+# Question answering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QAExample:
+    """A natural-language question over one table with gold answer cells."""
+
+    table: Table
+    question: str
+    sql: SelectQuery
+    answer_coordinates: tuple[tuple[int, int], ...]
+    denotation: tuple = ()
+
+
+_AGG_PHRASES = {
+    Aggregate.COUNT: "how many rows have",
+    Aggregate.SUM: "what is the total {col} when",
+    Aggregate.AVG: "what is the average {col} when",
+    Aggregate.MIN: "what is the lowest {col} when",
+    Aggregate.MAX: "what is the highest {col} when",
+}
+
+_OP_PHRASES = {
+    Comparator.EQ: "is",
+    Comparator.NE: "is not",
+    Comparator.LT: "is below",
+    Comparator.GT: "is above",
+    Comparator.LE: "is at most",
+    Comparator.GE: "is at least",
+}
+
+
+def _value_text(value: str | float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def question_from_query(query: SelectQuery) -> str:
+    """Render a query as the templated question it supervises."""
+    conds = " and ".join(
+        f"{c.column} {_OP_PHRASES[c.comparator]} {_value_text(c.value)}"
+        for c in query.conditions
+    )
+    if query.aggregate is Aggregate.NONE:
+        question = f"what is the {query.select_column}"
+        if conds:
+            question += f" when {conds}"
+    elif query.aggregate is Aggregate.COUNT:
+        question = f"how many entries are there"
+        if conds:
+            question += f" where {conds}"
+    else:
+        phrase = _AGG_PHRASES[query.aggregate].format(col=query.select_column)
+        question = phrase if conds else phrase.replace(" when", "")
+        if conds:
+            question += f" {conds}"
+    return question + "?"
+
+
+def _answer_coordinates(query: SelectQuery, table: Table) -> tuple[tuple[int, int], ...]:
+    """Cells supporting a non-aggregate query's answer."""
+    column = table.column_index(query.select_column)
+    coords = []
+    for r in range(table.num_rows):
+        probe = SelectQuery(query.select_column, Aggregate.NONE, query.conditions)
+        # A row supports the answer iff it satisfies all conditions and
+        # its select cell is non-empty.
+        row_table = table.subtable(row_indices=[r])
+        if execute(probe, row_table):
+            coords.append((r, column))
+    return tuple(coords)
+
+
+def build_qa_dataset(tables: list[Table], rng: np.random.Generator,
+                     per_table: int = 2) -> list[QAExample]:
+    """Generate cell-selection QA examples (Aggregate.NONE, EQ conditions).
+
+    The cell-selection setting is what TAPAS's weak supervision targets;
+    restricting to equality predicates keeps answers attributable to
+    explicit cells.
+    """
+    examples: list[QAExample] = []
+    for table in tables:
+        schema = infer_schema(table)
+        text_columns = [c for c, t in enumerate(schema)
+                        if t in (ColumnType.TEXT, ColumnType.DATE, ColumnType.BOOLEAN)
+                        and table.header[c].strip()]
+        if not text_columns:
+            continue
+        made = 0
+        attempts = 0
+        while made < per_table and attempts < per_table * 10:
+            attempts += 1
+            cond_col = text_columns[int(rng.integers(len(text_columns)))]
+            rows_with_values = [r for r in range(table.num_rows)
+                                if not table.cell(r, cond_col).is_empty]
+            if not rows_with_values:
+                continue
+            anchor_row = rows_with_values[int(rng.integers(len(rows_with_values)))]
+            select_col = int(rng.integers(table.num_columns))
+            if select_col == cond_col or not table.header[select_col].strip():
+                continue
+            condition = Condition(table.header[cond_col], Comparator.EQ,
+                                  table.cell(anchor_row, cond_col).text())
+            query = SelectQuery(table.header[select_col], Aggregate.NONE, (condition,))
+            denotation = execute(query, table)
+            coords = _answer_coordinates(query, table)
+            if not coords:
+                continue
+            examples.append(QAExample(
+                table=table,
+                question=question_from_query(query),
+                sql=query,
+                answer_coordinates=coords,
+                denotation=tuple(denotation),
+            ))
+            made += 1
+    return examples
+
+
+# ----------------------------------------------------------------------
+# Table NLI / fact verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NLIExample:
+    """A statement about a table with an entail(1)/refute(0) label."""
+
+    table: Table
+    statement: str
+    label: int
+
+
+def build_nli_dataset(tables: list[Table], rng: np.random.Generator,
+                      per_table: int = 2) -> list[NLIExample]:
+    """TabFact-style statements: true facts and value-swapped corruptions."""
+    examples: list[NLIExample] = []
+    for table in tables:
+        usable_cols = [c for c in range(table.num_columns) if table.header[c].strip()]
+        if len(usable_cols) < 2 or table.num_rows < 2:
+            continue
+        for _ in range(per_table):
+            subj_col, attr_col = rng.choice(usable_cols, size=2, replace=False)
+            row = int(rng.integers(table.num_rows))
+            subject = table.cell(row, int(subj_col))
+            value = table.cell(row, int(attr_col))
+            if subject.is_empty or value.is_empty:
+                continue
+            statement = (f"the {table.header[int(attr_col)]} of "
+                         f"{subject.text()} is {value.text()}")
+            examples.append(NLIExample(table, statement, 1))
+
+            # Corrupt with a different value from the same column.
+            alternatives = [table.cell(r, int(attr_col)) for r in range(table.num_rows)
+                            if r != row and not table.cell(r, int(attr_col)).is_empty
+                            and table.cell(r, int(attr_col)).text() != value.text()]
+            if alternatives:
+                wrong = alternatives[int(rng.integers(len(alternatives)))]
+                corrupted = (f"the {table.header[int(attr_col)]} of "
+                             f"{subject.text()} is {wrong.text()}")
+                examples.append(NLIExample(table, corrupted, 0))
+    return examples
+
+
+# ----------------------------------------------------------------------
+# Table retrieval
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetrievalExample:
+    """A keyword query whose relevant table is ``positive_table_id``."""
+
+    query: str
+    positive_table_id: str
+
+
+def build_retrieval_dataset(tables: list[Table], rng: np.random.Generator,
+                            per_table: int = 1) -> list[RetrievalExample]:
+    """Queries combining a table's context with one of its cell values."""
+    examples: list[RetrievalExample] = []
+    for table in tables:
+        non_empty = [cell for _, _, cell in table.iter_cells()
+                     if not cell.is_empty and not cell.is_numeric]
+        for _ in range(per_table):
+            parts = [table.context.title] if table.context.title else []
+            if non_empty:
+                parts.append(non_empty[int(rng.integers(len(non_empty)))].text())
+            if not parts:
+                parts = [" ".join(h for h in table.header if h)]
+            query = " ".join(p for p in parts if p).strip()
+            if query:
+                examples.append(RetrievalExample(query, table.table_id))
+    return examples
+
+
+# ----------------------------------------------------------------------
+# Column type prediction (table metadata)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnTypeExample:
+    """A column's values (header hidden) and its semantic label."""
+
+    table: Table       # header of `column` blanked so the label cannot leak
+    column: int
+    label: str
+
+
+def build_coltype_dataset(tables: list[Table]) -> list[ColumnTypeExample]:
+    """One example per named column; the label is the original header."""
+    examples: list[ColumnTypeExample] = []
+    for table in tables:
+        for column in range(table.num_columns):
+            label = table.header[column].strip().lower()
+            if not label:
+                continue
+            hidden_header = list(table.header)
+            hidden_header[column] = ""
+            hidden = Table(hidden_header, table.rows, context=table.context,
+                           table_id=table.table_id)
+            examples.append(ColumnTypeExample(hidden, column, label))
+    return examples
+
+
+# ----------------------------------------------------------------------
+# Text-to-SQL (semantic parsing)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Text2SqlExample:
+    """A question paired with the gold query sketch that answers it."""
+
+    table: Table
+    question: str
+    sql: SelectQuery
+    denotation: Denotation = field(default_factory=list)
+
+
+def build_text2sql_dataset(tables: list[Table], rng: np.random.Generator,
+                           per_table: int = 2) -> list[Text2SqlExample]:
+    """WikiSQL-style supervision: templated question + gold SelectQuery.
+
+    Queries follow the sketch ``SELECT [agg](col) WHERE col = value`` with
+    zero or one condition, matching the WikiSQL grammar subset the sketch
+    parser in :mod:`repro.tasks.text2sql` predicts.
+    """
+    examples: list[Text2SqlExample] = []
+    aggregates = (Aggregate.NONE, Aggregate.COUNT, Aggregate.MIN, Aggregate.MAX)
+    for table in tables:
+        schema = infer_schema(table)
+        named = [c for c in range(table.num_columns) if table.header[c].strip()]
+        if not named:
+            continue
+        made, attempts = 0, 0
+        while made < per_table and attempts < per_table * 10:
+            attempts += 1
+            select_col = named[int(rng.integers(len(named)))]
+            if schema[select_col] is ColumnType.NUMBER:
+                aggregate = aggregates[int(rng.integers(len(aggregates)))]
+            else:
+                aggregate = (Aggregate.NONE, Aggregate.COUNT)[int(rng.integers(2))]
+            conditions: tuple[Condition, ...] = ()
+            if rng.random() < 0.7:
+                cond_col = named[int(rng.integers(len(named)))]
+                rows = [r for r in range(table.num_rows)
+                        if not table.cell(r, cond_col).is_empty]
+                if rows:
+                    row = rows[int(rng.integers(len(rows)))]
+                    conditions = (Condition(table.header[cond_col], Comparator.EQ,
+                                            table.cell(row, cond_col).text()),)
+            query = SelectQuery(table.header[select_col], aggregate, conditions)
+            denotation = execute(query, table)
+            if not denotation:
+                continue
+            examples.append(Text2SqlExample(
+                table=table, question=question_from_query(query),
+                sql=query, denotation=denotation,
+            ))
+            made += 1
+    return examples

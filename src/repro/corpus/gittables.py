@@ -1,0 +1,125 @@
+"""GitTables-style corpus generator: heterogeneous CSV tables.
+
+Hands-on exercise 3.4 contrasts entity-focused Wikipedia tables with raw
+CSV tables "as in GitTables": numeric-heavy, abbreviated or missing headers,
+null cells.  These are exactly the failure axes the paper's fine-tuning
+analysis zooms in on (numeric tables, tables without descriptive headers),
+so the generator produces them with controllable probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tables import Cell, Table, TableContext
+
+__all__ = ["GitTablesConfig", "generate_git_table", "generate_git_corpus"]
+
+
+# Column blueprints: (full header, abbreviated header, sampler kind, pool).
+_BLUEPRINTS: dict[str, list[tuple[str, str, str, tuple]]] = {
+    "hr": [
+        ("age", "age", "int", (18, 70)),
+        ("workclass", "wc", "cat", ("private", "state-gov", "self-emp", "federal-gov")),
+        ("education", "edu", "cat", ("hs-grad", "some-college", "bachelors", "masters",
+                                     "assoc-acdm")),
+        ("hours-per-week", "hrs", "int", (5, 80)),
+        ("income", "inc", "cat", ("<=50k", ">50k")),
+    ],
+    "sales": [
+        ("order id", "oid", "int", (1000, 9999)),
+        ("product", "prod", "cat", ("widget", "gadget", "sprocket", "module", "casing")),
+        ("quantity", "qty", "int", (1, 500)),
+        ("unit price", "amt", "float", (0.5, 900.0)),
+        ("region", "reg", "cat", ("north", "south", "east", "west")),
+    ],
+    "sensors": [
+        ("timestamp", "ts", "int", (1600000000, 1700000000)),
+        ("temperature", "temp", "float", (-20.0, 45.0)),
+        ("humidity", "hum", "float", (0.0, 100.0)),
+        ("pressure", "pres", "float", (950.0, 1050.0)),
+        ("status", "st", "cat", ("ok", "warn", "fail")),
+    ],
+}
+
+
+class GitTablesConfig:
+    """Knobs reproducing the messiness profile of CSV corpora."""
+
+    def __init__(self, min_rows: int = 3, max_rows: int = 8,
+                 missing_cell_probability: float = 0.1,
+                 abbreviated_header_probability: float = 0.4,
+                 headerless_probability: float = 0.15) -> None:
+        for name, p in [("missing_cell_probability", missing_cell_probability),
+                        ("abbreviated_header_probability", abbreviated_header_probability),
+                        ("headerless_probability", headerless_probability)]:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if min_rows < 1 or max_rows < min_rows:
+            raise ValueError("invalid row bounds")
+        self.min_rows = min_rows
+        self.max_rows = max_rows
+        self.missing_cell_probability = missing_cell_probability
+        self.abbreviated_header_probability = abbreviated_header_probability
+        self.headerless_probability = headerless_probability
+
+
+def _sample_value(kind: str, pool: tuple, rng: np.random.Generator) -> object:
+    if kind == "int":
+        low, high = pool
+        return int(rng.integers(low, high + 1))
+    if kind == "float":
+        low, high = pool
+        return round(float(rng.uniform(low, high)), 2)
+    return pool[int(rng.integers(len(pool)))]
+
+
+def generate_git_table(rng: np.random.Generator,
+                       config: GitTablesConfig | None = None,
+                       flavor: str | None = None,
+                       table_id: str = "") -> Table:
+    """Sample one CSV-style table of the given (or random) flavor."""
+    config = config or GitTablesConfig()
+    flavors = sorted(_BLUEPRINTS)
+    if flavor is None:
+        flavor = flavors[int(rng.integers(len(flavors)))]
+    if flavor not in _BLUEPRINTS:
+        raise KeyError(f"unknown flavor {flavor!r}; have {flavors}")
+    blueprint = _BLUEPRINTS[flavor]
+
+    n_cols = int(rng.integers(3, len(blueprint) + 1))
+    column_idx = sorted(rng.choice(len(blueprint), size=n_cols, replace=False))
+    columns = [blueprint[i] for i in column_idx]
+
+    headerless = bool(rng.random() < config.headerless_probability)
+    abbreviated = bool(rng.random() < config.abbreviated_header_probability)
+    if headerless:
+        header = [""] * n_cols
+    elif abbreviated:
+        header = [abbrev for _, abbrev, _, _ in columns]
+    else:
+        header = [full for full, _, _, _ in columns]
+
+    n_rows = int(rng.integers(config.min_rows, config.max_rows + 1))
+    rows = []
+    for _ in range(n_rows):
+        row = []
+        for _, _, kind, pool in columns:
+            if rng.random() < config.missing_cell_probability:
+                row.append(Cell(None))
+            else:
+                row.append(Cell(_sample_value(kind, pool, rng)))
+        rows.append(row)
+
+    context = TableContext() if headerless else TableContext(section=flavor)
+    return Table(header, rows, context=context, table_id=table_id)
+
+
+def generate_git_corpus(size: int, seed: int = 0,
+                        config: GitTablesConfig | None = None) -> list[Table]:
+    """Generate ``size`` tables with deterministic ids ``git-<n>``."""
+    rng = np.random.default_rng(seed)
+    return [
+        generate_git_table(rng, config=config, table_id=f"git-{index}")
+        for index in range(size)
+    ]

@@ -1,0 +1,243 @@
+"""Synthetic knowledge base backing the table corpora.
+
+The paper's pretraining corpora (WikiTables, WDC) are collections of
+entity-centric web tables whose cells are *consistent across tables*: the
+capital of France is Paris in every table that mentions it.  That
+consistency is what masked-cell / masked-entity pretraining exploits.  This
+module builds a deterministic synthetic world — entities with stable typed
+attributes and cross-entity relations — from which the generators in
+:mod:`repro.corpus.wikitables` and :mod:`repro.corpus.gittables` derive
+tables.  See DESIGN.md (substitution table) for why this preserves the
+behaviour the tutorial studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Entity", "KnowledgeBase", "DOMAINS"]
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A named entity with a stable id — the unit TURL's MER recovers."""
+
+    entity_id: int
+    name: str
+    etype: str
+
+
+# Fixed seed data: a small real-world geography plus name/word pools.
+_COUNTRIES = [
+    ("Australia", "Canberra", "Oceania"),
+    ("France", "Paris", "Europe"),
+    ("Japan", "Tokyo", "Asia"),
+    ("Brazil", "Brasilia", "South America"),
+    ("Canada", "Ottawa", "North America"),
+    ("Germany", "Berlin", "Europe"),
+    ("India", "New Delhi", "Asia"),
+    ("Italy", "Rome", "Europe"),
+    ("Spain", "Madrid", "Europe"),
+    ("Egypt", "Cairo", "Africa"),
+    ("Kenya", "Nairobi", "Africa"),
+    ("Mexico", "Mexico City", "North America"),
+    ("Norway", "Oslo", "Europe"),
+    ("Peru", "Lima", "South America"),
+    ("Poland", "Warsaw", "Europe"),
+    ("Sweden", "Stockholm", "Europe"),
+    ("Thailand", "Bangkok", "Asia"),
+    ("Turkey", "Ankara", "Asia"),
+    ("Vietnam", "Hanoi", "Asia"),
+    ("Chile", "Santiago", "South America"),
+    ("Greece", "Athens", "Europe"),
+    ("Portugal", "Lisbon", "Europe"),
+    ("Austria", "Vienna", "Europe"),
+    ("Finland", "Helsinki", "Europe"),
+    ("Ireland", "Dublin", "Europe"),
+    ("Morocco", "Rabat", "Africa"),
+    ("Nigeria", "Abuja", "Africa"),
+    ("Argentina", "Buenos Aires", "South America"),
+    ("Indonesia", "Jakarta", "Asia"),
+    ("Netherlands", "Amsterdam", "Europe"),
+]
+
+_LANGUAGES = ["english", "french", "japanese", "portuguese", "german", "hindi",
+              "italian", "spanish", "arabic", "swahili", "norwegian", "polish",
+              "swedish", "thai", "turkish", "vietnamese", "greek", "finnish",
+              "dutch", "bengali"]
+_CURRENCIES = ["dollar", "euro", "yen", "real", "rupee", "pound", "krone",
+               "peso", "zloty", "krona", "baht", "lira", "dong", "dirham"]
+_FIRST_NAMES = ["satyajit", "mira", "akira", "agnes", "pedro", "sofia", "jan",
+                "maria", "kenji", "amara", "luis", "ingrid", "tariq", "elena",
+                "ravi", "freja", "omar", "lucia", "hiroshi", "zofia"]
+_LAST_NAMES = ["ray", "nair", "kurosawa", "varda", "almod", "coppola", "kowalski",
+               "rossi", "tanaka", "okafor", "garcia", "larsen", "hassan", "petrova",
+               "iyer", "nielsen", "farouk", "moretti", "sato", "nowak"]
+_FILM_ADJECTIVES = ["silent", "golden", "hidden", "broken", "burning", "distant",
+                    "endless", "crimson", "wandering", "forgotten", "electric",
+                    "midnight", "paper", "winter", "glass"]
+_FILM_NOUNS = ["river", "garden", "city", "mirror", "horizon", "station",
+               "harvest", "lantern", "orchard", "voyage", "letters", "shore",
+               "meridian", "archive", "procession"]
+_GENRES = ["drama", "comedy", "thriller", "documentary", "romance", "adventure"]
+_SPORTS = ["running", "swimming", "cycling", "rowing", "fencing", "judo",
+           "archery", "skiing", "tennis", "boxing"]
+_TEAMS = ["tigers", "falcons", "wolves", "eagles", "sharks", "lions",
+          "dragons", "hawks", "bears", "otters"]
+_SECTORS = ["energy", "finance", "retail", "transport", "software",
+            "agriculture", "media", "health", "logistics", "materials"]
+_COMPANY_STEMS = ["nova", "vertex", "atlas", "lumen", "cobalt", "aurora", "delta",
+                  "zephyr", "orion", "quartz", "helix", "summit", "meridian",
+                  "pioneer", "cascade"]
+_COMPANY_SUFFIXES = ["corp", "labs", "group", "works", "systems", "industries"]
+
+DOMAINS = ("countries", "films", "athletes", "companies")
+
+
+class KnowledgeBase:
+    """A deterministic synthetic world of typed entities and facts.
+
+    Parameters
+    ----------
+    seed:
+        Controls every random attribute; two KBs with the same seed are
+        identical.
+    num_films, num_athletes, num_companies:
+        Sizes of the generated entity populations (countries are fixed).
+    """
+
+    def __init__(self, seed: int = 0, num_films: int = 60, num_athletes: int = 60,
+                 num_companies: int = 40) -> None:
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.entities: list[Entity] = []
+        self._by_type: dict[str, list[Entity]] = {}
+        self.facts: dict[str, list[dict[str, object]]] = {d: [] for d in DOMAINS}
+
+        self._build_countries(rng)
+        self._build_films(rng, num_films)
+        self._build_athletes(rng, num_athletes)
+        self._build_companies(rng, num_companies)
+
+    # ------------------------------------------------------------------
+    # Entity bookkeeping
+    # ------------------------------------------------------------------
+    def _new_entity(self, name: str, etype: str) -> Entity:
+        entity = Entity(len(self.entities), name, etype)
+        self.entities.append(entity)
+        self._by_type.setdefault(etype, []).append(entity)
+        return entity
+
+    def entities_of_type(self, etype: str) -> list[Entity]:
+        return list(self._by_type.get(etype, []))
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    def entity(self, entity_id: int) -> Entity:
+        return self.entities[entity_id]
+
+    # ------------------------------------------------------------------
+    # Domain builders
+    # ------------------------------------------------------------------
+    def _build_countries(self, rng: np.random.Generator) -> None:
+        for index, (name, capital, continent) in enumerate(_COUNTRIES):
+            country = self._new_entity(name, "country")
+            city = self._new_entity(capital, "city")
+            self.facts["countries"].append({
+                "country": country,
+                "capital": city,
+                "continent": continent,
+                "population": round(float(rng.uniform(0.5, 150.0)), 2),
+                "area": round(float(rng.uniform(50, 9000)), 0),
+                "language": _LANGUAGES[index % len(_LANGUAGES)],
+                "currency": _CURRENCIES[index % len(_CURRENCIES)],
+            })
+
+    def _build_films(self, rng: np.random.Generator, count: int) -> None:
+        countries = self.facts["countries"]
+        directors = [
+            self._new_entity(f"{first} {last}", "person")
+            for first, last in zip(_FIRST_NAMES, _LAST_NAMES)
+        ]
+        seen: set[str] = set()
+        while len(self.facts["films"]) < count:
+            title = (f"the {_FILM_ADJECTIVES[rng.integers(len(_FILM_ADJECTIVES))]} "
+                     f"{_FILM_NOUNS[rng.integers(len(_FILM_NOUNS))]}")
+            if title in seen:
+                continue
+            seen.add(title)
+            film = self._new_entity(title, "film")
+            record = countries[int(rng.integers(len(countries)))]
+            self.facts["films"].append({
+                "film": film,
+                "director": directors[int(rng.integers(len(directors)))],
+                "year": int(rng.integers(1950, 2023)),
+                "genre": _GENRES[int(rng.integers(len(_GENRES)))],
+                "country": record["country"],
+                "language": record["language"],
+                "rating": round(float(rng.uniform(4.0, 9.5)), 1),
+            })
+
+    def _build_athletes(self, rng: np.random.Generator, count: int) -> None:
+        countries = self.facts["countries"]
+        seen: set[str] = set()
+        while len(self.facts["athletes"]) < count:
+            name = (f"{_FIRST_NAMES[rng.integers(len(_FIRST_NAMES))]} "
+                    f"{_LAST_NAMES[rng.integers(len(_LAST_NAMES))]}")
+            if name in seen:
+                continue
+            seen.add(name)
+            athlete = self._new_entity(name, "athlete")
+            record = countries[int(rng.integers(len(countries)))]
+            self.facts["athletes"].append({
+                "athlete": athlete,
+                "sport": _SPORTS[int(rng.integers(len(_SPORTS)))],
+                "country": record["country"],
+                "team": _TEAMS[int(rng.integers(len(_TEAMS)))],
+                "medals": int(rng.integers(0, 20)),
+                "debut": int(rng.integers(1990, 2022)),
+            })
+
+    def _build_companies(self, rng: np.random.Generator, count: int) -> None:
+        countries = self.facts["countries"]
+        seen: set[str] = set()
+        while len(self.facts["companies"]) < count:
+            name = (f"{_COMPANY_STEMS[rng.integers(len(_COMPANY_STEMS))]} "
+                    f"{_COMPANY_SUFFIXES[rng.integers(len(_COMPANY_SUFFIXES))]}")
+            if name in seen:
+                continue
+            seen.add(name)
+            company = self._new_entity(name, "company")
+            record = countries[int(rng.integers(len(countries)))]
+            self.facts["companies"].append({
+                "company": company,
+                "sector": _SECTORS[int(rng.integers(len(_SECTORS)))],
+                "country": record["country"],
+                "founded": int(rng.integers(1900, 2020)),
+                "revenue": round(float(rng.uniform(1.0, 500.0)), 1),
+                "employees": int(rng.integers(50, 100000)),
+            })
+
+    # ------------------------------------------------------------------
+    # Queries used by generators and evaluation
+    # ------------------------------------------------------------------
+    def domain_records(self, domain: str) -> list[dict[str, object]]:
+        """All fact records of one domain (each a subject-rooted dict)."""
+        if domain not in self.facts:
+            raise KeyError(f"unknown domain {domain!r}; have {sorted(self.facts)}")
+        return list(self.facts[domain])
+
+    def subject_attribute(self, domain: str) -> str:
+        """Name of the subject (entity) attribute of a domain."""
+        return {"countries": "country", "films": "film",
+                "athletes": "athlete", "companies": "company"}[domain]
+
+    def attribute_names(self, domain: str) -> list[str]:
+        """Non-subject attribute names of a domain, in canonical order."""
+        record = self.facts[domain][0]
+        subject = self.subject_attribute(domain)
+        return [key for key in record if key != subject]

@@ -1,0 +1,57 @@
+"""Deterministic train/validation/test splits.
+
+Splitting is by stable hash of ``table_id`` so that (a) the same table never
+appears in two splits even when examples are regenerated, and (b) splits are
+reproducible across processes (Python's builtin ``hash`` is salted, so a
+private FNV-1a is used instead).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..tables import Table
+
+__all__ = ["stable_hash", "split_tables", "assign_split"]
+
+_FNV_OFFSET = 0xcbf29ce484222325
+_FNV_PRIME = 0x100000001b3
+
+
+def stable_hash(text: str) -> int:
+    """64-bit FNV-1a hash; stable across runs and platforms."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) % (1 << 64)
+    return value
+
+
+def assign_split(table_id: str, fractions: Sequence[float] = (0.8, 0.1, 0.1),
+                 salt: str = "") -> int:
+    """Deterministically map a table id to a split index.
+
+    ``fractions`` must sum to 1 (±1e-6); the returned index is the position
+    in ``fractions`` (0 = train, 1 = valid, 2 = test for the default).
+    """
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+    point = (stable_hash(salt + table_id) % 10_000) / 10_000.0
+    cumulative = 0.0
+    for index, fraction in enumerate(fractions):
+        cumulative += fraction
+        if point < cumulative:
+            return index
+    return len(fractions) - 1
+
+
+def split_tables(tables: Sequence[Table],
+                 fractions: Sequence[float] = (0.8, 0.1, 0.1),
+                 salt: str = "") -> tuple[list[Table], ...]:
+    """Partition tables into ``len(fractions)`` deterministic groups."""
+    groups: tuple[list[Table], ...] = tuple([] for _ in fractions)
+    for table in tables:
+        if not table.table_id:
+            raise ValueError("split_tables requires every table to have a table_id")
+        groups[assign_split(table.table_id, fractions, salt=salt)].append(table)
+    return groups

@@ -1,0 +1,44 @@
+"""Evaluation substrate: metrics, sliced analysis, consistency tests."""
+
+from .behavioral import (
+    BehavioralTest,
+    SuiteReport,
+    TestReport,
+    default_suite,
+    run_suite,
+)
+from .analysis import (
+    SLICERS,
+    header_slicer,
+    numeric_table_slicer,
+    size_slicer,
+    slice_by,
+    sliced_accuracy,
+)
+from .consistency import (
+    cosine,
+    header_drop_shift,
+    row_permutation_consistency,
+    value_substitution_sensitivity,
+)
+from .metrics import (
+    accuracy,
+    denotation_accuracy,
+    denotation_match,
+    hits_at_k,
+    macro_f1,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_recall_f1,
+)
+
+__all__ = [
+    "BehavioralTest", "TestReport", "SuiteReport", "default_suite", "run_suite",
+    "accuracy", "precision_recall_f1", "macro_f1",
+    "hits_at_k", "mean_reciprocal_rank", "ndcg_at_k",
+    "denotation_match", "denotation_accuracy",
+    "slice_by", "SLICERS", "numeric_table_slicer", "header_slicer",
+    "size_slicer", "sliced_accuracy",
+    "cosine", "row_permutation_consistency",
+    "value_substitution_sensitivity", "header_drop_shift",
+]

@@ -1,0 +1,66 @@
+"""Sliced error analysis (hands-on §3.4, "zoom in on cases where it fails").
+
+The exercise highlights two failure axes for LM-based table models:
+numeric-heavy tables and tables without descriptive headers.  These slicers
+partition evaluation examples accordingly so per-slice metrics expose the
+expected degradation (E5 reports them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .metrics import accuracy
+from ..tables import Table
+
+__all__ = ["slice_by", "SLICERS", "numeric_table_slicer", "header_slicer",
+           "size_slicer", "sliced_accuracy"]
+
+
+def numeric_table_slicer(table: Table) -> str:
+    """'numeric' if most non-empty cells parse as numbers, else 'textual'."""
+    return "numeric" if table.numeric_fraction() >= 0.5 else "textual"
+
+
+def header_slicer(table: Table) -> str:
+    """'descriptive-header' vs 'headerless'."""
+    return "descriptive-header" if table.has_descriptive_header() else "headerless"
+
+
+def size_slicer(table: Table) -> str:
+    """Coarse size bucket by cell count."""
+    cells = table.num_rows * table.num_columns
+    if cells <= 12:
+        return "small"
+    if cells <= 30:
+        return "medium"
+    return "large"
+
+
+SLICERS: dict[str, Callable[[Table], str]] = {
+    "numeric": numeric_table_slicer,
+    "header": header_slicer,
+    "size": size_slicer,
+}
+
+
+def slice_by(tables: Sequence[Table],
+             slicer: Callable[[Table], str]) -> dict[str, list[int]]:
+    """Indices of ``tables`` grouped by slice label."""
+    groups: dict[str, list[int]] = {}
+    for index, table in enumerate(tables):
+        groups.setdefault(slicer(table), []).append(index)
+    return groups
+
+
+def sliced_accuracy(tables: Sequence[Table], predictions: Sequence,
+                    golds: Sequence,
+                    slicer: Callable[[Table], str]) -> dict[str, float]:
+    """Accuracy per slice; slices with no examples are absent."""
+    if not (len(tables) == len(predictions) == len(golds)):
+        raise ValueError("tables/predictions/golds must align")
+    result: dict[str, float] = {}
+    for label, indices in slice_by(tables, slicer).items():
+        result[label] = accuracy([predictions[i] for i in indices],
+                                 [golds[i] for i in indices])
+    return result

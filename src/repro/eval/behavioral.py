@@ -1,0 +1,226 @@
+"""Behavioral test suites for table representations (§2.4's call to action).
+
+The paper: "in contrast to what has been done for LMs for text [CheckList,
+31], there is a lack in terms of benchmarking data representations.  A new
+family of data-driven basic tests should be designed to measure the
+consistency of the data representation."
+
+This module designs that family.  Following CheckList's taxonomy:
+
+- **INV** (invariance): perturbations that must NOT change behaviour —
+  row order, column order, whitespace/case of cell text;
+- **DIR** (directional expectation): perturbations that MUST change
+  behaviour in a known direction — replacing a cell value, dropping the
+  header should move representations;
+- **MFT** (minimum functionality): basic capabilities — identical tables
+  encode identically, different tables encode differently.
+
+Each test perturbs tables, re-encodes, and scores a pass rate against a
+threshold.  :func:`run_suite` executes all registered tests over a corpus
+and returns a report usable by the E11 bench and by downstream users
+validating their own encoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .consistency import cosine
+from ..models import TableEncoder
+from ..tables import Table
+
+__all__ = ["BehavioralTest", "TestReport", "SuiteReport", "default_suite",
+           "run_suite"]
+
+
+@dataclass(frozen=True)
+class BehavioralTest:
+    """One behavioral check.
+
+    ``score`` maps (model, table, rng) to a float in [0, 1]; a table passes
+    when the score reaches ``threshold``.  ``kind`` is the CheckList
+    category: INV, DIR or MFT.
+    """
+
+    name: str
+    kind: str
+    score: Callable[[TableEncoder, Table, np.random.Generator], float]
+    threshold: float = 0.9
+    requires_rows: int = 1
+
+
+@dataclass
+class TestReport:
+    """Outcome of one behavioral test over a corpus."""
+
+    name: str
+    kind: str
+    pass_rate: float
+    mean_score: float
+    cases: int
+
+    def passed(self, required_rate: float = 0.5) -> bool:
+        return self.pass_rate >= required_rate
+
+
+@dataclass
+class SuiteReport:
+    """All test reports plus a rendering helper."""
+
+    model_name: str
+    reports: list[TestReport] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> list[TestReport]:
+        return [r for r in self.reports if r.kind == kind]
+
+    def render(self) -> str:
+        lines = [f"behavioral suite — {self.model_name}"]
+        for report in self.reports:
+            lines.append(
+                f"  [{report.kind}] {report.name:<28} "
+                f"pass={report.pass_rate:.2f} mean={report.mean_score:.3f} "
+                f"(n={report.cases})")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Individual test scorers
+# ----------------------------------------------------------------------
+def _matched_cell_similarity(model: TableEncoder, table: Table,
+                             transformed: Table,
+                             coord_map: Callable[[tuple[int, int]],
+                                                 tuple[int, int]]) -> float:
+    original = model.encode(table)
+    changed = model.encode(transformed)
+    sims = []
+    for coord, vector in changed.cell_embeddings.items():
+        source = coord_map(coord)
+        if source in original.cell_embeddings:
+            sims.append(cosine(original.cell_embeddings[source], vector))
+    return float(np.mean(sims)) if sims else 0.0
+
+
+def _row_order_invariance(model, table, rng):
+    permutation = list(rng.permutation(table.num_rows))
+    permuted = table.with_rows_permuted(permutation)
+    return _matched_cell_similarity(
+        model, table, permuted,
+        lambda coord: (permutation[coord[0]], coord[1]))
+
+
+def _column_order_invariance(model, table, rng):
+    order = list(rng.permutation(table.num_columns))
+    reordered = table.subtable(column_indices=order)
+    return _matched_cell_similarity(
+        model, table, reordered,
+        lambda coord: (coord[0], order[coord[1]]))
+
+
+def _case_invariance(model, table, rng):
+    shouted = Table(
+        [h.upper() for h in table.header],
+        [[(c.text().upper() if not c.is_numeric and not c.is_empty
+           else c.value) for c in row] for row in table.rows],
+        context=table.context, table_id=table.table_id)
+    return _matched_cell_similarity(model, table, shouted, lambda coord: coord)
+
+
+def _value_substitution_direction(model, table, rng):
+    """DIR: a replaced cell must move MORE than untouched cells."""
+    candidates = [(r, c) for r, c, cell in table.iter_cells()
+                  if not cell.is_empty]
+    if not candidates:
+        return 0.0
+    row, column = candidates[int(rng.integers(len(candidates)))]
+    changed_table = table.replace_cell(row, column, "zzz unrelated value")
+    original = model.encode(table)
+    changed = model.encode(changed_table)
+    target = (row, column)
+    if target not in original.cell_embeddings or \
+            target not in changed.cell_embeddings:
+        return 0.0
+    moved = 1.0 - cosine(original.cell_embeddings[target],
+                         changed.cell_embeddings[target])
+    others = [1.0 - cosine(original.cell_embeddings[c],
+                           changed.cell_embeddings[c])
+              for c in original.cell_embeddings
+              if c != target and c in changed.cell_embeddings]
+    baseline = float(np.mean(others)) if others else 0.0
+    return 1.0 if moved > baseline else 0.0
+
+
+def _header_drop_direction(model, table, rng):
+    """DIR: dropping a descriptive header must shift the table embedding."""
+    if not table.has_descriptive_header():
+        return 1.0  # nothing to drop; vacuously fine
+    original = model.encode(table).table_embedding
+    stripped = model.encode(table.without_header()).table_embedding
+    return 1.0 if (1.0 - cosine(original, stripped)) > 1e-6 else 0.0
+
+
+def _identity_functionality(model, table, rng):
+    """MFT: encoding is deterministic for identical input."""
+    a = model.encode(table).table_embedding
+    b = model.encode(table).table_embedding
+    return 1.0 if np.array_equal(a, b) else 0.0
+
+
+def _distinctness_functionality(model, table, rng):
+    """MFT: a table and a heavily corrupted copy must differ."""
+    corrupted = table
+    for r, c, cell in table.iter_cells():
+        if not cell.is_empty:
+            corrupted = corrupted.replace_cell(r, c, f"noise {r} {c}")
+    a = model.encode(table).table_embedding
+    b = model.encode(corrupted).table_embedding
+    return 1.0 if not np.allclose(a, b) else 0.0
+
+
+def default_suite() -> list[BehavioralTest]:
+    """The standard battery of data-driven representation tests."""
+    return [
+        BehavioralTest("row-order invariance", "INV", _row_order_invariance,
+                       threshold=0.7, requires_rows=2),
+        BehavioralTest("column-order invariance", "INV",
+                       _column_order_invariance, threshold=0.7),
+        BehavioralTest("case invariance", "INV", _case_invariance,
+                       threshold=0.7),
+        BehavioralTest("value-substitution direction", "DIR",
+                       _value_substitution_direction, threshold=0.5),
+        BehavioralTest("header-drop direction", "DIR",
+                       _header_drop_direction, threshold=0.5),
+        BehavioralTest("identity determinism", "MFT",
+                       _identity_functionality, threshold=1.0),
+        BehavioralTest("distinctness", "MFT", _distinctness_functionality,
+                       threshold=1.0),
+    ]
+
+
+def run_suite(model: TableEncoder, tables: Sequence[Table],
+              tests: Sequence[BehavioralTest] | None = None,
+              seed: int = 0) -> SuiteReport:
+    """Execute a behavioral suite over a corpus of probe tables."""
+    if not tables:
+        raise ValueError("behavioral suite needs at least one probe table")
+    tests = list(tests) if tests is not None else default_suite()
+    rng = np.random.default_rng(seed)
+    report = SuiteReport(model_name=getattr(model, "model_name", "model"))
+    for test in tests:
+        scores = []
+        for table in tables:
+            if table.num_rows < test.requires_rows:
+                continue
+            scores.append(test.score(model, table, rng))
+        if not scores:
+            continue
+        scores_arr = np.asarray(scores)
+        report.reports.append(TestReport(
+            name=test.name, kind=test.kind,
+            pass_rate=float((scores_arr >= test.threshold).mean()),
+            mean_score=float(scores_arr.mean()),
+            cases=len(scores),
+        ))
+    return report

@@ -1,0 +1,87 @@
+"""Representation-consistency checks — the benchmarking gap of §2.4.
+
+The paper closes its survey noting "a lack in terms of benchmarking data
+representations [...] a new family of data-driven basic tests should be
+designed to measure the consistency of the data representation."  This
+module implements three such tests (E11):
+
+- *row-permutation consistency*: a relational table's meaning is invariant
+  to row order, so cell representations should be too;
+- *value-substitution sensitivity*: changing a cell's value SHOULD move its
+  representation (a representation that never moves is degenerate);
+- *header-drop degradation*: how much table-level representations rely on
+  descriptive headers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models import TableEncoder
+from ..tables import Table
+
+__all__ = [
+    "cosine",
+    "row_permutation_consistency",
+    "value_substitution_sensitivity",
+    "header_drop_shift",
+]
+
+
+def cosine(a: np.ndarray, b: np.ndarray, eps: float = 1e-9) -> float:
+    """Cosine similarity of two vectors."""
+    denom = (np.linalg.norm(a) * np.linalg.norm(b)) + eps
+    return float(np.dot(a, b) / denom)
+
+
+def row_permutation_consistency(model: TableEncoder, table: Table,
+                                rng: np.random.Generator) -> float:
+    """Mean cosine between matched cell embeddings before/after shuffling.
+
+    1.0 means perfectly order-invariant cell representations.
+    """
+    if table.num_rows < 2:
+        raise ValueError("need at least two rows to permute")
+    permutation = rng.permutation(table.num_rows)
+    while np.array_equal(permutation, np.arange(table.num_rows)):
+        permutation = rng.permutation(table.num_rows)
+    original = model.encode(table)
+    permuted = model.encode(table.with_rows_permuted([int(i) for i in permutation]))
+
+    inverse = {int(new_pos): int(old_row)
+               for new_pos, old_row in enumerate(permutation)}
+    similarities = []
+    for (new_row, column), vector in permuted.cell_embeddings.items():
+        old_coord = (inverse[new_row], column)
+        if old_coord in original.cell_embeddings:
+            similarities.append(cosine(original.cell_embeddings[old_coord], vector))
+    if not similarities:
+        raise ValueError("no matched cells between original and permuted tables")
+    return float(np.mean(similarities))
+
+
+def value_substitution_sensitivity(model: TableEncoder, table: Table,
+                                   rng: np.random.Generator,
+                                   replacement: str = "zzz unrelated") -> float:
+    """1 - cosine of a cell's embedding before/after replacing its value.
+
+    Larger is better: the representation notices the change.
+    """
+    candidates = [(r, c) for r, c, cell in table.iter_cells() if not cell.is_empty]
+    if not candidates:
+        raise ValueError("table has no non-empty cells")
+    row, column = candidates[int(rng.integers(len(candidates)))]
+    original = model.encode(table)
+    changed = model.encode(table.replace_cell(row, column, replacement))
+    coord = (row, column)
+    if coord not in original.cell_embeddings or coord not in changed.cell_embeddings:
+        raise ValueError("substituted cell missing from encoding")
+    return 1.0 - cosine(original.cell_embeddings[coord],
+                        changed.cell_embeddings[coord])
+
+
+def header_drop_shift(model: TableEncoder, table: Table) -> float:
+    """1 - cosine between table embeddings with and without the header."""
+    original = model.encode(table).table_embedding
+    stripped = model.encode(table.without_header()).table_embedding
+    return 1.0 - cosine(original, stripped)

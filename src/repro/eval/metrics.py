@@ -1,0 +1,134 @@
+"""Evaluation metrics for every downstream task family.
+
+Includes F1 (the metric named in hands-on §3.4 for imputation), ranking
+metrics for retrieval, and denotation accuracy for QA / text-to-SQL /
+neural execution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "precision_recall_f1",
+    "macro_f1",
+    "hits_at_k",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "denotation_match",
+    "denotation_accuracy",
+]
+
+
+def accuracy(predictions: Sequence, golds: Sequence) -> float:
+    """Fraction of exact matches; 0 on empty input."""
+    if len(predictions) != len(golds):
+        raise ValueError("prediction/gold length mismatch")
+    if not golds:
+        return 0.0
+    return float(np.mean([p == g for p, g in zip(predictions, golds)]))
+
+
+def precision_recall_f1(predictions: Sequence, golds: Sequence,
+                        positive_label=1) -> tuple[float, float, float]:
+    """Binary precision/recall/F1 for one positive label."""
+    if len(predictions) != len(golds):
+        raise ValueError("prediction/gold length mismatch")
+    tp = sum(1 for p, g in zip(predictions, golds)
+             if p == positive_label and g == positive_label)
+    fp = sum(1 for p, g in zip(predictions, golds)
+             if p == positive_label and g != positive_label)
+    fn = sum(1 for p, g in zip(predictions, golds)
+             if p != positive_label and g == positive_label)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def macro_f1(predictions: Sequence, golds: Sequence) -> float:
+    """Unweighted mean of per-class F1 over the classes present in gold."""
+    if len(predictions) != len(golds):
+        raise ValueError("prediction/gold length mismatch")
+    classes = sorted(set(golds), key=str)
+    if not classes:
+        return 0.0
+    scores = [precision_recall_f1(predictions, golds, positive_label=c)[2]
+              for c in classes]
+    return float(np.mean(scores))
+
+
+def hits_at_k(ranked_ids: Sequence[Sequence[str]], gold_ids: Sequence[str],
+              k: int = 1) -> float:
+    """Fraction of queries whose gold item appears in the top-k ranking."""
+    if len(ranked_ids) != len(gold_ids):
+        raise ValueError("ranking/gold length mismatch")
+    if not gold_ids:
+        return 0.0
+    hits = sum(1 for ranking, gold in zip(ranked_ids, gold_ids)
+               if gold in list(ranking)[:k])
+    return hits / len(gold_ids)
+
+
+def mean_reciprocal_rank(ranked_ids: Sequence[Sequence[str]],
+                         gold_ids: Sequence[str]) -> float:
+    """MRR; items missing from a ranking contribute 0."""
+    if len(ranked_ids) != len(gold_ids):
+        raise ValueError("ranking/gold length mismatch")
+    if not gold_ids:
+        return 0.0
+    total = 0.0
+    for ranking, gold in zip(ranked_ids, gold_ids):
+        ranking = list(ranking)
+        if gold in ranking:
+            total += 1.0 / (ranking.index(gold) + 1)
+    return total / len(gold_ids)
+
+
+def ndcg_at_k(ranked_ids: Sequence[Sequence[str]], gold_ids: Sequence[str],
+              k: int = 10) -> float:
+    """Binary-relevance NDCG@k (one relevant item per query)."""
+    if len(ranked_ids) != len(gold_ids):
+        raise ValueError("ranking/gold length mismatch")
+    if not gold_ids:
+        return 0.0
+    total = 0.0
+    for ranking, gold in zip(ranked_ids, gold_ids):
+        ranking = list(ranking)[:k]
+        if gold in ranking:
+            total += 1.0 / np.log2(ranking.index(gold) + 2)
+    return total / len(gold_ids)  # ideal DCG is 1 for binary single-relevant
+
+
+def _normalize_value(value) -> str:
+    """Canonical string for denotation comparison (numeric tolerant)."""
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return str(int(number)) if number.is_integer() else f"{number:.6g}"
+    text = str(value).strip().lower()
+    try:
+        return _normalize_value(float(text.replace(",", "")))
+    except ValueError:
+        return text
+
+
+def denotation_match(predicted: Sequence, gold: Sequence) -> bool:
+    """Multiset equality of normalized denotation values."""
+    return Counter(map(_normalize_value, predicted)) == \
+        Counter(map(_normalize_value, gold))
+
+
+def denotation_accuracy(predictions: Sequence[Sequence],
+                        golds: Sequence[Sequence]) -> float:
+    """Fraction of examples whose denotations match."""
+    if len(predictions) != len(golds):
+        raise ValueError("prediction/gold length mismatch")
+    if not golds:
+        return 0.0
+    return float(np.mean([denotation_match(p, g)
+                          for p, g in zip(predictions, golds)]))

@@ -1,0 +1,54 @@
+"""Model zoo: the neural table representation architectures of the tutorial.
+
+| class       | survey mechanism                                        |
+|-------------|---------------------------------------------------------|
+| `TableBert` | vanilla linearize-and-encode baseline                    |
+| `Tapas`     | row/column/segment embeddings + cell selection [19]      |
+| `TaBert`    | content snapshot + vertical self-attention [41]          |
+| `Turl`      | entity embeddings + visibility matrix + MLM/MER [11]     |
+| `Mate`      | sparse row-head / column-head attention [15]             |
+| `Tabbie`    | parallel row / column transformers [21]                  |
+| `Tuta`      | tree-distance attention biases [39]                       |
+| `Tapex`     | encoder-decoder neural SQL executor [27]                 |
+"""
+
+from .base import TableEncoder, TableEncoding
+from .bert import TableBert
+from .config import EncoderConfig
+from .heads import (
+    CellSelectionHead,
+    ClassificationHead,
+    EntityRecoveryHead,
+    MlmHead,
+)
+from .mate import Mate
+from .tabbie import Tabbie
+from .tuta import Tuta
+from .structure import (
+    attention_flops_proxy,
+    dense_mask,
+    horizontal_mask,
+    mate_head_masks,
+    tree_distance_bias,
+    vertical_mask,
+    visibility_mask,
+)
+from .tabert import TaBert
+from .tapas import AGGREGATION_OPS, Tapas
+from .tapex import Tapex
+from .turl import Turl
+
+MODEL_CLASSES = {
+    cls.model_name: cls
+    for cls in (TableBert, Tapas, TaBert, Turl, Mate, Tabbie, Tuta, Tapex)
+}
+
+__all__ = [
+    "EncoderConfig", "TableEncoder", "TableEncoding",
+    "TableBert", "Tapas", "TaBert", "Turl", "Mate", "Tabbie", "Tuta", "Tapex",
+    "AGGREGATION_OPS", "MODEL_CLASSES",
+    "MlmHead", "EntityRecoveryHead", "ClassificationHead", "CellSelectionHead",
+    "dense_mask", "visibility_mask", "vertical_mask", "horizontal_mask",
+    "mate_head_masks", "tree_distance_bias",
+    "attention_flops_proxy",
+]

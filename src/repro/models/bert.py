@@ -1,0 +1,23 @@
+"""Vanilla BERT-style table encoder: linearize and pretend it's text.
+
+The hands-on session's first exercise (§3.1) formats a table for plain
+BERT "to illustrate basic design choices behind linearization": the model
+sees only token and flat position embeddings — no row/column/role channels,
+no structural attention.  Every structure-aware model is measured against
+this baseline.
+"""
+
+from __future__ import annotations
+
+from .base import TableEncoder
+
+__all__ = ["TableBert"]
+
+
+class TableBert(TableEncoder):
+    """Linearize-and-encode baseline (token + flat position embeddings)."""
+
+    model_name = "bert"
+    uses_row_embeddings = False
+    uses_column_embeddings = False
+    uses_role_embeddings = False

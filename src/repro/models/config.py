@@ -1,0 +1,43 @@
+"""Shared model hyperparameter configuration."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["EncoderConfig"]
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Hyperparameters of a table encoder.
+
+    Defaults are deliberately tiny ("laptop scale", the tutorial's setting):
+    training any model in the zoo takes seconds on CPU.
+    """
+
+    vocab_size: int
+    dim: int = 48
+    num_heads: int = 4
+    num_layers: int = 2
+    hidden_dim: int = 96
+    max_position: int = 256
+    max_rows: int = 24
+    max_columns: int = 12
+    num_roles: int = 4
+    dropout: float = 0.0
+    num_entities: int = 0       # >0 enables the TURL entity vocabulary
+    decoder_layers: int = 2     # used by encoder-decoder models (TAPEX)
+    numeric_features: bool = False  # add magnitude-aware numeric channel
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 1:
+            raise ValueError("vocab_size must be positive")
+        if self.dim % self.num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EncoderConfig":
+        return cls(**payload)

@@ -1,0 +1,43 @@
+"""MATE-style encoder: sparse multi-view attention heads.
+
+Eisenschlos et al. [15] "employ sparse attention to efficiently attend to
+rows and columns": attention heads are split into *row heads* (each token
+attends within its row) and *column heads* (within its column), both with
+global access to the utterance.  Sparsity cuts the attended pair count from
+O(T²) per head to roughly O(T·max(rows, cols)) — the efficiency argument
+benchmarked in E8 via :func:`repro.models.structure.attention_flops_proxy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TableEncoder
+from .config import EncoderConfig
+from .structure import mate_head_masks
+from ..serialize import BatchedFeatures, Serializer
+from ..text import WordPieceTokenizer
+
+__all__ = ["Mate"]
+
+
+class Mate(TableEncoder):
+    """Sparse attention encoder with row heads and column heads."""
+
+    model_name = "mate"
+    uses_row_embeddings = True
+    uses_column_embeddings = True
+    uses_role_embeddings = True
+
+    def __init__(self, config: EncoderConfig, tokenizer: WordPieceTokenizer,
+                 rng: np.random.Generator,
+                 serializer: Serializer | None = None,
+                 row_head_fraction: float = 0.5) -> None:
+        if not 0.0 <= row_head_fraction <= 1.0:
+            raise ValueError("row_head_fraction must be in [0, 1]")
+        super().__init__(config, tokenizer, rng, serializer=serializer)
+        self.row_head_fraction = row_head_fraction
+
+    def attention_mask(self, batch: BatchedFeatures) -> np.ndarray:
+        return mate_head_masks(batch, self.config.num_heads,
+                               row_head_fraction=self.row_head_fraction)

@@ -1,0 +1,49 @@
+"""TAPAS-style encoder: structure-aware embeddings + cell selection.
+
+Herzig et al. [19] "add extra dimensions to the embedding vector to account
+for cell, row, and column positions": here those are additive row, column
+and role (segment) embedding channels.  The model carries TAPAS's two heads:
+cell selection (which cells answer the question) and aggregation selection
+(NONE/COUNT/SUM/AVG over the selected cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TableEncoder
+from .config import EncoderConfig
+from .heads import CellSelectionHead, ClassificationHead
+from ..nn import Tensor
+from ..serialize import BatchedFeatures, Serializer
+from ..text import WordPieceTokenizer
+
+__all__ = ["Tapas", "AGGREGATION_OPS"]
+
+AGGREGATION_OPS = ("none", "count", "sum", "avg")
+
+
+class Tapas(TableEncoder):
+    """Row/column/role-aware encoder with cell-selection + aggregation heads."""
+
+    model_name = "tapas"
+    uses_row_embeddings = True
+    uses_column_embeddings = True
+    uses_role_embeddings = True
+
+    def __init__(self, config: EncoderConfig, tokenizer: WordPieceTokenizer,
+                 rng: np.random.Generator,
+                 serializer: Serializer | None = None) -> None:
+        super().__init__(config, tokenizer, rng, serializer=serializer)
+        self.cell_selection = CellSelectionHead(config.dim, rng)
+        self.aggregation = ClassificationHead(config.dim, len(AGGREGATION_OPS), rng)
+
+    def question_answer_scores(self, batch: BatchedFeatures) -> tuple[Tensor, Tensor]:
+        """Per-token selection logits and aggregation logits.
+
+        Returns ``(token_scores (B, T), aggregation_logits (B, ops))``.
+        """
+        hidden = self.forward(batch)
+        token_scores = self.cell_selection.token_scores(hidden)
+        aggregation_logits = self.aggregation(hidden[:, 0])
+        return token_scores, aggregation_logits

@@ -1,0 +1,41 @@
+"""Neural network substrate: autograd, layers, transformers, optimizers.
+
+This package replaces the paper's PyTorch/HuggingFace dependency with a
+self-contained, gradient-checked numpy implementation (see DESIGN.md,
+substitution table).
+"""
+
+from .attention import MultiHeadAttention, causal_mask, padding_mask
+from .functional import (
+    binary_cross_entropy_with_logits,
+    cosine_similarity,
+    cross_entropy,
+    in_batch_contrastive_loss,
+    mse_loss,
+)
+from .io import load_checkpoint, save_checkpoint
+from .layers import Dropout, Embedding, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter
+from .optim import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    CosineSchedule,
+    LinearWarmupSchedule,
+    clip_gradients,
+)
+from .tensor import Tensor, is_grad_enabled, no_grad
+from .transformer import Decoder, DecoderLayer, Encoder, EncoderLayer, FeedForward
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "Module", "ModuleList", "Parameter",
+    "Linear", "Embedding", "LayerNorm", "Dropout",
+    "MultiHeadAttention", "causal_mask", "padding_mask",
+    "FeedForward", "EncoderLayer", "Encoder", "DecoderLayer", "Decoder",
+    "SGD", "Adam", "clip_gradients",
+    "ConstantSchedule", "LinearWarmupSchedule", "CosineSchedule",
+    "cross_entropy", "binary_cross_entropy_with_logits", "mse_loss",
+    "cosine_similarity", "in_batch_contrastive_loss",
+    "save_checkpoint", "load_checkpoint",
+]

@@ -1,0 +1,87 @@
+"""Loss functions and small functional helpers used by training code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "cosine_similarity",
+    "in_batch_contrastive_loss",
+]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int | None = None) -> Tensor:
+    """Mean token-level cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., num_classes)``.
+    targets:
+        Integer array of shape ``logits.shape[:-1]``.
+    ignore_index:
+        Target value whose positions contribute zero loss (used for padding
+        and for unmasked positions in MLM).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not keep.any():
+            return Tensor(0.0)
+        safe_targets = np.where(keep, flat_targets, 0)
+    else:
+        keep = np.ones_like(flat_targets, dtype=bool)
+        safe_targets = flat_targets
+
+    log_probs = flat_logits.log_softmax(axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    picked = log_probs[rows, safe_targets]
+    weights = keep.astype(np.float64) / keep.sum()
+    return -(picked * Tensor(weights)).sum()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically stable mean BCE: ``max(x,0) - x*t + log(1 + exp(-|x|))``."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    abs_logits = logits.relu() + (-logits).relu()
+    softplus = ((-abs_logits).exp() + 1.0).log()
+    return (logits.relu() - logits * targets_t + softplus).mean()
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, eps: float = 1e-8) -> Tensor:
+    """Row-wise cosine similarity between two ``(n, d)`` tensors."""
+    a_norm = ((a * a).sum(axis=-1, keepdims=True) + eps) ** 0.5
+    b_norm = ((b * b).sum(axis=-1, keepdims=True) + eps) ** 0.5
+    return ((a / a_norm) * (b / b_norm)).sum(axis=-1)
+
+
+def in_batch_contrastive_loss(queries: Tensor, keys: Tensor,
+                              temperature: float = 0.07) -> Tensor:
+    """InfoNCE with in-batch negatives for the retrieval bi-encoder.
+
+    ``queries[i]`` should match ``keys[i]``; every other key in the batch is
+    a negative.
+    """
+    q_norm = ((queries * queries).sum(axis=-1, keepdims=True) + 1e-8) ** 0.5
+    k_norm = ((keys * keys).sum(axis=-1, keepdims=True) + 1e-8) ** 0.5
+    q = queries / q_norm
+    k = keys / k_norm
+    logits = (q @ k.swapaxes(-1, -2)) * (1.0 / temperature)
+    targets = np.arange(logits.shape[0])
+    return cross_entropy(logits, targets)

@@ -1,0 +1,45 @@
+"""Checkpoint IO: save/load module state plus a JSON config sidecar."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(module: Module, path: str | Path,
+                    config: dict | None = None) -> Path:
+    """Persist ``module.state_dict()`` (npz) and an optional config (json).
+
+    Returns the npz path written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+    if config is not None:
+        path.with_suffix(".json").write_text(json.dumps(config, indent=2, sort_keys=True))
+    return path
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict | None:
+    """Load a checkpoint written by :func:`save_checkpoint` into ``module``.
+
+    Returns the config dict if a sidecar exists, else ``None``.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})
+    config_path = path.with_suffix(".json")
+    if config_path.exists():
+        return json.loads(config_path.read_text())
+    return None

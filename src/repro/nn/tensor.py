@@ -1,0 +1,577 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the computational foundation of the library.  It implements a
+small, well-tested :class:`Tensor` type supporting the operations the
+transformer stack needs: broadcasting arithmetic, matrix multiplication,
+reductions, indexing, shape manipulation and the usual nonlinearities.
+
+The design mirrors the classic tape-based approach: every operation records
+its parents and a closure computing the local vector-Jacobian product.
+Calling :meth:`Tensor.backward` on a scalar walks the tape in reverse
+topological order and accumulates gradients into every tensor created with
+``requires_grad=True``.
+
+All gradients are checked against central finite differences in the test
+suite (``tests/nn/test_tensor.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling gradient tape recording.
+
+    Used by inference paths (``model.encode``) and by optimizers when they
+    update parameters in place.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after a broadcast forward op.
+
+    Broadcasting can prepend dimensions and stretch size-1 axes; the adjoint
+    of broadcasting is summation over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float`` ndarray if needed.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | Sequence,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        _op: str = "leaf",
+    ) -> None:
+        arr = np.asarray(data)
+        if arr.dtype.kind in "iub":
+            arr = arr.astype(np.float64)
+        self.data = arr
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Tape machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: "Tensor | np.ndarray | float | int") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=np.float64)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient; defaults to 1 for scalar outputs.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a seed requires a scalar tensor")
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+                )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward, "add")
+
+    def __radd__(self, other: "float | np.ndarray") -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return self.__add__(-self._coerce(other))
+
+    def __rsub__(self, other: "float | np.ndarray") -> "Tensor":
+        return self._coerce(other).__add__(-self)
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward, "mul")
+
+    def __rmul__(self, other: "float | np.ndarray") -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        return self._make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: "float | np.ndarray") -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward, "pow")
+
+    # ------------------------------------------------------------------
+    # Nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward, "tanh")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward, "relu")
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation, as in BERT)."""
+        c = math.sqrt(2.0 / math.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                d_inner = c * (1.0 + 3 * 0.044715 * x**2)
+                local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
+                self._accumulate(grad * local)
+
+        return self._make(out_data, (self,), backward, "gelu")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward, "sigmoid")
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                ga = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(gb, other.shape))
+
+        return self._make(out_data, (self, other), backward, "matmul")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return self._make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax % self.ndim]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+            mask = self.data == expanded
+            # Split gradient equally among ties to keep the check well defined.
+            counts = mask.sum(axis=axis, keepdims=True)
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            self._accumulate(mask * g / counts)
+
+        return self._make(out_data, (self,), backward, "max")
+
+    def var(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Population variance along ``axis`` (as used by layer norm)."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._make(out_data, (self,), backward, "reshape")
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward, "transpose")
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data, dtype=np.float64)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward, "getitem")
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows of a 2-D tensor — the embedding-lookup primitive.
+
+        ``indices`` may have any shape; the result has shape
+        ``indices.shape + (self.shape[1],)``.
+        """
+        if self.ndim != 2:
+            raise ValueError("take_rows expects a 2-D tensor (a lookup table)")
+        idx = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[idx]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data, dtype=np.float64)
+                np.add.at(full, idx.reshape(-1), grad.reshape(-1, self.shape[1]))
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward, "take_rows")
+
+    # ------------------------------------------------------------------
+    # Composite ops used throughout the transformer stack
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                dot = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward, "softmax")
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+        probs = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                total = grad.sum(axis=axis, keepdims=True)
+                self._accumulate(grad - probs * total)
+
+        return self._make(out_data, (self,), backward, "log_softmax")
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is true with ``value``.
+
+        Used to implement attention masking: masked positions get a large
+        negative score before softmax.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        out_data = np.where(mask, value, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(np.where(mask, 0.0, grad), self.shape))
+
+        return self._make(out_data, (self,), backward, "masked_fill")
+
+    def clip_norm(self, max_norm: float) -> "Tensor":
+        """Differentiably rescale so the Frobenius norm is at most ``max_norm``."""
+        norm = float(np.linalg.norm(self.data))
+        if norm <= max_norm or norm == 0.0:
+            return self
+        return self * (max_norm / norm)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        ref = tensors[0]
+        return ref._make(out_data, tuple(tensors), backward, "concatenate")
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, slices):
+                if tensor.requires_grad:
+                    tensor._accumulate(piece)
+
+        ref = tensors[0]
+        return ref._make(out_data, tuple(tensors), backward, "stack")

@@ -1,0 +1,18 @@
+"""Pretraining substrate: masking procedures, objectives, training loop."""
+
+from .masking import (
+    IGNORE_INDEX,
+    MaskedBatch,
+    combine_masking,
+    mask_for_mer,
+    mask_for_mlm,
+)
+from .objectives import masked_accuracy, mer_loss, mlm_loss
+from .trainer import Pretrainer, PretrainConfig, StepRecord
+
+__all__ = [
+    "IGNORE_INDEX", "MaskedBatch", "mask_for_mlm", "mask_for_mer",
+    "combine_masking",
+    "mlm_loss", "mer_loss", "masked_accuracy",
+    "PretrainConfig", "Pretrainer", "StepRecord",
+]

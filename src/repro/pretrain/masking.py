@@ -1,0 +1,156 @@
+"""Masking procedures for the pretraining objectives (hands-on §3.3).
+
+Two procedures, matching the exercise:
+
+- *masked language modeling* over table cells — whole-cell masking by
+  default (all subwords of a chosen cell are masked together, so the model
+  cannot copy a cell's suffix from its prefix), with BERT's 80/10/10
+  replace/random/keep scheme;
+- *masked entity recovery* — entity-linked cells lose both their surface
+  tokens and their entity-embedding channel; the target is the entity id.
+
+Both return fresh arrays; the input batch is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+import numpy as np
+
+from ..serialize import BatchedFeatures, SerializedTable, TokenRole
+from ..text import Vocab
+
+__all__ = ["MaskedBatch", "mask_for_mlm", "mask_for_mer", "IGNORE_INDEX"]
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class MaskedBatch:
+    """A masked input batch plus per-position prediction targets."""
+
+    batch: BatchedFeatures
+    mlm_targets: np.ndarray   # (B, T); IGNORE_INDEX where not predicted
+    mer_targets: np.ndarray   # (B, T); IGNORE_INDEX where not predicted
+
+    @property
+    def num_mlm_targets(self) -> int:
+        return int((self.mlm_targets != IGNORE_INDEX).sum())
+
+    @property
+    def num_mer_targets(self) -> int:
+        return int((self.mer_targets != IGNORE_INDEX).sum())
+
+
+def _copy_batch(batch: BatchedFeatures) -> BatchedFeatures:
+    return dataclass_replace(
+        batch,
+        token_ids=batch.token_ids.copy(),
+        entity_ids=batch.entity_ids.copy(),
+    )
+
+
+def _empty_targets(batch: BatchedFeatures) -> np.ndarray:
+    return np.full(batch.token_ids.shape, IGNORE_INDEX, dtype=np.int64)
+
+
+def mask_for_mlm(batch: BatchedFeatures, serialized: list[SerializedTable],
+                 vocab: Vocab, rng: np.random.Generator,
+                 mask_probability: float = 0.15,
+                 whole_cell: bool = True,
+                 vocab_size: int | None = None) -> MaskedBatch:
+    """Mask cells (or individual tokens) for masked language modeling.
+
+    Parameters
+    ----------
+    whole_cell:
+        If True (default), masking units are whole cell/header spans; if
+        False, independent tokens — the ablation of design choice 1 in
+        DESIGN.md.
+    vocab_size:
+        Range for the 10% random-replacement tokens; defaults to
+        ``len(vocab)``.
+    """
+    if not 0.0 < mask_probability <= 1.0:
+        raise ValueError("mask_probability must be in (0, 1]")
+    vocab_size = vocab_size or len(vocab)
+    masked = _copy_batch(batch)
+    targets = _empty_targets(batch)
+
+    for i, table in enumerate(serialized):
+        if whole_cell:
+            spans = list(table.cell_spans.values()) + list(table.header_spans.values())
+            for start, end in spans:
+                if end <= start or rng.random() >= mask_probability:
+                    continue
+                targets[i, start:end] = batch.token_ids[i, start:end]
+                draw = rng.random()
+                if draw < 0.8:
+                    masked.token_ids[i, start:end] = vocab.mask_id
+                elif draw < 0.9:
+                    masked.token_ids[i, start:end] = rng.integers(
+                        0, vocab_size, size=end - start)
+        else:
+            maskable = np.isin(batch.roles[i], (TokenRole.CELL, TokenRole.HEADER,
+                                                TokenRole.CONTEXT))
+            maskable &= np.arange(batch.seq_len) < batch.lengths[i]
+            for position in np.flatnonzero(maskable):
+                if rng.random() >= mask_probability:
+                    continue
+                targets[i, position] = batch.token_ids[i, position]
+                draw = rng.random()
+                if draw < 0.8:
+                    masked.token_ids[i, position] = vocab.mask_id
+                elif draw < 0.9:
+                    masked.token_ids[i, position] = rng.integers(0, vocab_size)
+
+    return MaskedBatch(masked, targets, _empty_targets(batch))
+
+
+def mask_for_mer(batch: BatchedFeatures, serialized: list[SerializedTable],
+                 vocab: Vocab, rng: np.random.Generator,
+                 mask_probability: float = 0.3) -> MaskedBatch:
+    """Mask entity cells for masked entity recovery.
+
+    A masked entity cell loses its surface tokens (→ ``[MASK]``) *and* its
+    entity channel (→ 0); the target at every position of the span is the
+    entity slot id (KB entity id + 1, as stored in the features).
+    """
+    if not 0.0 < mask_probability <= 1.0:
+        raise ValueError("mask_probability must be in (0, 1]")
+    masked = _copy_batch(batch)
+    mer_targets = _empty_targets(batch)
+
+    for i, table in enumerate(serialized):
+        for (row, column), (start, end) in table.cell_spans.items():
+            if end <= start:
+                continue
+            entity_slot = int(batch.entity_ids[i, start])
+            if entity_slot == 0 or rng.random() >= mask_probability:
+                continue
+            mer_targets[i, start:end] = entity_slot
+            masked.token_ids[i, start:end] = vocab.mask_id
+            masked.entity_ids[i, start:end] = 0
+
+    return MaskedBatch(masked, _empty_targets(batch), mer_targets)
+
+
+def combine_masking(mlm: MaskedBatch, mer: MaskedBatch) -> MaskedBatch:
+    """Merge an MLM-masked and a MER-masked view of the same batch.
+
+    MER masking wins on overlapping spans (its positions already hide both
+    channels); MLM targets on MER-masked positions are dropped to avoid
+    predicting tokens whose entity is also hidden.
+    """
+    batch = mer.batch
+    token_ids = np.where(mer.mer_targets != IGNORE_INDEX,
+                         mer.batch.token_ids, mlm.batch.token_ids)
+    merged = dataclass_replace(batch, token_ids=token_ids,
+                               entity_ids=mer.batch.entity_ids.copy())
+    mlm_targets = np.where(mer.mer_targets != IGNORE_INDEX,
+                           IGNORE_INDEX, mlm.mlm_targets)
+    return MaskedBatch(merged, mlm_targets, mer.mer_targets.copy())
+
+
+__all__.append("combine_masking")

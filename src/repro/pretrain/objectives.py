@@ -1,0 +1,33 @@
+"""Pretraining loss computation over masked batches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .masking import IGNORE_INDEX, MaskedBatch
+from ..nn import Tensor, cross_entropy
+
+__all__ = ["mlm_loss", "mer_loss", "masked_accuracy"]
+
+
+def mlm_loss(logits: Tensor, masked: MaskedBatch) -> Tensor:
+    """Cross entropy at MLM-masked positions (0 if none were masked)."""
+    return cross_entropy(logits, masked.mlm_targets, ignore_index=IGNORE_INDEX)
+
+
+def mer_loss(logits: Tensor, masked: MaskedBatch) -> Tensor:
+    """Cross entropy at MER-masked positions (0 if none were masked)."""
+    return cross_entropy(logits, masked.mer_targets, ignore_index=IGNORE_INDEX)
+
+
+def masked_accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of masked positions predicted exactly (NaN-free).
+
+    Returns 0.0 when nothing is masked, so training logs stay plottable.
+    """
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    keep = targets != IGNORE_INDEX
+    if not keep.any():
+        return 0.0
+    predictions = data.argmax(axis=-1)
+    return float((predictions[keep] == targets[keep]).mean())

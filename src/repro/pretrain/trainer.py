@@ -1,0 +1,168 @@
+"""The pretraining loop (Fig. 1, pipeline (1); hands-on §3.3).
+
+The :class:`Pretrainer` works with any :class:`~repro.models.TableEncoder`:
+models without their own MLM head (everything except TURL) get one attached
+over their token embedding, so the vanilla-vs-structure-aware comparison is
+apples-to-apples.  Masked entity recovery is enabled automatically when the
+model exposes a ``mer_head`` (TURL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .masking import combine_masking, mask_for_mer, mask_for_mlm
+from .objectives import masked_accuracy, mer_loss, mlm_loss
+from ..models import MlmHead, TableEncoder
+from ..nn import Adam, LinearWarmupSchedule, clip_gradients
+from ..tables import Table
+
+__all__ = ["PretrainConfig", "StepRecord", "Pretrainer"]
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Hyperparameters of a pretraining run."""
+
+    steps: int = 60
+    batch_size: int = 8
+    learning_rate: float = 3e-3
+    warmup_fraction: float = 0.1
+    mask_probability: float = 0.15
+    mer_mask_probability: float = 0.3
+    whole_cell_masking: bool = True
+    use_mlm: bool = True
+    use_mer: bool = True          # only takes effect when the model supports it
+    grad_clip: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1 or self.batch_size < 1:
+            raise ValueError("steps and batch_size must be positive")
+        if not (self.use_mlm or self.use_mer):
+            raise ValueError("at least one pretraining objective must be enabled")
+
+
+@dataclass
+class StepRecord:
+    """Per-step training log entry."""
+
+    step: int
+    loss: float
+    mlm_loss: float
+    mer_loss: float
+    mlm_accuracy: float
+    mer_accuracy: float
+    learning_rate: float
+    grad_norm: float = 0.0
+
+
+class Pretrainer:
+    """Runs MLM (+MER where supported) pretraining over a table corpus."""
+
+    def __init__(self, model: TableEncoder, config: PretrainConfig | None = None) -> None:
+        self.model = model
+        self.config = config or PretrainConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        if hasattr(model, "mlm_head"):
+            self.mlm_head = model.mlm_head
+            extra_params: list = []
+        else:
+            self.mlm_head = MlmHead(model.config.dim,
+                                    model.token_embedding.weight, self.rng)
+            extra_params = [p for name, p in self.mlm_head.named_parameters()
+                            if "tied_weight" not in name]
+        self.supports_mer = hasattr(model, "mer_head")
+
+        parameters = list(model.parameters())
+        seen = {id(p) for p in parameters}
+        parameters += [p for p in extra_params if id(p) not in seen]
+        self.optimizer = Adam(parameters, lr=self.config.learning_rate)
+        warmup = max(1, int(self.config.steps * self.config.warmup_fraction))
+        self.schedule = LinearWarmupSchedule(
+            self.config.learning_rate, warmup, self.config.steps + 1)
+        self.history: list[StepRecord] = []
+
+    # ------------------------------------------------------------------
+    def _sample_tables(self, corpus: list[Table]) -> list[Table]:
+        count = min(self.config.batch_size, len(corpus))
+        indices = self.rng.choice(len(corpus), size=count, replace=False)
+        return [corpus[int(i)] for i in indices]
+
+    def _masked_batch(self, tables: list[Table]):
+        batch, serialized = self.model.batch(tables)
+        vocab = self.model.tokenizer.vocab
+        use_mer = self.config.use_mer and self.supports_mer
+        if self.config.use_mlm and use_mer:
+            mlm = mask_for_mlm(batch, serialized, vocab, self.rng,
+                               mask_probability=self.config.mask_probability,
+                               whole_cell=self.config.whole_cell_masking)
+            mer = mask_for_mer(batch, serialized, vocab, self.rng,
+                               mask_probability=self.config.mer_mask_probability)
+            return combine_masking(mlm, mer)
+        if use_mer:
+            return mask_for_mer(batch, serialized, vocab, self.rng,
+                                mask_probability=self.config.mer_mask_probability)
+        return mask_for_mlm(batch, serialized, vocab, self.rng,
+                            mask_probability=self.config.mask_probability,
+                            whole_cell=self.config.whole_cell_masking)
+
+    # ------------------------------------------------------------------
+    def train_step(self, corpus: list[Table]) -> StepRecord:
+        """One optimization step over a sampled batch; returns the record."""
+        step = len(self.history)
+        masked = self._masked_batch(self._sample_tables(corpus))
+
+        self.optimizer.zero_grad()
+        hidden = self.model(masked.batch)
+
+        losses = []
+        mlm_value = mer_value = 0.0
+        mlm_acc = mer_acc = 0.0
+        if self.config.use_mlm and masked.num_mlm_targets:
+            logits = self.mlm_head(hidden)
+            loss = mlm_loss(logits, masked)
+            losses.append(loss)
+            mlm_value = float(loss.data)
+            mlm_acc = masked_accuracy(logits, masked.mlm_targets)
+        if self.supports_mer and self.config.use_mer and masked.num_mer_targets:
+            logits = self.model.mer_head(hidden)
+            loss = mer_loss(logits, masked)
+            losses.append(loss)
+            mer_value = float(loss.data)
+            mer_acc = masked_accuracy(logits, masked.mer_targets)
+
+        if losses:
+            total = losses[0]
+            for extra in losses[1:]:
+                total = total + extra
+            total.backward()
+            grad_norm = clip_gradients(self.optimizer.parameters,
+                                       self.config.grad_clip)
+            self.optimizer.lr = self.schedule(step)
+            self.optimizer.step()
+            total_value = float(total.data)
+        else:
+            grad_norm = 0.0
+            total_value = 0.0
+
+        record = StepRecord(
+            step=step, loss=total_value, mlm_loss=mlm_value, mer_loss=mer_value,
+            mlm_accuracy=mlm_acc, mer_accuracy=mer_acc,
+            learning_rate=self.optimizer.lr, grad_norm=grad_norm,
+        )
+        self.history.append(record)
+        return record
+
+    def train(self, corpus: list[Table]) -> list[StepRecord]:
+        """Run the configured number of steps; returns the full history."""
+        if not corpus:
+            raise ValueError("pretraining corpus is empty")
+        self.model.train()
+        for _ in range(self.config.steps):
+            self.train_step(corpus)
+        self.model.eval()
+        return self.history

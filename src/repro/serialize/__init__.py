@@ -1,0 +1,18 @@
+"""Serialization substrate: linearizers, structural coordinates, batching."""
+
+from .base import SequenceBuilder, SerializedTable, Serializer, TokenRole
+from .linearize import (
+    SERIALIZERS,
+    ColumnMajorSerializer,
+    MarkdownSerializer,
+    RowMajorSerializer,
+    TemplateSerializer,
+)
+from .positions import BatchedFeatures, TableFeatures, encode_features, pad_batch
+
+__all__ = [
+    "TokenRole", "SerializedTable", "SequenceBuilder", "Serializer",
+    "RowMajorSerializer", "ColumnMajorSerializer", "TemplateSerializer",
+    "MarkdownSerializer", "SERIALIZERS",
+    "TableFeatures", "encode_features", "BatchedFeatures", "pad_batch",
+]

@@ -1,0 +1,113 @@
+"""Concrete linearization strategies (Fig. 2b of the paper).
+
+Four variants are implemented, covering the design space the survey part
+discusses (row vs. column serialization; separator-based vs. templated):
+
+- :class:`RowMajorSerializer` — ``[SEP] Country | Capital [SEP] Australia |
+  Sydney [SEP] …`` (Fig. 2b, technique 1);
+- :class:`ColumnMajorSerializer` — one column at a time, header leading its
+  values;
+- :class:`TemplateSerializer` — ``row one Country is Australia ; Capital is
+  Sydney …`` (Fig. 2b, technique 2);
+- :class:`MarkdownSerializer` — GitHub-style pipes, the format generative
+  models consume.
+"""
+
+from __future__ import annotations
+
+from .base import SequenceBuilder, Serializer, TokenRole
+from ..tables import Table
+
+__all__ = [
+    "RowMajorSerializer",
+    "ColumnMajorSerializer",
+    "TemplateSerializer",
+    "MarkdownSerializer",
+    "SERIALIZERS",
+]
+
+_ORDINALS = ("one", "two", "three", "four", "five", "six", "seven", "eight",
+             "nine", "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen")
+
+
+def _ordinal(index: int) -> str:
+    return _ORDINALS[index] if index < len(_ORDINALS) else str(index + 1)
+
+
+class RowMajorSerializer(Serializer):
+    """Header row then each data row, cells separated by ``|``."""
+
+    name = "row_major"
+
+    def _emit_table(self, builder: SequenceBuilder, table: Table) -> None:
+        vocab = self.tokenizer.vocab
+        for column in range(table.num_columns):
+            if column:
+                builder.add_words("|", TokenRole.SPECIAL)
+            builder.add_header_cell(table, column)
+        for row in range(table.num_rows):
+            builder.add_special(vocab.sep_token)
+            for column in range(table.num_columns):
+                if column:
+                    builder.add_words("|", TokenRole.SPECIAL)
+                builder.add_data_cell(table, row, column)
+
+
+class ColumnMajorSerializer(Serializer):
+    """Each column emitted as header followed by its values."""
+
+    name = "column_major"
+
+    def _emit_table(self, builder: SequenceBuilder, table: Table) -> None:
+        vocab = self.tokenizer.vocab
+        for column in range(table.num_columns):
+            if column:
+                builder.add_special(vocab.sep_token)
+            builder.add_header_cell(table, column)
+            for row in range(table.num_rows):
+                builder.add_words("|", TokenRole.SPECIAL)
+                builder.add_data_cell(table, row, column)
+
+
+class TemplateSerializer(Serializer):
+    """Natural-language template: ``row one <header> is <value> ; …``."""
+
+    name = "template"
+
+    def _emit_table(self, builder: SequenceBuilder, table: Table) -> None:
+        for row in range(table.num_rows):
+            builder.add_words(f"row {_ordinal(row)}", TokenRole.SPECIAL)
+            for column in range(table.num_columns):
+                header = table.header[column].strip() or "column " + _ordinal(column)
+                span = builder.add_words(header, TokenRole.HEADER, row=0, column=column + 1)
+                # Headers repeat per row in template mode; keep the first
+                # occurrence as the canonical span.
+                builder.header_spans.setdefault(column, span)
+                builder.add_words("is", TokenRole.SPECIAL)
+                builder.add_data_cell(table, row, column)
+                builder.add_words(";", TokenRole.SPECIAL)
+
+
+class MarkdownSerializer(Serializer):
+    """GitHub-flavoured markdown rows: ``| a | b |`` with a rule line."""
+
+    name = "markdown"
+
+    def _emit_table(self, builder: SequenceBuilder, table: Table) -> None:
+        builder.add_words("|", TokenRole.SPECIAL)
+        for column in range(table.num_columns):
+            builder.add_header_cell(table, column)
+            builder.add_words("|", TokenRole.SPECIAL)
+        builder.add_words("| - |", TokenRole.SPECIAL)
+        for row in range(table.num_rows):
+            builder.add_words("|", TokenRole.SPECIAL)
+            for column in range(table.num_columns):
+                builder.add_data_cell(table, row, column)
+                builder.add_words("|", TokenRole.SPECIAL)
+
+
+SERIALIZERS: dict[str, type[Serializer]] = {
+    cls.name: cls
+    for cls in (RowMajorSerializer, ColumnMajorSerializer, TemplateSerializer,
+                MarkdownSerializer)
+}

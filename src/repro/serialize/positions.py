@@ -1,0 +1,140 @@
+"""Model-input feature extraction from a serialized table.
+
+The structure-aware models consume, per token: vocabulary id, flat position,
+row id, column id and role (segment).  :func:`encode_features` packs these
+into aligned arrays, and :func:`pad_batch` collates variable-length
+sequences into a padded batch with an attention padding mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SerializedTable
+from ..tables import Table
+
+__all__ = ["TableFeatures", "encode_features", "pad_batch", "BatchedFeatures"]
+
+
+@dataclass
+class TableFeatures:
+    """Aligned per-token input arrays for one serialized table.
+
+    ``entity_ids`` holds ``kb_entity_id + 1`` for tokens inside
+    entity-linked cells and 0 elsewhere (TURL's entity channel).
+    """
+
+    token_ids: np.ndarray
+    positions: np.ndarray
+    row_ids: np.ndarray
+    column_ids: np.ndarray
+    roles: np.ndarray
+    entity_ids: np.ndarray
+    numeric_features: np.ndarray  # (seq, 3): [is_number, sign, log1p|value|]
+
+    def __len__(self) -> int:
+        return len(self.token_ids)
+
+
+def encode_features(serialized: SerializedTable,
+                    max_row_id: int | None = None,
+                    max_column_id: int | None = None,
+                    table: Table | None = None) -> TableFeatures:
+    """Extract model input arrays, optionally clamping row/col ids.
+
+    Clamping caps rare deep rows into the last embedding bucket rather than
+    indexing out of range — the standard trick for unbounded tables.  If
+    ``table`` is given, tokens of entity-linked cells are annotated with
+    the cell's entity id (offset by one; 0 means no entity).
+    """
+    row_ids = serialized.row_ids.copy()
+    column_ids = serialized.column_ids.copy()
+    if max_row_id is not None:
+        row_ids = np.minimum(row_ids, max_row_id)
+    if max_column_id is not None:
+        column_ids = np.minimum(column_ids, max_column_id)
+    entity_ids = np.zeros(len(serialized), dtype=np.int64)
+    numeric = np.zeros((len(serialized), 3), dtype=np.float64)
+    if table is not None:
+        for (row, column), (start, end) in serialized.cell_spans.items():
+            cell = table.cell(row, column)
+            if cell.entity_id is not None:
+                entity_ids[start:end] = cell.entity_id + 1
+            if cell.is_numeric:
+                value = float(str(cell.text()).replace(",", ""))
+                numeric[start:end] = [1.0, np.sign(value),
+                                      np.log1p(abs(value))]
+    return TableFeatures(
+        token_ids=serialized.token_ids.copy(),
+        positions=np.arange(len(serialized), dtype=np.int64),
+        row_ids=row_ids,
+        column_ids=column_ids,
+        roles=serialized.roles.copy(),
+        entity_ids=entity_ids,
+        numeric_features=numeric,
+    )
+
+
+@dataclass
+class BatchedFeatures:
+    """Padded batch of :class:`TableFeatures` plus validity information."""
+
+    token_ids: np.ndarray         # (batch, seq)
+    positions: np.ndarray         # (batch, seq)
+    row_ids: np.ndarray           # (batch, seq)
+    column_ids: np.ndarray        # (batch, seq)
+    roles: np.ndarray             # (batch, seq)
+    entity_ids: np.ndarray        # (batch, seq)
+    numeric_features: np.ndarray  # (batch, seq, 3)
+    lengths: np.ndarray           # (batch,)
+
+    @property
+    def batch_size(self) -> int:
+        return self.token_ids.shape[0]
+
+    @property
+    def seq_len(self) -> int:
+        return self.token_ids.shape[1]
+
+    def key_padding_mask(self) -> np.ndarray:
+        """Attention block mask of shape ``(batch, 1, 1, seq)``; True = pad."""
+        positions = np.arange(self.seq_len)
+        blocked = positions[np.newaxis, :] >= self.lengths[:, np.newaxis]
+        return blocked[:, np.newaxis, np.newaxis, :]
+
+    def token_validity(self) -> np.ndarray:
+        """Boolean ``(batch, seq)`` marking real (non-pad) tokens."""
+        positions = np.arange(self.seq_len)
+        return positions[np.newaxis, :] < self.lengths[:, np.newaxis]
+
+
+def pad_batch(features: list[TableFeatures], pad_id: int) -> BatchedFeatures:
+    """Right-pad a list of feature sets to a common length."""
+    if not features:
+        raise ValueError("cannot pad an empty batch")
+    lengths = np.array([len(f) for f in features], dtype=np.int64)
+    seq_len = int(lengths.max())
+
+    def padded(attr: str, fill: int) -> np.ndarray:
+        out = np.full((len(features), seq_len), fill, dtype=np.int64)
+        for i, f in enumerate(features):
+            arr = getattr(f, attr)
+            out[i, : len(arr)] = arr
+        return out
+
+    numeric = np.zeros((len(features), seq_len, 3), dtype=np.float64)
+    for i, f in enumerate(features):
+        numeric[i, : len(f)] = f.numeric_features
+
+    return BatchedFeatures(
+        token_ids=padded("token_ids", pad_id),
+        positions=padded("positions", 0),
+        row_ids=padded("row_ids", 0),
+        column_ids=padded("column_ids", 0),
+        roles=padded("roles", 0),
+        entity_ids=padded("entity_ids", 0),
+        numeric_features=numeric,
+        lengths=lengths,
+    )

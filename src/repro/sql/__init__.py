@@ -1,0 +1,13 @@
+"""Mini SQL substrate: AST, parser, symbolic executor, query generator."""
+
+from .ast import Aggregate, Comparator, Condition, SelectQuery
+from .executor import Denotation, ExecutionError, denotation_text, execute
+from .generator import generate_labeled_queries, generate_query
+from .parser import SqlSyntaxError, parse_query
+
+__all__ = [
+    "Aggregate", "Comparator", "Condition", "SelectQuery",
+    "parse_query", "SqlSyntaxError",
+    "execute", "Denotation", "ExecutionError", "denotation_text",
+    "generate_query", "generate_labeled_queries",
+]

@@ -1,0 +1,89 @@
+"""AST for the miniature SQL dialect executed over a single table.
+
+The dialect covers what WikiSQL-style supervision needs (and what TAPEX's
+pretraining queries use): one table, an optional aggregate over one selected
+column, and a conjunction of comparison predicates.
+
+    SELECT [agg](column) FROM t [WHERE col op value [AND ...]] [LIMIT n]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Aggregate", "Comparator", "Condition", "SelectQuery"]
+
+
+class Aggregate(str, Enum):
+    """Aggregation applied to the selected column."""
+
+    NONE = "none"
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+class Comparator(str, Enum):
+    """Comparison operator in a WHERE predicate."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One predicate: ``column <op> value``."""
+
+    column: str
+    comparator: Comparator
+    value: str | float
+
+    def render(self) -> str:
+        value = self.value
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            value = f"'{escaped}'"
+        return f'"{self.column}" {self.comparator.value} {value}'
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A full query; ``conditions`` are ANDed.
+
+    ``group_by`` requires an aggregate (one aggregated value per group,
+    groups ordered by key).  ``order_by`` sorts a plain selection by
+    another column; ``descending`` flips the direction.
+    """
+
+    select_column: str
+    aggregate: Aggregate = Aggregate.NONE
+    conditions: tuple[Condition, ...] = field(default_factory=tuple)
+    limit: int | None = None
+    group_by: str | None = None
+    order_by: str | None = None
+    descending: bool = False
+
+    def render(self) -> str:
+        """Render back to SQL text (inverse of the parser)."""
+        target = f'"{self.select_column}"'
+        if self.aggregate is not Aggregate.NONE:
+            target = f"{self.aggregate.value.upper()}({target})"
+        sql = f"SELECT {target} FROM t"
+        if self.conditions:
+            sql += " WHERE " + " AND ".join(c.render() for c in self.conditions)
+        if self.group_by is not None:
+            sql += f' GROUP BY "{self.group_by}"'
+        if self.order_by is not None:
+            sql += f' ORDER BY "{self.order_by}"'
+            if self.descending:
+                sql += " DESC"
+        if self.limit is not None:
+            sql += f" LIMIT {self.limit}"
+        return sql

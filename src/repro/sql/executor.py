@@ -1,0 +1,188 @@
+"""Symbolic executor: evaluate a :class:`SelectQuery` over a Table.
+
+This is the oracle against which the TAPEX-style *neural* executor is
+measured (E12), and the label generator for the QA datasets: a question's
+gold answer is whatever this executor returns.
+"""
+
+from __future__ import annotations
+
+from .ast import Aggregate, Comparator, Condition, SelectQuery
+from ..tables import Cell, Table
+
+__all__ = ["execute", "Denotation", "ExecutionError", "denotation_text"]
+
+Denotation = list[str | float]
+
+
+class ExecutionError(ValueError):
+    """Raised for semantically invalid queries (unknown column, bad agg)."""
+
+
+def _comparable(cell: Cell) -> str | float | None:
+    """Value used for comparisons: numbers as floats, text lowercased."""
+    if cell.is_empty:
+        return None
+    if cell.is_numeric:
+        return float(str(cell.text()).replace(",", ""))
+    return cell.text().strip().lower()
+
+
+def _coerce_literal(value: str | float) -> str | float:
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = value.strip()
+    try:
+        return float(text.replace(",", ""))
+    except ValueError:
+        return text.lower()
+
+
+def _matches(cell: Cell, condition: Condition) -> bool:
+    cell_value = _comparable(cell)
+    literal = _coerce_literal(condition.value)
+    if cell_value is None:
+        return False
+    if isinstance(cell_value, float) != isinstance(literal, float):
+        # Comparing text to number: only (in)equality is meaningful.
+        if condition.comparator is Comparator.EQ:
+            return str(cell_value) == str(literal)
+        if condition.comparator is Comparator.NE:
+            return str(cell_value) != str(literal)
+        return False
+    if condition.comparator is Comparator.EQ:
+        return cell_value == literal
+    if condition.comparator is Comparator.NE:
+        return cell_value != literal
+    if isinstance(cell_value, str):
+        return False  # ordered comparators are numeric-only in this dialect
+    if condition.comparator is Comparator.LT:
+        return cell_value < literal
+    if condition.comparator is Comparator.GT:
+        return cell_value > literal
+    if condition.comparator is Comparator.LE:
+        return cell_value <= literal
+    return cell_value >= literal
+
+
+def _select_rows(table: Table, conditions: tuple[Condition, ...]) -> list[int]:
+    column_cache = {c.column: table.column_index(c.column) for c in conditions}
+    selected = []
+    for r in range(table.num_rows):
+        if all(_matches(table.cell(r, column_cache[c.column]), c) for c in conditions):
+            selected.append(r)
+    return selected
+
+
+def _aggregate_cells(aggregate: Aggregate, cells: list[Cell]) -> Denotation:
+    """Apply one aggregate to a list of cells (see :func:`execute`)."""
+    if aggregate is Aggregate.COUNT:
+        return [float(len([c for c in cells if not c.is_empty]))]
+    numbers = [float(str(c.text()).replace(",", "")) for c in cells
+               if c.is_numeric]
+    if not numbers:
+        return []
+    if aggregate is Aggregate.SUM:
+        return [sum(numbers)]
+    if aggregate is Aggregate.AVG:
+        return [sum(numbers) / len(numbers)]
+    if aggregate is Aggregate.MIN:
+        return [min(numbers)]
+    if aggregate is Aggregate.MAX:
+        return [max(numbers)]
+    raise ExecutionError(f"unsupported aggregate {aggregate}")
+
+
+def _sort_key(value: str | float | None) -> tuple:
+    """Total order over comparables: numbers first, then text, None last."""
+    if value is None:
+        return (2, 0.0, "")
+    if isinstance(value, float):
+        return (0, value, "")
+    return (1, 0.0, value)
+
+
+def execute(query: SelectQuery, table: Table) -> Denotation:
+    """Evaluate ``query`` over ``table``; returns the denotation list.
+
+    Aggregates return a single-element list (or one element per group with
+    GROUP BY, groups ordered by key); plain selects return the matching
+    cells top-to-bottom (empty cells skipped), reordered by ORDER BY when
+    present.
+    """
+    try:
+        column = table.column_index(query.select_column)
+    except KeyError as exc:
+        raise ExecutionError(str(exc)) from None
+
+    rows = _select_rows(table, query.conditions)
+
+    if query.group_by is not None:
+        if query.aggregate is Aggregate.NONE:
+            raise ExecutionError("GROUP BY requires an aggregate select")
+        try:
+            group_column = table.column_index(query.group_by)
+        except KeyError as exc:
+            raise ExecutionError(str(exc)) from None
+        groups: dict[str | float, list[Cell]] = {}
+        for r in rows:
+            key = _comparable(table.cell(r, group_column))
+            if key is None:
+                continue
+            groups.setdefault(key, []).append(table.cell(r, column))
+        result: Denotation = []
+        for key in sorted(groups, key=_sort_key):
+            result.extend(_aggregate_cells(query.aggregate, groups[key]))
+        if query.limit is not None:
+            result = result[: query.limit]
+        return result
+
+    if query.order_by is not None and query.aggregate is Aggregate.NONE:
+        try:
+            order_column = table.column_index(query.order_by)
+        except KeyError as exc:
+            raise ExecutionError(str(exc)) from None
+        rows = sorted(rows, key=lambda r: _sort_key(
+            _comparable(table.cell(r, order_column))))
+        if query.descending:
+            rows = rows[::-1]
+
+    cells = [table.cell(r, column) for r in rows]
+
+    if query.aggregate is Aggregate.COUNT:
+        result: Denotation = [float(len([c for c in cells if not c.is_empty]))]
+    elif query.aggregate is Aggregate.NONE:
+        result = [c.value if not c.is_numeric else float(str(c.text()).replace(",", ""))
+                  for c in cells if not c.is_empty]
+    else:
+        numbers = [float(str(c.text()).replace(",", ""))
+                   for c in cells if c.is_numeric]
+        if not numbers:
+            return []
+        if query.aggregate is Aggregate.SUM:
+            result = [sum(numbers)]
+        elif query.aggregate is Aggregate.AVG:
+            result = [sum(numbers) / len(numbers)]
+        elif query.aggregate is Aggregate.MIN:
+            result = [min(numbers)]
+        elif query.aggregate is Aggregate.MAX:
+            result = [max(numbers)]
+        else:  # pragma: no cover - exhaustive enum
+            raise ExecutionError(f"unsupported aggregate {query.aggregate}")
+
+    if query.limit is not None:
+        result = result[: query.limit]
+    return result
+
+
+def denotation_text(denotation: Denotation) -> str:
+    """Canonical single-string rendering of a denotation (for seq2seq)."""
+    parts = []
+    for value in denotation:
+        if isinstance(value, float) and value.is_integer():
+            parts.append(str(int(value)))
+        elif isinstance(value, float):
+            parts.append(f"{value:.6g}")
+        else:
+            parts.append(str(value))
+    return ", ".join(parts)

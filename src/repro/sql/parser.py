@@ -1,0 +1,172 @@
+"""Tokenizer + recursive-descent parser for the mini SQL dialect."""
+
+from __future__ import annotations
+
+import re
+
+from .ast import Aggregate, Comparator, Condition, SelectQuery
+
+__all__ = ["parse_query", "SqlSyntaxError"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised when query text does not conform to the dialect."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'          # single-quoted string (with '' escape)
+      | "[^"]*"                 # double-quoted identifier
+      | <=|>=|!=|=|<|>          # comparators
+      | \(|\)|,                 # punctuation
+      | [A-Za-z_][A-Za-z0-9_.\-]*  # bare word
+      | -?\d+(?:\.\d+)?         # number
+    )
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATES = {a.value: a for a in Aggregate if a is not Aggregate.NONE}
+
+
+def _lex(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlSyntaxError(f"cannot tokenize at: {remainder[:20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword.lower():
+            raise SqlSyntaxError(f"expected {keyword!r}, found {token!r}")
+
+    def parse_identifier(self) -> str:
+        token = self.next()
+        if token.startswith('"') and token.endswith('"'):
+            return token[1:-1]
+        if token.startswith("'"):
+            raise SqlSyntaxError(f"string literal where identifier expected: {token}")
+        return token
+
+    def parse_value(self) -> str | float:
+        token = self.next()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1].replace("''", "'")
+        if token.startswith('"') and token.endswith('"'):
+            return token[1:-1]
+        try:
+            return float(token)
+        except ValueError:
+            return token
+
+    def parse(self) -> SelectQuery:
+        self.expect_keyword("select")
+        aggregate = Aggregate.NONE
+        token = self.peek()
+        if token is not None and token.lower() in _AGGREGATES and \
+                self.index + 1 < len(self.tokens) and self.tokens[self.index + 1] == "(":
+            aggregate = _AGGREGATES[self.next().lower()]
+            self.expect_keyword("(")
+            column = self.parse_identifier()
+            self.expect_keyword(")")
+        else:
+            column = self.parse_identifier()
+        self.expect_keyword("from")
+        self.parse_identifier()  # table name, single-table dialect
+
+        conditions: list[Condition] = []
+        limit: int | None = None
+        group_by: str | None = None
+        order_by: str | None = None
+        descending = False
+        while (token := self.peek()) is not None:
+            lowered = token.lower()
+            if lowered == "where":
+                self.next()
+                conditions.append(self.parse_condition())
+                while (t := self.peek()) is not None and t.lower() == "and":
+                    self.next()
+                    conditions.append(self.parse_condition())
+            elif lowered == "group":
+                self.next()
+                self.expect_keyword("by")
+                group_by = self.parse_identifier()
+            elif lowered == "order":
+                self.next()
+                self.expect_keyword("by")
+                order_by = self.parse_identifier()
+                direction = self.peek()
+                if direction is not None and direction.lower() in ("asc", "desc"):
+                    descending = self.next().lower() == "desc"
+            elif lowered == "limit":
+                self.next()
+                raw = self.next()
+                try:
+                    limit = int(float(raw))
+                except ValueError:
+                    raise SqlSyntaxError(f"bad LIMIT value: {raw!r}") from None
+            else:
+                raise SqlSyntaxError(f"unexpected token {token!r}")
+
+        if group_by is not None and aggregate is Aggregate.NONE:
+            raise SqlSyntaxError("GROUP BY requires an aggregate select")
+        if group_by is not None and order_by is not None:
+            raise SqlSyntaxError("GROUP BY and ORDER BY cannot be combined "
+                                 "in this dialect")
+
+        return SelectQuery(
+            select_column=column,
+            aggregate=aggregate,
+            conditions=tuple(conditions),
+            limit=limit,
+            group_by=group_by,
+            order_by=order_by,
+            descending=descending,
+        )
+
+    def parse_condition(self) -> Condition:
+        column = self.parse_identifier()
+        op_token = self.next()
+        try:
+            comparator = Comparator(op_token)
+        except ValueError:
+            raise SqlSyntaxError(f"bad comparator {op_token!r}") from None
+        value = self.parse_value()
+        return Condition(column, comparator, value)
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse SQL text into a :class:`SelectQuery`.
+
+    Raises :class:`SqlSyntaxError` on malformed input.
+    """
+    parser = _Parser(_lex(text))
+    query = parser.parse()
+    if parser.peek() is not None:
+        raise SqlSyntaxError(f"trailing tokens from {parser.peek()!r}")
+    return query

@@ -1,0 +1,23 @@
+"""Table substrate: data structure, schema inference, CSV IO, filtering."""
+
+from .csvio import dumps_table, load_table, loads_table, save_table
+from .filtering import (
+    drop_empty_columns,
+    drop_empty_rows,
+    passes_quality_filter,
+    select_relevant_rows,
+    truncate_columns,
+    truncate_rows,
+)
+from .orientation import detect_orientation, normalize_orientation, transpose_table
+from .schema import ColumnType, infer_column_type, infer_schema
+from .table import Cell, Table, TableContext
+
+__all__ = [
+    "Cell", "Table", "TableContext",
+    "ColumnType", "infer_column_type", "infer_schema",
+    "load_table", "loads_table", "save_table", "dumps_table",
+    "truncate_rows", "truncate_columns", "drop_empty_rows", "drop_empty_columns",
+    "select_relevant_rows", "passes_quality_filter",
+    "detect_orientation", "transpose_table", "normalize_orientation",
+]

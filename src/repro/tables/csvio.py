@@ -1,0 +1,74 @@
+"""CSV loading/saving — the entry point of the hands-on session (§3.1).
+
+``load_table(path)`` is the first line of the Fig. 2a code snippet.  Values
+that parse as numbers are converted so type inference and numeric analyses
+work on real CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .table import Cell, Table, TableContext
+
+__all__ = ["load_table", "loads_table", "save_table", "dumps_table"]
+
+
+def _convert(raw: str) -> str | float | None:
+    """Interpret a CSV field: '' → None, numeric text → float, else str."""
+    text = raw.strip()
+    if not text:
+        return None
+    cleaned = text.replace(",", "")
+    try:
+        number = float(cleaned)
+    except ValueError:
+        return text
+    # Keep IDs with leading zeros ("007") textual.
+    if cleaned.lstrip("+-").startswith("0") and not cleaned.lstrip("+-").startswith("0.") \
+            and cleaned.lstrip("+-") not in ("0", "0" * len(cleaned.lstrip("+-"))):
+        return text
+    return number
+
+
+def loads_table(text: str, table_id: str = "", title: str = "",
+                delimiter: str = ",") -> Table:
+    """Parse CSV text (first row = header) into a :class:`Table`."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError("empty CSV input")
+    header = [h.strip() for h in rows[0]]
+    width = len(header)
+    grid: list[list[Cell]] = []
+    for raw in rows[1:]:
+        padded = list(raw[:width]) + [""] * max(0, width - len(raw))
+        grid.append([Cell(_convert(field)) for field in padded])
+    context = TableContext(title=title)
+    return Table(header, grid, context=context, table_id=table_id)
+
+
+def load_table(path: str | Path, title: str = "") -> Table:
+    """Load a CSV file into a :class:`Table` (Fig. 2a, step 1)."""
+    path = Path(path)
+    return loads_table(path.read_text(), table_id=path.stem, title=title)
+
+
+def dumps_table(table: Table) -> str:
+    """Serialize a table back to CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(table.header)
+    for row in table.rows:
+        writer.writerow([cell.text() for cell in row])
+    return out.getvalue()
+
+
+def save_table(table: Table, path: str | Path) -> Path:
+    """Write a table to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_table(table))
+    return path

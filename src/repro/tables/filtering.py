@@ -1,0 +1,91 @@
+"""Data retrieval and filtering (survey dimension 2, first pipeline module).
+
+Transformer inputs are length-limited, so tables must be truncated or the
+most relevant rows selected before serialization.  ``select_relevant_rows``
+implements the TaBERT-style *content snapshot*: keep the rows with the
+highest token overlap with the query/context.
+"""
+
+from __future__ import annotations
+
+from .table import Table
+from ..text.normalize import word_tokenize
+
+__all__ = [
+    "truncate_rows",
+    "truncate_columns",
+    "drop_empty_rows",
+    "drop_empty_columns",
+    "select_relevant_rows",
+    "passes_quality_filter",
+]
+
+
+def truncate_rows(table: Table, max_rows: int) -> Table:
+    """Keep at most the first ``max_rows`` rows."""
+    if max_rows < 0:
+        raise ValueError("max_rows must be non-negative")
+    if table.num_rows <= max_rows:
+        return table
+    return table.subtable(row_indices=range(max_rows))
+
+
+def truncate_columns(table: Table, max_columns: int) -> Table:
+    """Keep at most the first ``max_columns`` columns."""
+    if max_columns < 0:
+        raise ValueError("max_columns must be non-negative")
+    if table.num_columns <= max_columns:
+        return table
+    return table.subtable(column_indices=range(max_columns))
+
+
+def drop_empty_rows(table: Table) -> Table:
+    """Remove rows in which every cell is empty."""
+    keep = [r for r in range(table.num_rows)
+            if not all(cell.is_empty for cell in table.rows[r])]
+    return table.subtable(row_indices=keep)
+
+
+def drop_empty_columns(table: Table) -> Table:
+    """Remove columns whose header is empty AND all cells are empty."""
+    keep = [
+        c for c in range(table.num_columns)
+        if table.header[c].strip()
+        or not all(cell.is_empty for cell in table.column_values(c))
+    ]
+    return table.subtable(column_indices=keep)
+
+
+def select_relevant_rows(table: Table, query: str, max_rows: int) -> Table:
+    """Content snapshot: the ``max_rows`` rows most relevant to ``query``.
+
+    Relevance is the number of query tokens appearing in the row (TaBERT's
+    n-gram overlap heuristic at n=1).  Ties preserve original row order.
+    """
+    if max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+    if table.num_rows <= max_rows:
+        return table
+    query_tokens = set(word_tokenize(query.lower()))
+    scores: list[tuple[int, int]] = []
+    for r, row in enumerate(table.rows):
+        row_tokens: set[str] = set()
+        for cell in row:
+            row_tokens.update(word_tokenize(cell.text().lower()))
+        overlap = len(query_tokens & row_tokens)
+        scores.append((-overlap, r))
+    scores.sort()
+    chosen = sorted(r for _, r in scores[:max_rows])
+    return table.subtable(row_indices=chosen)
+
+
+def passes_quality_filter(table: Table, min_rows: int = 2, min_columns: int = 2,
+                          max_empty_fraction: float = 0.5) -> bool:
+    """Corpus-level noise filter: minimum size and density requirements.
+
+    Mirrors the filtering applied when building pretraining corpora from raw
+    web tables (WikiTables/WDC pipelines drop tiny and sparse tables).
+    """
+    if table.num_rows < min_rows or table.num_columns < min_columns:
+        return False
+    return table.empty_fraction() <= max_empty_fraction

@@ -1,0 +1,96 @@
+"""Table orientation detection and normalization.
+
+Web table corpora (WDC, WikiTables) mix *horizontal* relational tables
+(header row on top, one entity per row) with *vertical* entity cards /
+infoboxes (attribute names down the first column, one entity per table).
+Structure-aware models assume the horizontal layout, so pipelines detect
+orientation and transpose vertical tables first — one of the unglamorous
+input-processing steps the survey's dimension 2 covers.
+
+Detection uses type coherence: relational columns are homogeneous in type
+(a column of years, a column of names), so a horizontal table has high
+*column* coherence; a vertical card mixes types down its value column but
+is coherent across each attribute row.
+"""
+
+from __future__ import annotations
+
+from .schema import ColumnType, infer_column_type
+from .table import Cell, Table, TableContext
+
+__all__ = ["detect_orientation", "transpose_table", "normalize_orientation"]
+
+
+def _coherence(groups: list[list[Cell]]) -> float:
+    """Mean 'dominant type share' over groups of cells."""
+    shares = []
+    for cells in groups:
+        non_empty = [c for c in cells if not c.is_empty]
+        if len(non_empty) < 2:
+            continue
+        counts: dict[ColumnType, int] = {}
+        for cell in non_empty:
+            kind = infer_column_type([cell])
+            counts[kind] = counts.get(kind, 0) + 1
+        shares.append(max(counts.values()) / len(non_empty))
+    return sum(shares) / len(shares) if shares else 1.0
+
+
+def detect_orientation(table: Table) -> str:
+    """``"horizontal"`` (relational) or ``"vertical"`` (entity card).
+
+    A table with a descriptive header row is horizontal outright.
+    Otherwise a table reads as a vertical card when its first column looks
+    like attribute labels (distinct, textual, non-numeric) while the value
+    columns mix types — relational tables keep each column type-coherent.
+    """
+    if table.has_descriptive_header():
+        return "horizontal"
+    if table.num_rows < 2 or table.num_columns < 2:
+        return "horizontal"
+
+    first_column = table.column_values(0)
+    labels = [c.text().strip().lower() for c in first_column]
+    first_is_labels = (
+        all(label and not cell.is_numeric
+            for label, cell in zip(labels, first_column))
+        and len(set(labels)) == len(labels)
+    )
+    if not first_is_labels:
+        return "horizontal"
+
+    value_groups = [table.column_values(c) for c in range(1, table.num_columns)]
+    value_coherence = _coherence(value_groups)
+    return "vertical" if value_coherence < 0.999 else "horizontal"
+
+
+def transpose_table(table: Table, header_from_first_column: bool = True) -> Table:
+    """Transpose a vertical entity card into horizontal layout.
+
+    With ``header_from_first_column`` (default) the first column becomes
+    the header and the remaining columns become data rows — the inverse of
+    how infoboxes are written.
+    """
+    if table.num_columns < 1:
+        raise ValueError("cannot transpose an empty table")
+    if header_from_first_column:
+        header = [cell.text() for cell in table.column_values(0)]
+        rows = [
+            [table.cell(r, c) for r in range(table.num_rows)]
+            for c in range(1, table.num_columns)
+        ]
+    else:
+        header = [""] * table.num_rows
+        rows = [
+            [table.cell(r, c) for r in range(table.num_rows)]
+            for c in range(table.num_columns)
+        ]
+    return Table(header, rows, context=table.context,
+                 table_id=table.table_id)
+
+
+def normalize_orientation(table: Table) -> Table:
+    """Return the table in horizontal layout, transposing if needed."""
+    if detect_orientation(table) == "vertical":
+        return transpose_table(table)
+    return table

@@ -1,0 +1,81 @@
+"""Column type inference — the schema signal used by serializers and tasks.
+
+Column types matter twice in the paper: serializers may tag cells with their
+type (Fig. 2b "Type" row), and the column-type-prediction downstream task
+(Section 2.1, "Table Metadata Prediction") needs gold types to train against.
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+
+from .table import Cell, Table
+
+__all__ = ["ColumnType", "infer_column_type", "infer_schema"]
+
+
+class ColumnType(str, Enum):
+    """Semantic type of a column's values."""
+
+    TEXT = "text"
+    NUMBER = "number"
+    DATE = "date"
+    BOOLEAN = "boolean"
+    EMPTY = "empty"
+    MIXED = "mixed"
+
+
+_DATE_PATTERNS = (
+    re.compile(r"^\d{4}-\d{1,2}-\d{1,2}$"),
+    re.compile(r"^\d{1,2}/\d{1,2}/\d{2,4}$"),
+    re.compile(r"^\d{4}$"),  # bare years, common in web tables
+    re.compile(r"^(january|february|march|april|may|june|july|august|september|"
+               r"october|november|december)\s+\d{1,2},?\s+\d{4}$", re.IGNORECASE),
+)
+
+_BOOLEAN_VALUES = {"true", "false", "yes", "no"}
+
+
+def _cell_type(cell: Cell) -> ColumnType:
+    if cell.is_empty:
+        return ColumnType.EMPTY
+    text = cell.text().strip().lower()
+    if text in _BOOLEAN_VALUES:
+        return ColumnType.BOOLEAN
+    if any(pattern.match(text) for pattern in _DATE_PATTERNS):
+        return ColumnType.DATE
+    if cell.is_numeric:
+        return ColumnType.NUMBER
+    return ColumnType.TEXT
+
+
+def infer_column_type(cells: list[Cell], dominance: float = 0.7) -> ColumnType:
+    """Infer the type of a column from its cells.
+
+    A type wins if it covers at least ``dominance`` of the non-empty cells;
+    otherwise the column is MIXED.  All-empty columns are EMPTY.
+    """
+    non_empty = [c for c in cells if not c.is_empty]
+    if not non_empty:
+        return ColumnType.EMPTY
+    counts: dict[ColumnType, int] = {}
+    for cell in non_empty:
+        kind = _cell_type(cell)
+        counts[kind] = counts.get(kind, 0) + 1
+    best_type, best_count = max(counts.items(), key=lambda item: item[1])
+    if best_count / len(non_empty) >= dominance:
+        return best_type
+    # DATE cells also parse as numbers for bare years; treat a
+    # number+date blend as DATE-leaning NUMBER rather than MIXED.
+    if set(counts) <= {ColumnType.NUMBER, ColumnType.DATE}:
+        return ColumnType.NUMBER
+    return ColumnType.MIXED
+
+
+def infer_schema(table: Table, dominance: float = 0.7) -> list[ColumnType]:
+    """Column types for every column of ``table``, left to right."""
+    return [
+        infer_column_type(table.column_values(c), dominance=dominance)
+        for c in range(table.num_columns)
+    ]

@@ -1,0 +1,212 @@
+"""The relational table data structure shared by every component.
+
+A :class:`Table` is a header plus a rectangular grid of cells, with optional
+*context* (title, caption, page section — the textual signals Fig. 1 of the
+paper concatenates with the serialized table) and optional *entity
+annotations* (cell → entity id links, the supervision TURL-style masked
+entity recovery needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = ["Cell", "TableContext", "Table"]
+
+CellValue = str | float | int | None
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One table cell: its raw value plus an optional linked entity id."""
+
+    value: CellValue
+    entity_id: int | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.value is None or (isinstance(self.value, str) and not self.value.strip())
+
+    @property
+    def is_numeric(self) -> bool:
+        if isinstance(self.value, bool):
+            return False
+        if isinstance(self.value, (int, float)):
+            return True
+        if isinstance(self.value, str):
+            return _parses_as_number(self.value)
+        return False
+
+    def text(self) -> str:
+        """Render the cell for serialization; empty cells become ''."""
+        if self.value is None:
+            return ""
+        if isinstance(self.value, float) and self.value.is_integer():
+            return str(int(self.value))
+        return str(self.value)
+
+
+def _parses_as_number(text: str) -> bool:
+    cleaned = text.strip().replace(",", "")
+    if not cleaned:
+        return False
+    try:
+        float(cleaned)
+    except ValueError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class TableContext:
+    """Textual context accompanying a table (survey dimension 2)."""
+
+    title: str = ""
+    caption: str = ""
+    section: str = ""
+
+    def text(self) -> str:
+        """All context fields joined into one string, empty parts skipped."""
+        return " ".join(part for part in (self.title, self.section, self.caption) if part)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.title or self.caption or self.section)
+
+
+class Table:
+    """A relational table: header, grid of cells, context, identity.
+
+    Parameters
+    ----------
+    header:
+        Column names; may contain empty strings for headerless data.
+    rows:
+        Rectangular grid; each row is a sequence of raw values or
+        :class:`Cell` objects.
+    context:
+        Optional textual context.
+    table_id:
+        Stable identifier used by retrieval and the corpus splits.
+    """
+
+    def __init__(
+        self,
+        header: Sequence[str],
+        rows: Sequence[Sequence[CellValue | Cell]],
+        context: TableContext | None = None,
+        table_id: str = "",
+    ) -> None:
+        self.header = [str(h) for h in header]
+        self.rows: list[list[Cell]] = []
+        for row_index, row in enumerate(rows):
+            if len(row) != len(self.header):
+                raise ValueError(
+                    f"row {row_index} has {len(row)} cells, header has {len(self.header)}"
+                )
+            self.rows.append([c if isinstance(c, Cell) else Cell(c) for c in row])
+        self.context = context or TableContext()
+        self.table_id = table_id
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.header)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_columns)
+
+    def cell(self, row: int, column: int) -> Cell:
+        return self.rows[row][column]
+
+    def column_values(self, column: int) -> list[Cell]:
+        """All cells of one column, top to bottom."""
+        return [row[column] for row in self.rows]
+
+    def column_index(self, name: str) -> int:
+        """Index of the column named ``name`` (exact match)."""
+        try:
+            return self.header.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; header={self.header}") from None
+
+    def iter_cells(self) -> Iterator[tuple[int, int, Cell]]:
+        """Yield ``(row_index, column_index, cell)`` in row-major order."""
+        for r, row in enumerate(self.rows):
+            for c, cell in enumerate(row):
+                yield r, c, cell
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def subtable(self, row_indices: Sequence[int] | None = None,
+                 column_indices: Sequence[int] | None = None) -> "Table":
+        """A new table restricted to the given rows/columns (both optional)."""
+        row_idx = list(row_indices) if row_indices is not None else list(range(self.num_rows))
+        col_idx = (list(column_indices) if column_indices is not None
+                   else list(range(self.num_columns)))
+        header = [self.header[c] for c in col_idx]
+        rows = [[self.rows[r][c] for c in col_idx] for r in row_idx]
+        return Table(header, rows, context=self.context, table_id=self.table_id)
+
+    def with_rows_permuted(self, permutation: Sequence[int]) -> "Table":
+        """Reorder rows — used by the consistency benchmark (E11)."""
+        if sorted(permutation) != list(range(self.num_rows)):
+            raise ValueError("permutation must reorder exactly the existing rows")
+        return self.subtable(row_indices=permutation)
+
+    def without_header(self) -> "Table":
+        """Replace all column names with empty strings (failure-mode probe)."""
+        return Table([""] * self.num_columns, self.rows,
+                     context=self.context, table_id=self.table_id)
+
+    def replace_cell(self, row: int, column: int, value: CellValue | Cell) -> "Table":
+        """A copy with one cell replaced (used for masking / imputation)."""
+        cell = value if isinstance(value, Cell) else Cell(value)
+        rows = [list(r) for r in self.rows]
+        rows[row][column] = cell
+        return Table(self.header, rows, context=self.context, table_id=self.table_id)
+
+    # ------------------------------------------------------------------
+    # Statistics used by filtering and analysis
+    # ------------------------------------------------------------------
+    def empty_fraction(self) -> float:
+        """Fraction of empty cells (0 for a dense table)."""
+        total = self.num_rows * self.num_columns
+        if total == 0:
+            return 0.0
+        empty = sum(1 for _, _, cell in self.iter_cells() if cell.is_empty)
+        return empty / total
+
+    def numeric_fraction(self) -> float:
+        """Fraction of non-empty cells that parse as numbers."""
+        non_empty = [cell for _, _, cell in self.iter_cells() if not cell.is_empty]
+        if not non_empty:
+            return 0.0
+        return sum(1 for cell in non_empty if cell.is_numeric) / len(non_empty)
+
+    def has_descriptive_header(self) -> bool:
+        """Whether at least half the column names are non-empty words."""
+        if not self.header:
+            return False
+        named = sum(1 for h in self.header if h.strip())
+        return named >= (len(self.header) + 1) // 2
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (self.header == other.header and self.rows == other.rows
+                and self.context == other.context)
+
+    def __repr__(self) -> str:
+        ident = f" id={self.table_id!r}" if self.table_id else ""
+        return f"Table({self.num_rows}x{self.num_columns}{ident}, header={self.header})"

@@ -1,0 +1,99 @@
+"""Shared fine-tuning machinery: span pooling, minibatching, the loop.
+
+Fine-tuning (Fig. 1, pipeline (2)) is identical across tasks: minibatch
+examples, compute a task loss on top of encoder representations, Adam-step.
+Task modules implement ``loss(examples) -> Tensor`` and plug into
+:func:`finetune`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Adam, Tensor, clip_gradients
+from ..models import TableEncoder
+
+__all__ = ["FinetuneConfig", "finetune", "pooled_span", "minibatches"]
+
+
+@dataclass(frozen=True)
+class FinetuneConfig:
+    """Hyperparameters of a fine-tuning run."""
+
+    epochs: int = 3
+    batch_size: int = 8
+    learning_rate: float = 2e-3
+    grad_clip: float = 1.0
+    seed: int = 0
+    freeze_encoder: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+def pooled_span(hidden: Tensor, batch_index: int,
+                span: tuple[int, int]) -> Tensor:
+    """Mean of hidden states over ``span`` for one batch element, ``(dim,)``.
+
+    Falls back to the [CLS] position for empty spans so downstream heads
+    always receive a vector.
+    """
+    start, end = span
+    if end <= start:
+        return hidden[batch_index, 0]
+    return hidden[batch_index, start:end].mean(axis=0)
+
+
+def minibatches(items: list, batch_size: int,
+                rng: np.random.Generator | None = None):
+    """Yield shuffled (if ``rng``) fixed-size chunks of ``items``."""
+    order = np.arange(len(items))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(items), batch_size):
+        yield [items[int(i)] for i in order[start:start + batch_size]]
+
+
+def finetune(task, examples: list, config: FinetuneConfig | None = None,
+             encoder: TableEncoder | None = None) -> list[float]:
+    """Generic fine-tuning loop; returns per-step loss history.
+
+    Parameters
+    ----------
+    task:
+        Module exposing ``loss(batch_of_examples) -> Tensor`` and
+        ``parameters()``.
+    encoder:
+        When ``config.freeze_encoder`` is set, parameters belonging to this
+        encoder are excluded from optimization (linear-probe fine-tuning).
+    """
+    config = config or FinetuneConfig()
+    if not examples:
+        raise ValueError("no fine-tuning examples provided")
+    rng = np.random.default_rng(config.seed)
+
+    parameters = list(task.parameters())
+    if config.freeze_encoder:
+        if encoder is None:
+            raise ValueError("freeze_encoder requires the encoder argument")
+        frozen = {id(p) for p in encoder.parameters()}
+        parameters = [p for p in parameters if id(p) not in frozen]
+        if not parameters:
+            raise ValueError("freezing the encoder left nothing to train")
+    optimizer = Adam(parameters, lr=config.learning_rate)
+
+    task.train()
+    history: list[float] = []
+    for _ in range(config.epochs):
+        for batch in minibatches(examples, config.batch_size, rng):
+            optimizer.zero_grad()
+            loss = task.loss(batch)
+            loss.backward()
+            clip_gradients(parameters, config.grad_clip)
+            optimizer.step()
+            history.append(float(loss.data))
+    task.eval()
+    return history

@@ -1,0 +1,58 @@
+"""Table NLI / fact verification (TabFact-style, §2.1).
+
+The statement is concatenated as context; a two-way classifier over the
+[CLS] representation decides entailed vs refuted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..corpus import NLIExample
+from ..eval import accuracy, precision_recall_f1
+from ..models import ClassificationHead, TableEncoder
+from ..nn import Module, Tensor, cross_entropy, no_grad
+
+__all__ = ["NliClassifier"]
+
+
+class NliClassifier(Module):
+    """Binary entailment classifier over (statement, table) pairs."""
+
+    def __init__(self, encoder: TableEncoder, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.head = ClassificationHead(encoder.config.dim, 2, rng)
+
+    def logits(self, examples: list[NLIExample]) -> Tensor:
+        tables = [e.table for e in examples]
+        statements = [e.statement for e in examples]
+        batch, _ = self.encoder.batch(tables, statements)
+        hidden = self.encoder(batch)
+        return self.head(hidden[:, 0])
+
+    def loss(self, examples: list[NLIExample]) -> Tensor:
+        targets = np.array([e.label for e in examples], dtype=np.int64)
+        return cross_entropy(self.logits(examples), targets)
+
+    def predict(self, examples: list[NLIExample]) -> list[int]:
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                predictions = self.logits(examples).data.argmax(axis=-1)
+        finally:
+            if was_training:
+                self.train()
+        return [int(p) for p in predictions]
+
+    def evaluate(self, examples: list[NLIExample]) -> dict[str, float]:
+        predictions = self.predict(examples)
+        golds = [e.label for e in examples]
+        precision, recall, f1 = precision_recall_f1(predictions, golds)
+        return {
+            "accuracy": accuracy(predictions, golds),
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+        }

@@ -1,0 +1,11 @@
+"""Text substrate: normalization, vocabulary, WordPiece tokenizer."""
+
+from .normalize import normalize_number, normalize_text, word_tokenize
+from .tokenizer import WordPieceTokenizer, train_tokenizer
+from .vocab import SPECIAL_TOKENS, Vocab
+
+__all__ = [
+    "normalize_text", "word_tokenize", "normalize_number",
+    "Vocab", "SPECIAL_TOKENS",
+    "WordPieceTokenizer", "train_tokenizer",
+]

@@ -1,0 +1,36 @@
+"""Text normalization and word-level tokenization.
+
+These are the pre-tokenization steps shared by the subword tokenizer, the
+content-snapshot row filter and the retrieval lexical baseline.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = ["normalize_text", "word_tokenize", "normalize_number"]
+
+_WORD_RE = re.compile(r"\d+\.\d+|\w+|[^\w\s]")
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase, strip accents, collapse whitespace."""
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    text = text.lower()
+    return " ".join(text.split())
+
+
+def word_tokenize(text: str) -> list[str]:
+    """Split into words, decimal numbers and punctuation marks."""
+    return _WORD_RE.findall(text)
+
+
+def normalize_number(value: float | int) -> str:
+    """Canonical text for a number: integers without '.0', floats trimmed."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return f"{value:.6g}"

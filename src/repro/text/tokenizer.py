@@ -1,0 +1,157 @@
+"""WordPiece-style subword tokenizer trained with BPE merges.
+
+BERT and its tabular descendants all consume subword tokens.  This tokenizer
+reproduces the mechanism at small scale: training learns frequent merges
+bottom-up from characters; encoding greedily matches the longest known piece,
+marking word-internal continuations with the ``##`` prefix.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .normalize import normalize_text, word_tokenize
+from .vocab import Vocab
+
+__all__ = ["WordPieceTokenizer", "train_tokenizer"]
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first subword tokenizer over a :class:`Vocab`."""
+
+    def __init__(self, vocab: Vocab, max_word_chars: int = 64) -> None:
+        self.vocab = vocab
+        self.max_word_chars = max_word_chars
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def tokenize_word(self, word: str) -> list[str]:
+        """Split one word into subword pieces (``['play', '##ing']``)."""
+        if word in self.vocab:
+            return [word]
+        if len(word) > self.max_word_chars:
+            return [self.vocab.unk_token]
+        pieces: list[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [self.vocab.unk_token]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> list[str]:
+        """Normalize, word-split and subword-split ``text``."""
+        tokens: list[str] = []
+        for word in word_tokenize(normalize_text(text)):
+            tokens.extend(self.tokenize_word(word))
+        return tokens
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids for ``text`` (no specials added)."""
+        return [self.vocab.id(t) for t in self.tokenize(text)]
+
+    def decode(self, ids: Iterable[int], skip_special: bool = True) -> str:
+        """Best-effort inverse of :meth:`encode`."""
+        words: list[str] = []
+        from .vocab import SPECIAL_TOKENS
+        for token_id in ids:
+            token = self.vocab.token(int(token_id))
+            if skip_special and token in SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "max_word_chars": self.max_word_chars,
+            "tokens": [self.vocab.token(i) for i in range(len(self.vocab))],
+        }
+        path.write_text(json.dumps(payload, ensure_ascii=False))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WordPieceTokenizer":
+        payload = json.loads(Path(path).read_text())
+        from .vocab import SPECIAL_TOKENS
+        tokens = payload["tokens"][len(SPECIAL_TOKENS):]
+        return cls(Vocab(tokens), max_word_chars=payload["max_word_chars"])
+
+
+def _word_frequencies(texts: Iterable[str]) -> Counter:
+    counts: Counter = Counter()
+    for text in texts:
+        counts.update(word_tokenize(normalize_text(text)))
+    return counts
+
+
+def train_tokenizer(texts: Iterable[str], vocab_size: int = 2000,
+                    min_pair_frequency: int = 2) -> WordPieceTokenizer:
+    """Learn a WordPiece vocabulary from raw texts.
+
+    Starts from single characters (word-initial and ``##``-continuation
+    forms) and repeatedly merges the most frequent adjacent pair until
+    ``vocab_size`` is reached or no pair passes ``min_pair_frequency``.
+    """
+    word_freq = _word_frequencies(texts)
+
+    # Each word is a sequence of pieces; begin fully split into characters.
+    words: list[tuple[list[str], int]] = []
+    alphabet: set[str] = set()
+    for word, freq in word_freq.items():
+        pieces = [word[0]] + ["##" + ch for ch in word[1:]]
+        words.append((pieces, freq))
+        alphabet.update(pieces)
+
+    vocab_tokens: list[str] = sorted(alphabet)
+    budget = vocab_size - len(Vocab()) - len(vocab_tokens)
+
+    merged: list[str] = []
+    while budget > 0:
+        pair_counts: Counter = Counter()
+        for pieces, freq in words:
+            for left, right in zip(pieces, pieces[1:]):
+                pair_counts[(left, right)] += freq
+        if not pair_counts:
+            break
+        (left, right), freq = pair_counts.most_common(1)[0]
+        if freq < min_pair_frequency:
+            break
+        new_piece = left + right[2:] if right.startswith("##") else left + right
+        merged.append(new_piece)
+        budget -= 1
+        for index, (pieces, word_count) in enumerate(words):
+            out: list[str] = []
+            i = 0
+            while i < len(pieces):
+                if i + 1 < len(pieces) and pieces[i] == left and pieces[i + 1] == right:
+                    out.append(new_piece)
+                    i += 2
+                else:
+                    out.append(pieces[i])
+                    i += 1
+            words[index] = (out, word_count)
+
+    return WordPieceTokenizer(Vocab(vocab_tokens + merged))

@@ -1,0 +1,18 @@
+"""Visualization substrate: attention heatmaps, embedding inspection."""
+
+from .attention import attention_entropy, attention_heatmap, top_attended_tokens
+from .embeddings import nearest_neighbors, pca_2d, similarity_report
+from .explain import (
+    CellAttribution,
+    attention_attribution,
+    explain_scalar,
+    gradient_saliency,
+    render_attribution,
+)
+
+__all__ = [
+    "attention_heatmap", "attention_entropy", "top_attended_tokens",
+    "nearest_neighbors", "pca_2d", "similarity_report",
+    "CellAttribution", "gradient_saliency", "attention_attribution",
+    "explain_scalar", "render_attribution",
+]

@@ -1,0 +1,71 @@
+"""Text-mode attention visualization (hands-on §3.3 "utility code to
+visualize the attention weights").
+
+Everything renders to plain strings so it works in any terminal or
+notebook without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["attention_heatmap", "attention_entropy", "top_attended_tokens"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def attention_heatmap(weights: np.ndarray, tokens: list[str],
+                      max_tokens: int = 24, label_width: int = 10) -> str:
+    """ASCII heatmap of one head's attention matrix.
+
+    Parameters
+    ----------
+    weights:
+        Square attention matrix ``(seq, seq)`` with rows summing to 1.
+    tokens:
+        Token labels, same length as the matrix.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError(f"expected a square matrix, got {weights.shape}")
+    if len(tokens) != weights.shape[0]:
+        raise ValueError("token count must match matrix size")
+    n = min(len(tokens), max_tokens)
+    peak = weights[:n, :n].max() or 1.0
+
+    lines = []
+    for i in range(n):
+        label = tokens[i][:label_width].rjust(label_width)
+        row = "".join(
+            _SHADES[min(int(weights[i, j] / peak * (len(_SHADES) - 1)),
+                        len(_SHADES) - 1)]
+            for j in range(n)
+        )
+        lines.append(f"{label} |{row}|")
+    return "\n".join(lines)
+
+
+def attention_entropy(weights: np.ndarray) -> float:
+    """Mean Shannon entropy (nats) of the attention rows.
+
+    Low entropy = focused heads; high entropy = diffuse attention.  Useful
+    for contrasting dense vs. masked attention patterns.
+    """
+    weights = np.asarray(weights)
+    rows = weights.reshape(-1, weights.shape[-1])
+    safe = np.clip(rows, 1e-12, 1.0)
+    entropy = -(safe * np.log(safe)).sum(axis=-1)
+    return float(entropy.mean())
+
+
+def top_attended_tokens(weights: np.ndarray, tokens: list[str],
+                        query_index: int, k: int = 5) -> list[tuple[str, float]]:
+    """The ``k`` tokens a given query position attends to most."""
+    weights = np.asarray(weights)
+    if not 0 <= query_index < weights.shape[0]:
+        raise IndexError(f"query_index {query_index} out of range")
+    row = weights[query_index]
+    order = np.argsort(-row)[:k]
+    return [(tokens[int(j)], float(row[int(j)])) for j in order]

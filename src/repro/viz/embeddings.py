@@ -1,0 +1,43 @@
+"""Embedding inspection utilities: neighbours and 2-D projections."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nearest_neighbors", "pca_2d", "similarity_report"]
+
+
+def nearest_neighbors(matrix: np.ndarray, labels: list[str], query_index: int,
+                      k: int = 5) -> list[tuple[str, float]]:
+    """Top-k cosine neighbours of one row of an embedding matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or len(labels) != matrix.shape[0]:
+        raise ValueError("matrix must be (n, d) with matching labels")
+    if not 0 <= query_index < matrix.shape[0]:
+        raise IndexError("query_index out of range")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True) + 1e-9
+    unit = matrix / norms
+    scores = unit @ unit[query_index]
+    order = [i for i in np.argsort(scores)[::-1] if i != query_index][:k]
+    return [(labels[int(i)], float(scores[int(i)])) for i in order]
+
+
+def pca_2d(matrix: np.ndarray) -> np.ndarray:
+    """Project rows onto their top two principal components, ``(n, 2)``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] < 2:
+        raise ValueError("need at least two rows to project")
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:2].T
+
+
+def similarity_report(matrix: np.ndarray, labels: list[str],
+                      k: int = 3) -> str:
+    """Multi-line report of each row's nearest neighbours."""
+    lines = []
+    for index, label in enumerate(labels):
+        neighbours = nearest_neighbors(matrix, labels, index, k=k)
+        rendered = ", ".join(f"{name} ({score:.2f})" for name, score in neighbours)
+        lines.append(f"{label}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("corpus")
+    assert main(["corpus", "--kind", "wiki", "--size", "8",
+                 "--out", str(out)]) == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("corpus", "encode", "pretrain", "behavioral"):
+            args = parser.parse_args(
+                [command] + (["--out", "x"] if command == "corpus" else
+                             ["dummy"] + (["--out", "x"]
+                                          if command == "pretrain" else [])))
+            assert args.command == command
+
+
+class TestCorpusCommand:
+    def test_writes_csvs_and_manifest(self, corpus_dir):
+        csvs = list(corpus_dir.glob("*.csv"))
+        assert len(csvs) == 8
+        manifest = json.loads((corpus_dir / "manifest.json").read_text())
+        assert len(manifest) == 8
+        assert all("table_id" in entry for entry in manifest)
+
+    def test_git_kind(self, tmp_path):
+        assert main(["corpus", "--kind", "git", "--size", "3",
+                     "--out", str(tmp_path / "git")]) == 0
+        assert len(list((tmp_path / "git").glob("*.csv"))) == 3
+
+
+class TestEncodeCommand:
+    def test_encode_prints_summary(self, corpus_dir, capsys):
+        table = sorted(corpus_dir.glob("*.csv"))[0]
+        assert main(["encode", str(table), "--model", "bert"]) == 0
+        out = capsys.readouterr().out
+        assert "table embedding" in out
+        assert "top-3 cells" in out
+
+    def test_unknown_model_rejected(self, corpus_dir):
+        table = sorted(corpus_dir.glob("*.csv"))[0]
+        with pytest.raises(SystemExit):
+            main(["encode", str(table), "--model", "gpt9"])
+
+
+class TestPretrainCommand:
+    def test_pretrain_saves_bundle(self, corpus_dir, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(["pretrain", str(corpus_dir), "--model", "bert",
+                     "--steps", "3", "--dim", "16", "--layers", "1",
+                     "--out", str(bundle)]) == 0
+        assert (bundle / "weights.npz").exists()
+        assert (bundle / "tokenizer.json").exists()
+        assert "loss" in capsys.readouterr().out
+
+    def test_encode_with_bundle(self, corpus_dir, tmp_path, capsys):
+        bundle = tmp_path / "bundle2"
+        main(["pretrain", str(corpus_dir), "--model", "bert", "--steps", "2",
+              "--dim", "16", "--layers", "1", "--out", str(bundle)])
+        table = sorted(corpus_dir.glob("*.csv"))[0]
+        assert main(["encode", str(table), "--model", str(bundle)]) == 0
+        assert "bert" in capsys.readouterr().out
+
+    def test_empty_corpus_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["pretrain", str(tmp_path), "--out", str(tmp_path / "b")])
+
+
+class TestBehavioralCommand:
+    def test_report_printed(self, corpus_dir, capsys):
+        code = main(["behavioral", str(corpus_dir), "--model", "tapas"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[INV]" in out and "[MFT]" in out

@@ -1,0 +1,59 @@
+"""Tests for the Fig. 1 pretrain→fine-tune pipeline."""
+
+import pytest
+
+from repro.core import build_tokenizer_for_tables, run_imputation_pipeline
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig
+from repro.pretrain import PretrainConfig
+from repro.tasks import FinetuneConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_wiki_corpus(KnowledgeBase(seed=0), 40, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(corpus):
+    return build_tokenizer_for_tables(corpus, vocab_size=700)
+
+
+@pytest.fixture(scope="module")
+def config(tokenizer):
+    return EncoderConfig(vocab_size=len(tokenizer.vocab), dim=16, num_heads=2,
+                         num_layers=1, hidden_dim=32, max_position=128)
+
+
+FAST_PRETRAIN = PretrainConfig(steps=15, batch_size=6, learning_rate=3e-3)
+FAST_FINETUNE = FinetuneConfig(epochs=5, batch_size=8, learning_rate=3e-3)
+
+
+class TestPipeline:
+    def test_small_corpus_rejected(self, corpus, tokenizer, config):
+        with pytest.raises(ValueError):
+            run_imputation_pipeline(corpus[:5], tokenizer=tokenizer,
+                                    config=config)
+
+    def test_pretrained_run_records_history(self, corpus, tokenizer, config):
+        result = run_imputation_pipeline(
+            corpus, model_name="bert", pretrained=True, tokenizer=tokenizer,
+            config=config, pretrain_config=FAST_PRETRAIN,
+            finetune_config=FAST_FINETUNE)
+        assert result.pretrained
+        assert len(result.pretrain_history) == FAST_PRETRAIN.steps
+        assert result.finetune_history
+        assert 0.0 <= result.test_metrics["accuracy"] <= 1.0
+
+    def test_scratch_run_skips_pretraining(self, corpus, tokenizer, config):
+        result = run_imputation_pipeline(
+            corpus, model_name="bert", pretrained=False, tokenizer=tokenizer,
+            config=config, finetune_config=FAST_FINETUNE)
+        assert result.pretrain_history == []
+
+    def test_summary_readable(self, corpus, tokenizer, config):
+        result = run_imputation_pipeline(
+            corpus, model_name="bert", pretrained=False, tokenizer=tokenizer,
+            config=config, finetune_config=FAST_FINETUNE)
+        assert "bert" in result.summary()
+        assert "from-scratch" in result.summary()

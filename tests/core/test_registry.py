@@ -1,0 +1,102 @@
+"""Tests for the model registry and pretrained bundles."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_tokenizer_for_tables,
+    create_model,
+    load_pretrained,
+    save_pretrained,
+    text_corpus_from_tables,
+)
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_wiki_corpus(KnowledgeBase(seed=0), 10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(tables):
+    return build_tokenizer_for_tables(tables, vocab_size=600)
+
+
+@pytest.fixture(scope="module")
+def config(tokenizer):
+    return EncoderConfig(vocab_size=len(tokenizer.vocab), dim=16, num_heads=2,
+                         num_layers=1, hidden_dim=32, max_position=128,
+                         num_entities=200)
+
+
+class TestTextCorpus:
+    def test_covers_headers_and_cells(self, tables):
+        texts = text_corpus_from_tables(tables)
+        joined = " ".join(texts)
+        assert tables[0].header[0] in joined
+        assert tables[0].cell(0, 0).text() in joined
+
+
+class TestCreateModel:
+    def test_every_registered_model_constructible(self, tokenizer, config):
+        from repro.models import MODEL_CLASSES
+        for name in MODEL_CLASSES:
+            model = create_model(name, tokenizer, config=config)
+            assert model.model_name == name
+
+    def test_unknown_name_rejected(self, tokenizer, config):
+        with pytest.raises(KeyError):
+            create_model("gpt-17", tokenizer, config=config)
+
+    def test_vocab_mismatch_rejected(self, tokenizer):
+        bad = EncoderConfig(vocab_size=7)
+        with pytest.raises(ValueError):
+            create_model("bert", tokenizer, config=bad)
+
+    def test_default_config_matches_tokenizer(self, tokenizer):
+        model = create_model("bert", tokenizer)
+        assert model.config.vocab_size == len(tokenizer.vocab)
+
+    def test_kwargs_forwarded(self, tokenizer, config):
+        model = create_model("tabert", tokenizer, config=config, snapshot_rows=5)
+        assert model.snapshot_rows == 5
+
+    def test_seed_reproducibility(self, tokenizer, config, tables):
+        a = create_model("tapas", tokenizer, config=config, seed=7)
+        b = create_model("tapas", tokenizer, config=config, seed=7)
+        np.testing.assert_array_equal(
+            a.encode(tables[0]).table_embedding,
+            b.encode(tables[0]).table_embedding)
+
+
+class TestBundles:
+    @pytest.mark.parametrize("name", ["bert", "tapas", "turl", "mate"])
+    def test_roundtrip_identical_encodings(self, name, tokenizer, config,
+                                           tables, tmp_path):
+        model = create_model(name, tokenizer, config=config, seed=3)
+        save_pretrained(model, tmp_path / name)
+        loaded = load_pretrained(tmp_path / name)
+        np.testing.assert_allclose(
+            model.encode(tables[0]).table_embedding,
+            loaded.encode(tables[0]).table_embedding)
+
+    def test_kwargs_survive_roundtrip(self, tokenizer, config, tmp_path):
+        model = create_model("tabert", tokenizer, config=config,
+                             snapshot_rows=4)
+        save_pretrained(model, tmp_path / "tabert")
+        loaded = load_pretrained(tmp_path / "tabert")
+        assert loaded.snapshot_rows == 4
+
+    def test_loaded_model_in_eval_mode(self, tokenizer, config, tmp_path):
+        model = create_model("bert", tokenizer, config=config)
+        save_pretrained(model, tmp_path / "m")
+        assert not load_pretrained(tmp_path / "m").training
+
+    def test_bundle_files_present(self, tokenizer, config, tmp_path):
+        model = create_model("bert", tokenizer, config=config)
+        directory = save_pretrained(model, tmp_path / "m")
+        assert (directory / "weights.npz").exists()
+        assert (directory / "config.json").exists()
+        assert (directory / "tokenizer.json").exists()

@@ -1,0 +1,199 @@
+"""Tests for the downstream-task dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    KnowledgeBase,
+    build_coltype_dataset,
+    build_imputation_dataset,
+    build_nli_dataset,
+    build_qa_dataset,
+    build_retrieval_dataset,
+    build_text2sql_dataset,
+    generate_git_corpus,
+    generate_wiki_corpus,
+    question_from_query,
+)
+from repro.sql import Aggregate, execute
+from repro.tables import Table
+
+
+@pytest.fixture(scope="module")
+def wiki_tables():
+    return generate_wiki_corpus(KnowledgeBase(seed=0), 12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def git_tables():
+    return generate_git_corpus(12, seed=0)
+
+
+class TestImputation:
+    def test_blanked_cell_is_empty(self, wiki_tables):
+        rng = np.random.default_rng(0)
+        for ex in build_imputation_dataset(wiki_tables, rng):
+            assert ex.table.cell(ex.row, ex.column).is_empty
+            assert ex.answer_text
+
+    def test_answer_matches_original(self, wiki_tables):
+        rng = np.random.default_rng(1)
+        by_id = {t.table_id: t for t in wiki_tables}
+        for ex in build_imputation_dataset(wiki_tables, rng):
+            original = by_id[ex.table.table_id]
+            assert original.cell(ex.row, ex.column).text() == ex.answer_text
+
+    def test_text_cells_only_default(self, wiki_tables):
+        rng = np.random.default_rng(2)
+        by_id = {t.table_id: t for t in wiki_tables}
+        for ex in build_imputation_dataset(wiki_tables, rng):
+            assert not by_id[ex.table.table_id].cell(ex.row, ex.column).is_numeric
+
+    def test_numeric_cells_allowed_when_requested(self, git_tables):
+        rng = np.random.default_rng(3)
+        examples = build_imputation_dataset(git_tables, rng, text_cells_only=False)
+        by_id = {t.table_id: t for t in git_tables}
+        assert any(by_id[e.table.table_id].cell(e.row, e.column).is_numeric
+                   for e in examples)
+
+    def test_entity_ids_preserved(self, wiki_tables):
+        rng = np.random.default_rng(4)
+        examples = build_imputation_dataset(wiki_tables, rng)
+        assert any(e.answer_entity_id is not None for e in examples)
+
+    def test_per_table_respected(self, wiki_tables):
+        rng = np.random.default_rng(5)
+        examples = build_imputation_dataset(wiki_tables, rng, per_table=1)
+        ids = [e.table.table_id for e in examples]
+        assert all(ids.count(i) <= 1 for i in set(ids))
+
+
+class TestQA:
+    def test_coordinates_point_at_answers(self, wiki_tables):
+        rng = np.random.default_rng(0)
+        for ex in build_qa_dataset(wiki_tables, rng):
+            values = {ex.table.cell(r, c).text() for r, c in ex.answer_coordinates}
+            denot = {str(int(v)) if isinstance(v, float) and v.is_integer()
+                     else str(v) for v in ex.denotation}
+            assert values == denot or values >= denot
+
+    def test_denotation_matches_executor(self, wiki_tables):
+        rng = np.random.default_rng(1)
+        for ex in build_qa_dataset(wiki_tables, rng):
+            assert tuple(execute(ex.sql, ex.table)) == ex.denotation
+
+    def test_questions_templated(self, wiki_tables):
+        rng = np.random.default_rng(2)
+        examples = build_qa_dataset(wiki_tables, rng)
+        assert examples
+        for ex in examples:
+            assert ex.question.startswith("what is the")
+            assert ex.question.endswith("?")
+
+    def test_nonempty_answers_only(self, wiki_tables):
+        rng = np.random.default_rng(3)
+        for ex in build_qa_dataset(wiki_tables, rng):
+            assert ex.answer_coordinates
+
+
+class TestQuestionTemplates:
+    def test_count_phrase(self, wiki_tables):
+        rng = np.random.default_rng(0)
+        examples = build_text2sql_dataset(wiki_tables, rng, per_table=4)
+        count_examples = [e for e in examples if e.sql.aggregate is Aggregate.COUNT]
+        assert count_examples
+        for ex in count_examples:
+            assert ex.question.startswith("how many")
+
+    def test_min_max_phrases(self, git_tables):
+        rng = np.random.default_rng(1)
+        examples = build_text2sql_dataset(git_tables, rng, per_table=6)
+        phrases = {Aggregate.MIN: "lowest", Aggregate.MAX: "highest"}
+        for ex in examples:
+            if ex.sql.aggregate in phrases:
+                assert phrases[ex.sql.aggregate] in ex.question
+
+
+class TestNLI:
+    def test_balanced_labels(self, wiki_tables):
+        rng = np.random.default_rng(0)
+        examples = build_nli_dataset(wiki_tables, rng)
+        labels = [e.label for e in examples]
+        assert 0 in labels and 1 in labels
+
+    def test_entailed_statement_names_true_value(self, wiki_tables):
+        rng = np.random.default_rng(1)
+        for ex in build_nli_dataset(wiki_tables, rng):
+            if ex.label == 1:
+                # The statement's final token(s) must appear in the table.
+                cell_texts = {cell.text() for _, _, cell in ex.table.iter_cells()}
+                assert any(ex.statement.endswith(text) for text in cell_texts if text)
+
+    def test_refuted_statement_contradicts_table(self, wiki_tables):
+        rng = np.random.default_rng(2)
+        examples = build_nli_dataset(wiki_tables, rng)
+        refuted = [e for e in examples if e.label == 0]
+        assert refuted
+        for ex in refuted:
+            assert "is" in ex.statement
+
+    def test_tiny_tables_skipped(self):
+        table = Table(["a", "b"], [["x", "y"]], table_id="tiny")
+        assert build_nli_dataset([table], np.random.default_rng(0)) == []
+
+
+class TestRetrieval:
+    def test_every_query_has_positive(self, wiki_tables):
+        rng = np.random.default_rng(0)
+        table_ids = {t.table_id for t in wiki_tables}
+        examples = build_retrieval_dataset(wiki_tables, rng)
+        assert examples
+        for ex in examples:
+            assert ex.positive_table_id in table_ids
+            assert ex.query.strip()
+
+    def test_query_mentions_table_content(self, wiki_tables):
+        rng = np.random.default_rng(1)
+        by_id = {t.table_id: t for t in wiki_tables}
+        for ex in build_retrieval_dataset(wiki_tables, rng):
+            table = by_id[ex.positive_table_id]
+            table_text = " ".join(
+                [table.context.title]
+                + [cell.text() for _, _, cell in table.iter_cells()]
+            )
+            assert any(word in table_text for word in ex.query.split())
+
+
+class TestColumnType:
+    def test_label_is_hidden_header(self, wiki_tables):
+        for ex in build_coltype_dataset(wiki_tables):
+            assert ex.table.header[ex.column] == ""
+            assert ex.label
+
+    def test_other_headers_kept(self, wiki_tables):
+        examples = build_coltype_dataset(wiki_tables)
+        multi_col = [e for e in examples if e.table.num_columns > 1]
+        assert any(any(h for h in e.table.header) for e in multi_col)
+
+    def test_headerless_columns_skipped(self):
+        table = Table(["", "name"], [["1", "x"]], table_id="t")
+        examples = build_coltype_dataset([table])
+        assert len(examples) == 1
+        assert examples[0].label == "name"
+
+
+class TestText2Sql:
+    def test_denotation_matches_executor(self, wiki_tables):
+        rng = np.random.default_rng(0)
+        for ex in build_text2sql_dataset(wiki_tables, rng):
+            assert execute(ex.sql, ex.table) == ex.denotation
+
+    def test_sketch_constraints(self, wiki_tables):
+        rng = np.random.default_rng(1)
+        for ex in build_text2sql_dataset(wiki_tables, rng):
+            assert len(ex.sql.conditions) <= 1
+
+    def test_question_round_trip(self, wiki_tables):
+        rng = np.random.default_rng(2)
+        for ex in build_text2sql_dataset(wiki_tables, rng):
+            assert ex.question == question_from_query(ex.sql)

@@ -1,0 +1,127 @@
+"""Tests for the WikiTables- and GitTables-style corpus generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    GitTablesConfig,
+    KnowledgeBase,
+    WikiTablesConfig,
+    generate_git_corpus,
+    generate_git_table,
+    generate_wiki_corpus,
+    generate_wiki_table,
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+class TestWikiTables:
+    def test_table_rooted_in_domain(self, kb):
+        rng = np.random.default_rng(0)
+        table = generate_wiki_table(kb, rng, domain="countries")
+        assert table.header[0] == "country"
+        assert table.context.section == "countries"
+        assert table.context.title
+
+    def test_subject_cells_carry_entity_ids(self, kb):
+        rng = np.random.default_rng(1)
+        table = generate_wiki_table(kb, rng, domain="films")
+        for r in range(table.num_rows):
+            assert table.cell(r, 0).entity_id is not None
+
+    def test_facts_consistent_with_kb(self, kb):
+        rng = np.random.default_rng(2)
+        table = generate_wiki_table(kb, rng, domain="countries")
+        by_country = {r["country"].name: r for r in kb.domain_records("countries")}
+        for r in range(table.num_rows):
+            record = by_country[table.cell(r, 0).value]
+            for c in range(1, table.num_columns):
+                attr = table.header[c]
+                expected = record[attr]
+                actual = table.cell(r, c)
+                if hasattr(expected, "name"):
+                    assert actual.value == expected.name
+                    assert actual.entity_id == expected.entity_id
+                else:
+                    assert actual.value == expected
+
+    def test_row_and_attribute_bounds_respected(self, kb):
+        config = WikiTablesConfig(min_rows=2, max_rows=3,
+                                  min_attributes=1, max_attributes=2)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            table = generate_wiki_table(kb, rng, config=config)
+            assert 2 <= table.num_rows <= 3
+            assert 2 <= table.num_columns <= 3  # subject + 1..2 attrs
+
+    def test_no_duplicate_subject_rows(self, kb):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            table = generate_wiki_table(kb, rng)
+            subjects = [table.cell(r, 0).value for r in range(table.num_rows)]
+            assert len(subjects) == len(set(subjects))
+
+    def test_corpus_ids_and_determinism(self, kb):
+        corpus_a = generate_wiki_corpus(kb, 5, seed=9)
+        corpus_b = generate_wiki_corpus(kb, 5, seed=9)
+        assert [t.table_id for t in corpus_a] == [f"wiki-{i}" for i in range(5)]
+        assert all(a == b for a, b in zip(corpus_a, corpus_b))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WikiTablesConfig(min_rows=0)
+        with pytest.raises(ValueError):
+            WikiTablesConfig(min_attributes=3, max_attributes=2)
+
+
+class TestGitTables:
+    def test_flavor_respected(self):
+        rng = np.random.default_rng(0)
+        table = generate_git_table(rng, flavor="hr")
+        assert table.num_columns >= 3
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(KeyError):
+            generate_git_table(np.random.default_rng(0), flavor="bogus")
+
+    def test_headerless_probability_one(self):
+        config = GitTablesConfig(headerless_probability=1.0)
+        rng = np.random.default_rng(1)
+        table = generate_git_table(rng, config=config)
+        assert all(h == "" for h in table.header)
+
+    def test_missing_cells_generated(self):
+        config = GitTablesConfig(missing_cell_probability=0.5, min_rows=8, max_rows=8)
+        rng = np.random.default_rng(2)
+        table = generate_git_table(rng, config=config)
+        assert table.empty_fraction() > 0
+
+    def test_no_missing_when_probability_zero(self):
+        config = GitTablesConfig(missing_cell_probability=0.0,
+                                 headerless_probability=0.0)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            table = generate_git_table(rng, config=config)
+            assert table.empty_fraction() == 0.0
+
+    def test_numeric_heavier_than_wiki(self, kb):
+        git = generate_git_corpus(20, seed=5)
+        wiki = generate_wiki_corpus(kb, 20, seed=5)
+        git_numeric = np.mean([t.numeric_fraction() for t in git])
+        wiki_numeric = np.mean([t.numeric_fraction() for t in wiki])
+        assert git_numeric > wiki_numeric
+
+    def test_corpus_determinism(self):
+        a = generate_git_corpus(5, seed=11)
+        b = generate_git_corpus(5, seed=11)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GitTablesConfig(missing_cell_probability=1.5)
+        with pytest.raises(ValueError):
+            GitTablesConfig(min_rows=5, max_rows=2)

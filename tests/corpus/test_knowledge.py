@@ -1,0 +1,75 @@
+"""Tests for the synthetic knowledge base."""
+
+import pytest
+
+from repro.corpus import DOMAINS, KnowledgeBase
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+class TestConstruction:
+    def test_deterministic_given_seed(self):
+        a, b = KnowledgeBase(seed=3), KnowledgeBase(seed=3)
+        assert [e.name for e in a.entities] == [e.name for e in b.entities]
+        assert a.facts["countries"][0]["population"] == b.facts["countries"][0]["population"]
+
+    def test_different_seeds_differ(self):
+        a, b = KnowledgeBase(seed=1), KnowledgeBase(seed=2)
+        pop_a = [r["population"] for r in a.facts["countries"]]
+        pop_b = [r["population"] for r in b.facts["countries"]]
+        assert pop_a != pop_b
+
+    def test_entity_ids_dense(self, kb):
+        assert [e.entity_id for e in kb.entities] == list(range(kb.num_entities))
+
+    def test_all_domains_populated(self, kb):
+        for domain in DOMAINS:
+            assert kb.domain_records(domain)
+
+    def test_sizes_configurable(self):
+        kb = KnowledgeBase(seed=0, num_films=10, num_athletes=5, num_companies=7)
+        assert len(kb.facts["films"]) == 10
+        assert len(kb.facts["athletes"]) == 5
+        assert len(kb.facts["companies"]) == 7
+
+
+class TestConsistency:
+    def test_capitals_are_entities(self, kb):
+        for record in kb.domain_records("countries"):
+            assert record["capital"].etype == "city"
+
+    def test_film_language_matches_country(self, kb):
+        country_language = {r["country"].entity_id: r["language"]
+                           for r in kb.domain_records("countries")}
+        for film in kb.domain_records("films"):
+            assert film["language"] == country_language[film["country"].entity_id]
+
+    def test_subject_names_unique_per_domain(self, kb):
+        for domain in DOMAINS:
+            subject = kb.subject_attribute(domain)
+            names = [r[subject].name for r in kb.domain_records(domain)]
+            assert len(names) == len(set(names))
+
+    def test_entities_of_type(self, kb):
+        countries = kb.entities_of_type("country")
+        assert len(countries) == 30
+        assert all(e.etype == "country" for e in countries)
+        assert kb.entities_of_type("nonexistent") == []
+
+
+class TestAccessors:
+    def test_attribute_names_exclude_subject(self, kb):
+        attrs = kb.attribute_names("countries")
+        assert "country" not in attrs
+        assert "capital" in attrs
+
+    def test_unknown_domain_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.domain_records("planets")
+
+    def test_entity_lookup(self, kb):
+        entity = kb.entities[5]
+        assert kb.entity(5) == entity

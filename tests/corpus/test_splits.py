@@ -1,0 +1,65 @@
+"""Tests for deterministic corpus splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import KnowledgeBase, assign_split, generate_wiki_corpus, split_tables, stable_hash
+from repro.tables import Table
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("wiki-3") == stable_hash("wiki-3")
+
+    def test_spreads_values(self):
+        hashes = {stable_hash(f"t{i}") % 100 for i in range(200)}
+        assert len(hashes) > 50
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_in_64_bit_range(self, text):
+        assert 0 <= stable_hash(text) < 2**64
+
+
+class TestAssignSplit:
+    def test_fractions_validated(self):
+        with pytest.raises(ValueError):
+            assign_split("x", fractions=(0.5, 0.2))
+
+    def test_index_in_range(self):
+        for i in range(100):
+            assert assign_split(f"t{i}") in (0, 1, 2)
+
+    def test_salt_changes_assignment(self):
+        ids = [f"t{i}" for i in range(100)]
+        base = [assign_split(i) for i in ids]
+        salted = [assign_split(i, salt="v2") for i in ids]
+        assert base != salted
+
+
+class TestSplitTables:
+    def test_partition_complete_and_disjoint(self):
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 60, seed=0)
+        train, valid, test = split_tables(corpus)
+        assert len(train) + len(valid) + len(test) == 60
+        ids = [t.table_id for group in (train, valid, test) for t in group]
+        assert len(set(ids)) == 60
+
+    def test_rough_proportions(self):
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 300, seed=0)
+        train, valid, test = split_tables(corpus)
+        assert len(train) > len(valid)
+        assert len(train) > len(test)
+        assert 0.6 < len(train) / 300 < 0.95
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ValueError):
+            split_tables([Table(["a"], [["x"]])])
+
+    def test_stability_across_calls(self):
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 40, seed=0)
+        first = split_tables(corpus)
+        second = split_tables(corpus)
+        for a, b in zip(first, second):
+            assert [t.table_id for t in a] == [t.table_id for t in b]

@@ -1,0 +1,58 @@
+"""Tests for sliced error analysis."""
+
+import pytest
+
+from repro.eval import (
+    header_slicer,
+    numeric_table_slicer,
+    size_slicer,
+    slice_by,
+    sliced_accuracy,
+)
+from repro.tables import Table
+
+
+def numeric_table():
+    return Table(["a", "b"], [[1.0, 2.0], [3.0, 4.0]])
+
+
+def text_table():
+    return Table(["name", "city"], [["ann", "paris"], ["bob", "rome"]])
+
+
+class TestSlicers:
+    def test_numeric_slicer(self):
+        assert numeric_table_slicer(numeric_table()) == "numeric"
+        assert numeric_table_slicer(text_table()) == "textual"
+
+    def test_header_slicer(self):
+        assert header_slicer(text_table()) == "descriptive-header"
+        assert header_slicer(text_table().without_header()) == "headerless"
+
+    def test_size_slicer(self):
+        small = Table(["a"], [["x"]])
+        large = Table(["a", "b", "c", "d"],
+                      [["x"] * 4 for _ in range(10)])
+        assert size_slicer(small) == "small"
+        assert size_slicer(large) == "large"
+
+
+class TestSliceBy:
+    def test_groups_indices(self):
+        tables = [numeric_table(), text_table(), numeric_table()]
+        groups = slice_by(tables, numeric_table_slicer)
+        assert groups == {"numeric": [0, 2], "textual": [1]}
+
+
+class TestSlicedAccuracy:
+    def test_per_slice_scores(self):
+        tables = [numeric_table(), text_table()]
+        result = sliced_accuracy(tables, ["x", "y"], ["x", "z"],
+                                 numeric_table_slicer)
+        assert result["numeric"] == 1.0
+        assert result["textual"] == 0.0
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            sliced_accuracy([numeric_table()], ["a", "b"], ["a"],
+                            numeric_table_slicer)

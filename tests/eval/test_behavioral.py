@@ -1,0 +1,103 @@
+"""Tests for the behavioral test suite (§2.4's benchmarking-gap answer)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.eval import BehavioralTest, default_suite, run_suite
+from repro.models import EncoderConfig, TableBert
+from repro.text import train_tokenizer
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return generate_wiki_corpus(KnowledgeBase(seed=0), 6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(probes):
+    texts = []
+    for t in probes:
+        texts.append(t.context.text())
+        texts.append(" ".join(t.header))
+        for _, _, cell in t.iter_cells():
+            texts.append(cell.text())
+    tokenizer = train_tokenizer(texts, vocab_size=600)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab), dim=16,
+                           num_heads=2, num_layers=1, hidden_dim=32,
+                           max_position=160)
+    return TableBert(config, tokenizer, np.random.default_rng(0))
+
+
+class TestDefaultSuite:
+    def test_covers_all_kinds(self):
+        kinds = {t.kind for t in default_suite()}
+        assert kinds == {"INV", "DIR", "MFT"}
+
+    def test_names_unique(self):
+        names = [t.name for t in default_suite()]
+        assert len(names) == len(set(names))
+
+
+class TestRunSuite:
+    def test_report_per_test(self, model, probes):
+        report = run_suite(model, probes)
+        assert len(report.reports) == len(default_suite())
+        for r in report.reports:
+            assert 0.0 <= r.pass_rate <= 1.0
+            assert r.cases > 0
+
+    def test_empty_corpus_rejected(self, model):
+        with pytest.raises(ValueError):
+            run_suite(model, [])
+
+    def test_mft_determinism_always_passes(self, model, probes):
+        report = run_suite(model, probes)
+        determinism = next(r for r in report.reports
+                           if r.name == "identity determinism")
+        assert determinism.pass_rate == 1.0
+
+    def test_mft_distinctness_always_passes(self, model, probes):
+        report = run_suite(model, probes)
+        distinctness = next(r for r in report.reports
+                            if r.name == "distinctness")
+        assert distinctness.pass_rate == 1.0
+
+    def test_by_kind_filter(self, model, probes):
+        report = run_suite(model, probes)
+        assert all(r.kind == "INV" for r in report.by_kind("INV"))
+        assert report.by_kind("INV")
+
+    def test_render_readable(self, model, probes):
+        text = run_suite(model, probes).render()
+        assert "bert" in text
+        assert "[MFT]" in text
+
+    def test_deterministic_given_seed(self, model, probes):
+        a = run_suite(model, probes, seed=3)
+        b = run_suite(model, probes, seed=3)
+        assert [r.mean_score for r in a.reports] == \
+            [r.mean_score for r in b.reports]
+
+    def test_custom_test_list(self, model, probes):
+        custom = [BehavioralTest("always-one", "MFT",
+                                 lambda m, t, rng: 1.0, threshold=0.5)]
+        report = run_suite(model, probes, tests=custom)
+        assert len(report.reports) == 1
+        assert report.reports[0].pass_rate == 1.0
+
+    def test_row_requirement_skips_small_tables(self, model):
+        from repro.tables import Table
+        single = Table(["a"], [["x"]], table_id="s")
+        custom = [BehavioralTest("needs-rows", "INV",
+                                 lambda m, t, rng: 1.0, requires_rows=2)]
+        report = run_suite(model, [single], tests=custom)
+        assert report.reports == []
+
+    def test_directional_value_substitution_mostly_passes(self, model, probes):
+        report = run_suite(model, probes)
+        substitution = next(r for r in report.reports
+                            if r.name == "value-substitution direction")
+        # Gradient of information should flow: replaced cells move more than
+        # untouched cells on a majority of probes.
+        assert substitution.pass_rate >= 0.5

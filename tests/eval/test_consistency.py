@@ -1,0 +1,77 @@
+"""Tests for representation-consistency checks (§2.4 benchmark gap)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    cosine,
+    header_drop_shift,
+    row_permutation_consistency,
+    value_substitution_sensitivity,
+)
+from repro.models import EncoderConfig, TableBert
+from repro.tables import Table
+from repro.text import train_tokenizer
+
+
+@pytest.fixture(scope="module")
+def model():
+    corpus = ["alpha beta gamma delta paris rome tokyo name city value"] * 3
+    tokenizer = train_tokenizer(corpus, vocab_size=300)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab), dim=16,
+                           num_heads=2, num_layers=1, hidden_dim=32,
+                           max_position=128)
+    return TableBert(config, tokenizer, np.random.default_rng(0))
+
+
+@pytest.fixture
+def table():
+    return Table(["name", "city"],
+                 [["alpha", "paris"], ["beta", "rome"], ["gamma", "tokyo"]],
+                 table_id="t")
+
+
+class TestCosine:
+    def test_identical(self):
+        v = np.array([1.0, 2.0])
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestRowPermutation:
+    def test_score_in_range(self, model, table):
+        score = row_permutation_consistency(model, table, np.random.default_rng(0))
+        assert -1.0 <= score <= 1.0
+
+    def test_single_row_rejected(self, model):
+        single = Table(["a"], [["x"]], table_id="s")
+        with pytest.raises(ValueError):
+            row_permutation_consistency(model, single, np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self, model, table):
+        a = row_permutation_consistency(model, table, np.random.default_rng(5))
+        b = row_permutation_consistency(model, table, np.random.default_rng(5))
+        assert a == b
+
+
+class TestValueSubstitution:
+    def test_sensitivity_positive(self, model, table):
+        score = value_substitution_sensitivity(model, table,
+                                               np.random.default_rng(0))
+        assert score > 0.0
+
+    def test_empty_table_rejected(self, model):
+        empty = Table(["a"], [[None]], table_id="e")
+        with pytest.raises(ValueError):
+            value_substitution_sensitivity(model, empty, np.random.default_rng(0))
+
+
+class TestHeaderDrop:
+    def test_shift_positive_for_named_headers(self, model, table):
+        assert header_drop_shift(model, table) > 0.0
+
+    def test_no_shift_for_already_headerless(self, model, table):
+        bare = table.without_header()
+        assert header_drop_shift(model, bare) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,108 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval import (
+    accuracy,
+    denotation_accuracy,
+    denotation_match,
+    hits_at_k,
+    macro_f1,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        p, r, f = precision_recall_f1([1, 1], [1, 0])
+        assert p == 0.5 and r == 1.0
+        assert f == pytest.approx(2 / 3)
+
+    def test_no_positives_predicted(self):
+        p, r, f = precision_recall_f1([0, 0], [1, 1])
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_custom_positive_label(self):
+        p, r, f = precision_recall_f1(["a", "b"], ["a", "a"], positive_label="a")
+        assert p == 1.0 and r == 0.5
+
+
+class TestMacroF1:
+    def test_balanced_classes(self):
+        assert macro_f1(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_one_class_failed(self):
+        score = macro_f1(["a", "a"], ["a", "b"])
+        assert 0 < score < 1
+
+    def test_empty(self):
+        assert macro_f1([], []) == 0.0
+
+
+class TestRanking:
+    RANKINGS = [["t1", "t2", "t3"], ["t2", "t1", "t3"]]
+    GOLDS = ["t1", "t1"]
+
+    def test_hits_at_1(self):
+        assert hits_at_k(self.RANKINGS, self.GOLDS, k=1) == 0.5
+
+    def test_hits_at_2(self):
+        assert hits_at_k(self.RANKINGS, self.GOLDS, k=2) == 1.0
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank(self.RANKINGS, self.GOLDS) == pytest.approx(0.75)
+
+    def test_mrr_missing_gold(self):
+        assert mean_reciprocal_rank([["a"]], ["z"]) == 0.0
+
+    def test_ndcg_first_is_one(self):
+        assert ndcg_at_k([["g"]], ["g"], k=5) == 1.0
+
+    def test_ndcg_second_discounted(self):
+        import numpy as np
+        assert ndcg_at_k([["x", "g"]], ["g"], k=5) == pytest.approx(1 / np.log2(3))
+
+    def test_empty(self):
+        assert hits_at_k([], [], k=1) == 0.0
+
+
+class TestDenotation:
+    def test_numeric_tolerance(self):
+        assert denotation_match([25.0], ["25"])
+        assert denotation_match(["25.69"], [25.69])
+
+    def test_case_insensitive_text(self):
+        assert denotation_match(["Paris"], ["paris"])
+
+    def test_multiset_semantics(self):
+        assert denotation_match(["a", "a", "b"], ["b", "a", "a"])
+        assert not denotation_match(["a", "b"], ["a", "a", "b"])
+
+    def test_mismatch(self):
+        assert not denotation_match(["paris"], ["rome"])
+
+    def test_accuracy_aggregation(self):
+        preds = [["paris"], [1.0]]
+        golds = [["paris"], [2.0]]
+        assert denotation_accuracy(preds, golds) == 0.5
+
+    def test_thousands_separator(self):
+        assert denotation_match(["1,234"], [1234])

@@ -1,0 +1,161 @@
+"""Tests for the structural attention mask builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    attention_flops_proxy,
+    dense_mask,
+    mate_head_masks,
+    vertical_mask,
+    visibility_mask,
+)
+from repro.serialize import RowMajorSerializer, TokenRole, encode_features, pad_batch
+from repro.tables import Table
+
+
+@pytest.fixture(scope="module")
+def batch(tokenizer):
+    table = Table(
+        ["Country", "Capital"],
+        [["Australia", "Canberra"], ["France", "Paris"], ["Japan", "Tokyo"]],
+    )
+    serializer = RowMajorSerializer(tokenizer)
+    serialized = serializer.serialize(table, context="population by country")
+    features = encode_features(serialized)
+    padded = pad_batch([features, features], pad_id=0)
+    return padded, serialized
+
+
+def find_token(serialized, row, col):
+    start, _ = serialized.cell_spans[(row, col)]
+    return start
+
+
+class TestDenseMask:
+    def test_everything_visible_except_padding(self, batch):
+        padded, _ = batch
+        mask = dense_mask(padded)
+        assert mask.shape == (2, 1, padded.seq_len, padded.seq_len)
+        valid = padded.token_validity()
+        assert not mask[0, 0][np.ix_(valid[0], valid[0])].any()
+
+
+class TestVisibilityMask:
+    def test_cell_sees_own_row(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        q = find_token(serialized, 1, 0)  # france
+        k = find_token(serialized, 1, 1)  # paris (same row)
+        assert not mask[0, 0, q, k]
+
+    def test_cell_sees_own_column(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        q = find_token(serialized, 0, 1)  # canberra
+        k = find_token(serialized, 2, 1)  # tokyo (same column)
+        assert not mask[0, 0, q, k]
+
+    def test_cell_blocked_from_unrelated_cell(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        q = find_token(serialized, 0, 0)  # australia
+        k = find_token(serialized, 1, 1)  # paris (different row and column)
+        assert mask[0, 0, q, k]
+
+    def test_context_sees_everything(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        ctx = serialized.context_span[0]
+        valid = padded.token_validity()[0]
+        assert not mask[0, 0, ctx][valid].any()
+
+    def test_cell_sees_context(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        q = find_token(serialized, 1, 1)
+        ctx = serialized.context_span[0]
+        assert not mask[0, 0, q, ctx]
+
+    def test_cell_sees_header_of_its_column(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        q = find_token(serialized, 2, 1)
+        header_start, _ = serialized.header_spans[1]
+        assert not mask[0, 0, q, header_start]
+
+    def test_headers_see_each_other(self, batch):
+        padded, serialized = batch
+        mask = visibility_mask(padded)
+        h0, _ = serialized.header_spans[0]
+        h1, _ = serialized.header_spans[1]
+        assert not mask[0, 0, h0, h1]
+
+
+class TestVerticalMask:
+    def test_same_column_visible(self, batch):
+        padded, serialized = batch
+        mask = vertical_mask(padded)
+        q = find_token(serialized, 0, 0)
+        k = find_token(serialized, 2, 0)
+        assert not mask[0, 0, q, k]
+
+    def test_same_row_blocked(self, batch):
+        padded, serialized = batch
+        mask = vertical_mask(padded)
+        q = find_token(serialized, 0, 0)
+        k = find_token(serialized, 0, 1)
+        assert mask[0, 0, q, k]
+
+    def test_context_global(self, batch):
+        padded, serialized = batch
+        mask = vertical_mask(padded)
+        q = find_token(serialized, 0, 0)
+        ctx = serialized.context_span[0]
+        assert not mask[0, 0, q, ctx]
+
+
+class TestMateHeadMasks:
+    def test_shape_has_head_axis(self, batch):
+        padded, _ = batch
+        mask = mate_head_masks(padded, num_heads=4)
+        assert mask.shape == (2, 4, padded.seq_len, padded.seq_len)
+
+    def test_row_heads_see_rows_not_columns(self, batch):
+        padded, serialized = batch
+        mask = mate_head_masks(padded, num_heads=4, row_head_fraction=0.5)
+        q = find_token(serialized, 1, 0)
+        same_row = find_token(serialized, 1, 1)
+        same_col = find_token(serialized, 2, 0)
+        assert not mask[0, 0, q, same_row]   # head 0 = row head
+        assert mask[0, 0, q, same_col]
+
+    def test_column_heads_see_columns_not_rows(self, batch):
+        padded, serialized = batch
+        mask = mate_head_masks(padded, num_heads=4, row_head_fraction=0.5)
+        q = find_token(serialized, 1, 0)
+        same_row = find_token(serialized, 1, 1)
+        same_col = find_token(serialized, 2, 0)
+        assert mask[0, 3, q, same_row]       # head 3 = column head
+        assert not mask[0, 3, q, same_col]
+
+    def test_head_count_validated(self, batch):
+        padded, _ = batch
+        with pytest.raises(ValueError):
+            mate_head_masks(padded, num_heads=0)
+
+
+class TestFlopsProxy:
+    def test_sparse_cheaper_than_dense(self, batch):
+        padded, _ = batch
+        heads = 4
+        dense = np.repeat(dense_mask(padded), heads, axis=1)
+        sparse = mate_head_masks(padded, num_heads=heads)
+        assert attention_flops_proxy(sparse) < attention_flops_proxy(dense)
+
+    def test_visibility_between_dense_and_vertical(self, batch):
+        padded, _ = batch
+        dense = attention_flops_proxy(dense_mask(padded))
+        vis = attention_flops_proxy(visibility_mask(padded))
+        vert = attention_flops_proxy(vertical_mask(padded))
+        assert vert <= vis <= dense

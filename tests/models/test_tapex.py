@@ -1,0 +1,109 @@
+"""Tests for the TAPEX encoder-decoder."""
+
+import numpy as np
+import pytest
+
+from repro.models import Tapex
+from repro.nn import Adam
+
+
+@pytest.fixture
+def model(config, tokenizer):
+    return Tapex(config, tokenizer, np.random.default_rng(0), max_answer_tokens=8)
+
+
+class TestAnswerCollation:
+    def test_answer_ends_with_eos(self, model, tokenizer):
+        ids = model.encode_answer("paris")
+        assert ids[-1] == tokenizer.vocab.eos_id
+
+    def test_answer_truncated_to_budget(self, model):
+        ids = model.encode_answer("a b c d e f g h i j k l m")
+        assert len(ids) <= model.max_answer_tokens
+
+    def test_collate_shapes_and_alignment(self, model, tokenizer):
+        inputs, targets = model.collate_answers(["paris", "canberra city"])
+        assert inputs.shape == targets.shape
+        assert inputs[0, 0] == tokenizer.vocab.bos_id
+        # Shifted: target[t] is predicted from input[t].
+        assert targets[0, 0] == inputs[0, 1]
+
+    def test_padding_ignored_in_targets(self, model):
+        inputs, targets = model.collate_answers(["x", "much longer answer here"])
+        assert (targets[0] == -100).any()
+
+
+class TestForward:
+    def test_logit_shapes(self, model, sample_table):
+        inputs, _ = model.collate_answers(["paris"])
+        batch, _ = model.encoder.batch([sample_table], ["what is the capital"])
+        logits = model.forward(batch, inputs)
+        assert logits.shape == (1, inputs.shape[1], model.config.vocab_size)
+
+    def test_loss_positive_scalar(self, model, sample_table):
+        loss = model.loss([sample_table], ["what is the capital of france"], ["paris"])
+        assert loss.data.shape == ()
+        assert float(loss.data) > 0
+
+
+class TestGeneration:
+    def test_generate_returns_string(self, model, sample_table):
+        answer = model.generate(sample_table, "what is the capital of france")
+        assert isinstance(answer, str)
+
+    def test_generate_restores_training_mode(self, model, sample_table):
+        model.train()
+        model.generate(sample_table, "anything")
+        assert model.training
+
+    def test_overfits_single_pair(self, config, tokenizer, sample_table):
+        """The executor must be able to memorize one (query, answer) pair —
+        the smoke test that seq2seq training works end to end."""
+        model = Tapex(config, tokenizer, np.random.default_rng(1), max_answer_tokens=6)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        query, answer = "what is the capital of france", "paris"
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = model.loss([sample_table], [query], [answer])
+            loss.backward()
+            optimizer.step()
+        assert model.generate(sample_table, query) == "paris"
+
+
+class TestBeamSearch:
+    def test_returns_sorted_beams(self, model, sample_table):
+        beams = model.generate_beam(sample_table, "what is the capital",
+                                    beam_width=3)
+        assert len(beams) <= 3
+        scores = [s for _, s in beams]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_beam_width_validated(self, model, sample_table):
+        with pytest.raises(ValueError):
+            model.generate_beam(sample_table, "q", beam_width=0)
+
+    def test_beam_one_matches_greedy(self, model, sample_table):
+        greedy = model.generate(sample_table, "what is the capital")
+        (beam_text, _), = model.generate_beam(sample_table,
+                                              "what is the capital",
+                                              beam_width=1)
+        assert beam_text == greedy
+
+    def test_trained_model_gold_in_beam(self, config, tokenizer, sample_table):
+        from repro.nn import Adam
+        model = Tapex(config, tokenizer, np.random.default_rng(1),
+                      max_answer_tokens=6)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        query, answer = "what is the capital of france", "paris"
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = model.loss([sample_table], [query], [answer])
+            loss.backward()
+            optimizer.step()
+        beams = model.generate_beam(sample_table, query, beam_width=3)
+        assert any(text == "paris" for text, _ in beams)
+
+    def test_restores_training_mode(self, model, sample_table):
+        model.train()
+        model.generate_beam(sample_table, "q", beam_width=2)
+        assert model.training

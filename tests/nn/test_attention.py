@@ -1,0 +1,122 @@
+"""Tests for multi-head attention and mask builders."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadAttention, Tensor, causal_mask, padding_mask
+
+from tests.gradcheck import check_gradient
+
+
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        out = attn(Tensor(rng().normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_dim_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng())
+
+    def test_attention_weights_recorded(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        attn(Tensor(rng().normal(size=(1, 4, 8))))
+        assert attn.last_attention.shape == (1, 2, 4, 4)
+        np.testing.assert_allclose(attn.last_attention.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_mask_blocks_positions(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        mask = np.zeros((1, 1, 4, 4), dtype=bool)
+        mask[..., 2] = True  # nothing may attend to position 2
+        attn(Tensor(rng().normal(size=(1, 4, 8))), mask=mask)
+        assert np.all(attn.last_attention[..., 2] < 1e-6)
+
+    def test_causal_mask_applied(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        attn(Tensor(rng().normal(size=(1, 5, 8))), mask=causal_mask(5))
+        weights = attn.last_attention[0, 0]
+        upper = np.triu(weights, k=1)
+        assert np.all(upper < 1e-6)
+
+    def test_2d_mask_broadcast(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        out = attn(Tensor(rng().normal(size=(2, 3, 8))), mask=causal_mask(3))
+        assert out.shape == (2, 3, 8)
+
+    def test_cross_attention_shape(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        x = Tensor(rng().normal(size=(2, 3, 8)))
+        memory = Tensor(rng().normal(size=(2, 7, 8)))
+        out = attn(x, memory=memory)
+        assert out.shape == (2, 3, 8)
+        assert attn.last_attention.shape == (2, 2, 3, 7)
+
+    def test_gradient_flows(self):
+        attn = MultiHeadAttention(4, 2, rng())
+        check_gradient(lambda x: attn(x), rng().normal(size=(1, 3, 4)), atol=1e-4)
+
+    def test_gradient_with_mask(self):
+        attn = MultiHeadAttention(4, 2, rng())
+        mask = causal_mask(3)
+        check_gradient(lambda x: attn(x, mask=mask), rng().normal(size=(1, 3, 4)), atol=1e-4)
+
+    def test_fully_masked_row_is_uniform(self):
+        # A row with every key blocked degrades to uniform attention; it must
+        # not produce NaNs.
+        attn = MultiHeadAttention(8, 1, rng())
+        mask = np.zeros((1, 1, 2, 2), dtype=bool)
+        mask[0, 0, 0, :] = True
+        out = attn(Tensor(rng().normal(size=(1, 2, 8))), mask=mask)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestMaskBuilders:
+    def test_causal_mask_shape_and_content(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert not mask[2, 2] and not mask[2, 1]
+        assert mask[1, 2]
+
+    def test_padding_mask(self):
+        mask = padding_mask(np.array([2, 4]), seq_len=4)
+        assert mask.shape == (2, 1, 1, 4)
+        np.testing.assert_array_equal(mask[0, 0, 0], [False, False, True, True])
+        np.testing.assert_array_equal(mask[1, 0, 0], [False, False, False, False])
+
+
+class TestAttentionBias:
+    def test_bias_changes_weights(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        x = Tensor(rng().normal(size=(1, 4, 8)))
+        attn(x)
+        base = attn.last_attention.copy()
+        bias = np.zeros((1, 1, 4, 4))
+        bias[..., 0] = 5.0  # strongly favour key 0
+        attn(x, bias=bias)
+        assert attn.last_attention[..., 0].mean() > base[..., 0].mean()
+
+    def test_zero_bias_is_identity(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        x = Tensor(rng().normal(size=(1, 4, 8)))
+        attn(x)
+        base = attn.last_attention.copy()
+        attn(x, bias=np.zeros((1, 1, 4, 4)))
+        np.testing.assert_allclose(attn.last_attention, base)
+
+    def test_gradient_with_bias(self):
+        attn = MultiHeadAttention(4, 2, rng())
+        bias = rng().normal(size=(1, 1, 3, 3))
+        check_gradient(lambda x: attn(x, bias=bias),
+                       rng().normal(size=(1, 3, 4)), atol=1e-4)
+
+    def test_bias_and_mask_compose(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        x = Tensor(rng().normal(size=(1, 3, 8)))
+        bias = np.full((1, 1, 3, 3), 2.0)
+        attn(x, mask=causal_mask(3), bias=bias)
+        upper = np.triu(attn.last_attention[0, 0], k=1)
+        assert np.all(upper < 1e-6)

@@ -1,0 +1,119 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cosine_similarity,
+    cross_entropy,
+    in_batch_contrastive_loss,
+    mse_loss,
+)
+
+from tests.gradcheck import check_gradient
+
+
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_value(self):
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]))
+        loss = cross_entropy(Tensor(logits), np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(lambda x: cross_entropy(x, targets), rng().normal(size=(3, 4)))
+
+    def test_ignore_index_excluded(self):
+        logits = rng().normal(size=(4, 3))
+        targets = np.array([0, -100, 2, -100])
+        loss_masked = cross_entropy(Tensor(logits), targets, ignore_index=-100)
+        loss_subset = cross_entropy(Tensor(logits[[0, 2]]), np.array([0, 2]))
+        assert float(loss_masked.data) == pytest.approx(float(loss_subset.data))
+
+    def test_all_ignored_returns_zero(self):
+        logits = Tensor(rng().normal(size=(2, 3)))
+        loss = cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+        assert float(loss.data) == 0.0
+
+    def test_3d_logits(self):
+        logits = rng().normal(size=(2, 5, 4))
+        targets = rng().integers(0, 4, size=(2, 5))
+        loss = cross_entropy(Tensor(logits), targets)
+        assert loss.data.shape == ()
+        assert float(loss.data) > 0
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 0] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 0]))
+        assert float(loss.data) < 1e-8
+
+
+class TestBCE:
+    def test_matches_manual(self):
+        logits = np.array([0.0, 2.0, -2.0])
+        targets = np.array([1.0, 1.0, 0.0])
+        loss = binary_cross_entropy_with_logits(Tensor(logits), targets)
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_gradient(self):
+        targets = np.array([1.0, 0.0, 1.0])
+        check_gradient(
+            lambda x: binary_cross_entropy_with_logits(x, targets),
+            rng().normal(size=3),
+        )
+
+    def test_stable_for_extreme_logits(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor(np.array([1000.0, -1000.0])), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(float(loss.data))
+        assert float(loss.data) < 1e-6
+
+
+class TestMSE:
+    def test_value(self):
+        loss = mse_loss(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(5.0)
+
+    def test_gradient(self):
+        targets = rng().normal(size=(2, 3))
+        check_gradient(lambda x: mse_loss(x, targets), rng().normal(size=(2, 3)))
+
+
+class TestCosine:
+    def test_identical_rows_give_one(self):
+        x = rng().normal(size=(3, 4))
+        sims = cosine_similarity(Tensor(x), Tensor(x.copy()))
+        np.testing.assert_allclose(sims.data, np.ones(3), atol=1e-6)
+
+    def test_orthogonal_rows_give_zero(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        np.testing.assert_allclose(cosine_similarity(a, b).data, [0.0], atol=1e-8)
+
+
+class TestContrastive:
+    def test_aligned_pairs_low_loss(self):
+        x = rng().normal(size=(6, 8))
+        aligned = in_batch_contrastive_loss(Tensor(x), Tensor(x.copy()))
+        shuffled = in_batch_contrastive_loss(Tensor(x), Tensor(x[::-1].copy()))
+        assert float(aligned.data) < float(shuffled.data)
+
+    def test_gradient(self):
+        keys = Tensor(rng().normal(size=(3, 4)))
+        check_gradient(
+            lambda x: in_batch_contrastive_loss(x, keys),
+            rng().normal(size=(3, 4)),
+            atol=1e-4,
+        )

@@ -1,0 +1,47 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Tensor, load_checkpoint, save_checkpoint
+
+
+class SmallNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.layer = Linear(3, 2, np.random.default_rng(seed))
+
+    def forward(self, x):
+        return self.layer(x)
+
+
+class TestCheckpointIO:
+    def test_roundtrip(self, tmp_path):
+        source, target = SmallNet(seed=1), SmallNet(seed=2)
+        path = save_checkpoint(source, tmp_path / "model")
+        load_checkpoint(target, path)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_suffix_added(self, tmp_path):
+        path = save_checkpoint(SmallNet(), tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_config_sidecar(self, tmp_path):
+        config = {"dim": 3, "name": "small"}
+        save_checkpoint(SmallNet(), tmp_path / "model", config=config)
+        loaded = load_checkpoint(SmallNet(), tmp_path / "model")
+        assert loaded == config
+
+    def test_no_config_returns_none(self, tmp_path):
+        save_checkpoint(SmallNet(), tmp_path / "model")
+        assert load_checkpoint(SmallNet(), tmp_path / "model") is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(SmallNet(), tmp_path / "absent")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_checkpoint(SmallNet(), tmp_path / "deep" / "nested" / "model")
+        assert path.exists()

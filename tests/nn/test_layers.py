@@ -1,0 +1,96 @@
+"""Tests for Linear, Embedding, LayerNorm layers (values + gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Embedding, LayerNorm, Linear, Tensor
+
+from tests.gradcheck import check_gradient
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng())
+        out = layer(Tensor(np.ones((2, 7, 5))))
+        assert out.shape == (2, 7, 3)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(4, 2, rng())
+        x = rng().normal(size=(3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, rng(), bias=False)
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_gradient_through_layer(self):
+        layer = Linear(4, 3, rng())
+        check_gradient(lambda x: layer(x), rng().normal(size=(2, 4)))
+
+    def test_weight_gradient(self):
+        layer = Linear(3, 2, rng())
+        x = Tensor(rng().normal(size=(5, 3)))
+        layer(x).sum().backward()
+        expected = x.data.T @ np.ones((5, 2))
+        np.testing.assert_allclose(layer.weight.grad, expected)
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 5.0))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 6, rng())
+        out = emb(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 6)
+
+    def test_lookup_values(self):
+        emb = Embedding(10, 4, rng())
+        out = emb(np.array([3, 3]))
+        np.testing.assert_array_equal(out.data[0], emb.weight.data[3])
+        np.testing.assert_array_equal(out.data[1], emb.weight.data[3])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4, rng())
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeats(self):
+        emb = Embedding(5, 3, rng())
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[4], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        norm = LayerNorm(8)
+        x = rng().normal(loc=5.0, scale=3.0, size=(4, 8))
+        out = norm(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gain_bias_applied(self):
+        norm = LayerNorm(4)
+        norm.gain.data[...] = 2.0
+        norm.bias.data[...] = 1.0
+        x = rng().normal(size=(3, 4))
+        out = norm(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(3), atol=1e-6)
+
+    def test_gradient(self):
+        norm = LayerNorm(6)
+        check_gradient(lambda x: norm(x), rng().normal(size=(2, 6)), atol=1e-4)
+
+    def test_constant_input_stable(self):
+        norm = LayerNorm(4)
+        out = norm(Tensor(np.full((2, 4), 3.0)))
+        assert np.all(np.isfinite(out.data))

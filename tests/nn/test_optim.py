@@ -1,0 +1,115 @@
+"""Tests for optimizers, gradient clipping and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    CosineSchedule,
+    LinearWarmupSchedule,
+    Parameter,
+    clip_gradients,
+)
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def minimize(optimizer, param, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(SGD([p], lr=0.1), p, 100)) < 1e-4
+
+    def test_momentum_accelerates(self):
+        p_plain, p_momentum = quadratic_param(), quadratic_param()
+        plain = abs(minimize(SGD([p_plain], lr=0.01), p_plain, 30))
+        fast = abs(minimize(SGD([p_momentum], lr=0.01, momentum=0.9), p_momentum, 30))
+        assert fast < plain
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_grad(self):
+        p, untouched = quadratic_param(), quadratic_param()
+        opt = SGD([p, untouched], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        assert untouched.data[0] == 5.0
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(Adam([p], lr=0.3), p, 200)) < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero gradient: only decay acts
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_bias_correction_first_step(self):
+        # With bias correction the very first Adam step is ~lr regardless of
+        # gradient magnitude.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        (p * 1000.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data[0], -0.1, rtol=1e-4)
+
+
+class TestClipGradients:
+    def test_norm_reported_and_clipped(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_gradients([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_small_gradients_untouched(self):
+        p = Parameter(np.array([0.1]))
+        p.grad = np.array([0.1])
+        clip_gradients([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.1])
+
+    def test_handles_missing_gradients(self):
+        p = Parameter(np.array([1.0]))
+        assert clip_gradients([p], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantSchedule(0.01)
+        assert sched(0) == sched(1000) == 0.01
+
+    def test_linear_warmup_rises_then_decays(self):
+        sched = LinearWarmupSchedule(lr=1.0, warmup_steps=10, total_steps=110)
+        assert sched(0) < sched(5) < sched(9)
+        assert sched(9) == pytest.approx(1.0)
+        assert sched(60) == pytest.approx(0.5)
+        assert sched(110) == 0.0
+
+    def test_linear_warmup_validates(self):
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(lr=1.0, warmup_steps=10, total_steps=5)
+
+    def test_cosine_endpoints(self):
+        sched = CosineSchedule(lr=1.0, total_steps=100, min_lr=0.1)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(100) == pytest.approx(0.1)
+        assert sched(50) == pytest.approx(0.55)

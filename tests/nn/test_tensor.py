@@ -1,0 +1,301 @@
+"""Gradient checks and behaviour tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+
+from tests.gradcheck import check_gradient
+
+RNG = np.random.default_rng(0)
+
+
+def random(*shape):
+    return RNG.normal(size=shape)
+
+
+class TestArithmetic:
+    def test_add_gradient(self):
+        other = Tensor(random(3, 4))
+        check_gradient(lambda x: x + other, random(3, 4))
+
+    def test_add_broadcast_gradient(self):
+        other = Tensor(random(4))
+        check_gradient(lambda x: x + other, random(3, 4))
+
+    def test_add_broadcast_into_operand(self):
+        other = Tensor(random(3, 4))
+        check_gradient(lambda x: other + x, random(4))
+
+    def test_sub_gradient(self):
+        other = Tensor(random(2, 3))
+        check_gradient(lambda x: x - other, random(2, 3))
+
+    def test_rsub_gradient(self):
+        check_gradient(lambda x: 2.0 - x, random(2, 3))
+
+    def test_mul_gradient(self):
+        other = Tensor(random(3, 4))
+        check_gradient(lambda x: x * other, random(3, 4))
+
+    def test_mul_broadcast_gradient(self):
+        other = Tensor(random(3, 1))
+        check_gradient(lambda x: x * other, random(3, 4))
+
+    def test_div_gradient(self):
+        other = Tensor(np.abs(random(3, 4)) + 1.0)
+        check_gradient(lambda x: x / other, random(3, 4))
+
+    def test_rdiv_gradient(self):
+        check_gradient(lambda x: 1.0 / x, np.abs(random(3, 4)) + 1.0)
+
+    def test_div_gradient_wrt_denominator(self):
+        numerator = Tensor(random(3, 4))
+        check_gradient(lambda x: numerator / x, np.abs(random(3, 4)) + 1.0)
+
+    def test_pow_gradient(self):
+        check_gradient(lambda x: x**3, random(3, 3))
+
+    def test_pow_negative_exponent(self):
+        check_gradient(lambda x: x**-0.5, np.abs(random(3, 3)) + 1.0)
+
+    def test_neg_gradient(self):
+        check_gradient(lambda x: -x, random(5))
+
+    def test_both_operands_accumulate(self):
+        a = Tensor(random(2, 2), requires_grad=True)
+        out = (a * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+
+class TestNonlinearities:
+    def test_exp_gradient(self):
+        check_gradient(lambda x: x.exp(), random(3, 3))
+
+    def test_log_gradient(self):
+        check_gradient(lambda x: x.log(), np.abs(random(3, 3)) + 0.5)
+
+    def test_tanh_gradient(self):
+        check_gradient(lambda x: x.tanh(), random(3, 3))
+
+    def test_relu_gradient(self):
+        # Keep values away from the kink at 0.
+        x = random(4, 4)
+        x[np.abs(x) < 0.1] = 0.5
+        check_gradient(lambda t: t.relu(), x)
+
+    def test_gelu_gradient(self):
+        check_gradient(lambda x: x.gelu(), random(3, 3))
+
+    def test_sigmoid_gradient(self):
+        check_gradient(lambda x: x.sigmoid(), random(3, 3))
+
+    def test_sqrt_gradient(self):
+        check_gradient(lambda x: x.sqrt(), np.abs(random(3, 3)) + 0.5)
+
+
+class TestLinearAlgebra:
+    def test_matmul_gradient_left(self):
+        other = Tensor(random(4, 5))
+        check_gradient(lambda x: x @ other, random(3, 4))
+
+    def test_matmul_gradient_right(self):
+        other = Tensor(random(3, 4))
+        check_gradient(lambda x: other @ x, random(4, 5))
+
+    def test_batched_matmul_gradient(self):
+        other = Tensor(random(2, 4, 5))
+        check_gradient(lambda x: x @ other, random(2, 3, 4))
+
+    def test_batched_matmul_broadcast(self):
+        other = Tensor(random(4, 5))
+        check_gradient(lambda x: x @ other, random(2, 3, 4))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda x: x.sum(), random(3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: x.sum(axis=0), random(3, 4))
+
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda x: x.sum(axis=1, keepdims=True), random(3, 4))
+
+    def test_sum_multiple_axes(self):
+        check_gradient(lambda x: x.sum(axis=(0, 2)), random(2, 3, 4))
+
+    def test_mean_gradient(self):
+        check_gradient(lambda x: x.mean(axis=-1), random(3, 4))
+
+    def test_mean_all(self):
+        check_gradient(lambda x: x.mean(), random(3, 4))
+
+    def test_max_gradient(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)  # no ties
+        check_gradient(lambda t: t.max(axis=1), x)
+
+    def test_var_gradient(self):
+        check_gradient(lambda x: x.var(axis=-1), random(3, 4))
+
+    def test_var_matches_numpy(self):
+        x = random(5, 7)
+        np.testing.assert_allclose(Tensor(x).var(axis=-1).data, x.var(axis=-1))
+
+
+class TestShapes:
+    def test_reshape_gradient(self):
+        check_gradient(lambda x: x.reshape(2, 6), random(3, 4))
+
+    def test_reshape_infer(self):
+        check_gradient(lambda x: x.reshape(-1, 2), random(3, 4))
+
+    def test_transpose_gradient(self):
+        check_gradient(lambda x: x.transpose(), random(3, 4))
+
+    def test_transpose_axes_gradient(self):
+        check_gradient(lambda x: x.transpose(1, 0, 2), random(2, 3, 4))
+
+    def test_swapaxes_gradient(self):
+        check_gradient(lambda x: x.swapaxes(0, 2), random(2, 3, 4))
+
+    def test_getitem_slice_gradient(self):
+        check_gradient(lambda x: x[1:, :2], random(3, 4))
+
+    def test_getitem_fancy_gradient(self):
+        rows = np.array([0, 2, 2])
+        check_gradient(lambda x: x[rows], random(3, 4))
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(random(3, 2), requires_grad=True)
+        picked = x[np.array([1, 1, 1])]
+        picked.sum().backward()
+        np.testing.assert_allclose(x.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(x.grad[0], [0.0, 0.0])
+
+    def test_take_rows_gradient(self):
+        idx = np.array([[0, 1], [2, 0]])
+        check_gradient(lambda x: x.take_rows(idx), random(3, 4))
+
+    def test_take_rows_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(random(3)).take_rows(np.array([0]))
+
+    def test_concatenate_gradient(self):
+        other = Tensor(random(2, 4))
+        check_gradient(lambda x: Tensor.concatenate([x, other], axis=0), random(3, 4))
+
+    def test_concatenate_axis1(self):
+        other = Tensor(random(3, 2))
+        check_gradient(lambda x: Tensor.concatenate([other, x], axis=1), random(3, 4))
+
+    def test_stack_gradient(self):
+        other = Tensor(random(3, 4))
+        check_gradient(lambda x: Tensor.stack([x, other], axis=0), random(3, 4))
+
+
+class TestComposite:
+    def test_softmax_gradient(self):
+        check_gradient(lambda x: x.softmax(axis=-1), random(3, 5))
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Tensor(random(4, 6)).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_stability_large_values(self):
+        out = Tensor(np.array([[1000.0, 1000.0]])).softmax(axis=-1)
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda x: x.log_softmax(axis=-1), random(3, 5))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = random(3, 5)
+        a = Tensor(x).log_softmax(axis=-1).data
+        b = np.log(Tensor(x).softmax(axis=-1).data)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_masked_fill_gradient(self):
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[0, 1] = True
+        mask[2, 3] = True
+        check_gradient(lambda x: x.masked_fill(mask, -1e9).softmax(axis=-1), random(3, 4))
+
+    def test_masked_fill_blocks_gradient(self):
+        mask = np.array([[True, False]])
+        x = Tensor(random(1, 2), requires_grad=True)
+        x.masked_fill(mask, 0.0).sum().backward()
+        assert x.grad[0, 0] == 0.0
+        assert x.grad[0, 1] == 1.0
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar_without_seed(self):
+        x = Tensor(random(2, 2), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_backward_seed_shape_checked(self):
+        x = Tensor(random(2, 2), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_diamond_graph_accumulates_once(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3
+        z = y + y  # y used twice
+        z.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [1.01**50], rtol=1e-10)
+
+    def test_no_grad_disables_tape(self):
+        x = Tensor(random(2, 2), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(random(2, 2), requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_gradients_accumulate_across_backwards(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+
+class TestConstruction:
+    def test_int_input_converted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_zeros_and_ones(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).data.sum() == 4.0
+
+    def test_item(self):
+        assert Tensor(np.array([[3.5]])).item() == 3.5
+
+    def test_len_and_repr(self):
+        t = Tensor(random(3, 2), requires_grad=True)
+        assert len(t) == 3
+        assert "requires_grad" in repr(t)

@@ -1,0 +1,51 @@
+"""Shared fixtures for pretraining tests."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig, TableBert, Turl
+from repro.text import train_tokenizer
+
+
+def corpus_texts(tables):
+    texts = []
+    for table in tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        for _, _, cell in table.iter_cells():
+            texts.append(cell.text())
+    return texts
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+@pytest.fixture(scope="session")
+def wiki_tables(kb):
+    return generate_wiki_corpus(kb, 16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(wiki_tables):
+    return train_tokenizer(corpus_texts(wiki_tables), vocab_size=700)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+        hidden_dim=32, max_position=128, num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture
+def bert(config, tokenizer):
+    return TableBert(config, tokenizer, np.random.default_rng(0))
+
+
+@pytest.fixture
+def turl(config, tokenizer):
+    return Turl(config, tokenizer, np.random.default_rng(0))

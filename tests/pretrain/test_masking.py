@@ -1,0 +1,130 @@
+"""Tests for MLM and MER masking procedures."""
+
+import numpy as np
+import pytest
+
+from repro.pretrain import (
+    IGNORE_INDEX,
+    combine_masking,
+    mask_for_mer,
+    mask_for_mlm,
+)
+
+
+def make_batch(model, tables):
+    return model.batch(tables)
+
+
+class TestMlmMasking:
+    def test_targets_hold_original_tokens(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:4])
+        rng = np.random.default_rng(0)
+        masked = mask_for_mlm(batch, serialized, bert.tokenizer.vocab, rng,
+                              mask_probability=0.5)
+        positions = masked.mlm_targets != IGNORE_INDEX
+        assert positions.any()
+        np.testing.assert_array_equal(
+            masked.mlm_targets[positions], batch.token_ids[positions])
+
+    def test_original_batch_untouched(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:4])
+        before = batch.token_ids.copy()
+        rng = np.random.default_rng(1)
+        mask_for_mlm(batch, serialized, bert.tokenizer.vocab, rng,
+                     mask_probability=0.9)
+        np.testing.assert_array_equal(batch.token_ids, before)
+
+    def test_whole_cell_masks_complete_spans(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:4])
+        rng = np.random.default_rng(2)
+        masked = mask_for_mlm(batch, serialized, bert.tokenizer.vocab, rng,
+                              mask_probability=0.5, whole_cell=True)
+        # Every cell span is either fully targeted or fully untouched.
+        for i, table in enumerate(serialized):
+            for start, end in table.cell_spans.values():
+                flags = masked.mlm_targets[i, start:end] != IGNORE_INDEX
+                assert flags.all() or not flags.any()
+
+    def test_token_level_masking_partial_cells_possible(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:8])
+        rng = np.random.default_rng(3)
+        masked = mask_for_mlm(batch, serialized, bert.tokenizer.vocab, rng,
+                              mask_probability=0.5, whole_cell=False)
+        assert masked.num_mlm_targets > 0
+
+    def test_majority_masked_positions_are_mask_token(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:8])
+        rng = np.random.default_rng(4)
+        masked = mask_for_mlm(batch, serialized, bert.tokenizer.vocab, rng,
+                              mask_probability=0.9)
+        positions = masked.mlm_targets != IGNORE_INDEX
+        mask_id = bert.tokenizer.vocab.mask_id
+        fraction = (masked.batch.token_ids[positions] == mask_id).mean()
+        assert 0.6 < fraction <= 1.0
+
+    def test_probability_validated(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:2])
+        with pytest.raises(ValueError):
+            mask_for_mlm(batch, serialized, bert.tokenizer.vocab,
+                         np.random.default_rng(0), mask_probability=0.0)
+
+    def test_no_mer_targets_from_mlm(self, bert, wiki_tables):
+        batch, serialized = make_batch(bert, wiki_tables[:4])
+        masked = mask_for_mlm(batch, serialized, bert.tokenizer.vocab,
+                              np.random.default_rng(0), mask_probability=0.5)
+        assert masked.num_mer_targets == 0
+
+
+class TestMerMasking:
+    def test_targets_are_entity_slots(self, turl, wiki_tables):
+        batch, serialized = make_batch(turl, wiki_tables[:4])
+        rng = np.random.default_rng(0)
+        masked = mask_for_mer(batch, serialized, turl.tokenizer.vocab, rng,
+                              mask_probability=0.9)
+        positions = masked.mer_targets != IGNORE_INDEX
+        assert positions.any()
+        np.testing.assert_array_equal(
+            masked.mer_targets[positions], batch.entity_ids[positions])
+        assert (masked.mer_targets[positions] > 0).all()
+
+    def test_entity_channel_hidden(self, turl, wiki_tables):
+        batch, serialized = make_batch(turl, wiki_tables[:4])
+        rng = np.random.default_rng(1)
+        masked = mask_for_mer(batch, serialized, turl.tokenizer.vocab, rng,
+                              mask_probability=0.9)
+        positions = masked.mer_targets != IGNORE_INDEX
+        assert (masked.batch.entity_ids[positions] == 0).all()
+        assert (masked.batch.token_ids[positions] ==
+                turl.tokenizer.vocab.mask_id).all()
+
+    def test_non_entity_cells_never_masked(self, turl, wiki_tables):
+        batch, serialized = make_batch(turl, wiki_tables[:4])
+        rng = np.random.default_rng(2)
+        masked = mask_for_mer(batch, serialized, turl.tokenizer.vocab, rng,
+                              mask_probability=1.0)
+        positions = masked.mer_targets != IGNORE_INDEX
+        assert (batch.entity_ids[positions] > 0).all()
+
+
+class TestCombinedMasking:
+    def test_mer_wins_overlap(self, turl, wiki_tables):
+        batch, serialized = make_batch(turl, wiki_tables[:4])
+        rng = np.random.default_rng(0)
+        mlm = mask_for_mlm(batch, serialized, turl.tokenizer.vocab, rng,
+                           mask_probability=0.9)
+        mer = mask_for_mer(batch, serialized, turl.tokenizer.vocab, rng,
+                           mask_probability=0.9)
+        combined = combine_masking(mlm, mer)
+        overlap = (combined.mer_targets != IGNORE_INDEX)
+        assert (combined.mlm_targets[overlap] == IGNORE_INDEX).all()
+
+    def test_both_objectives_present(self, turl, wiki_tables):
+        batch, serialized = make_batch(turl, wiki_tables[:8])
+        rng = np.random.default_rng(1)
+        mlm = mask_for_mlm(batch, serialized, turl.tokenizer.vocab, rng,
+                           mask_probability=0.4)
+        mer = mask_for_mer(batch, serialized, turl.tokenizer.vocab, rng,
+                           mask_probability=0.4)
+        combined = combine_masking(mlm, mer)
+        assert combined.num_mlm_targets > 0
+        assert combined.num_mer_targets > 0

@@ -1,0 +1,192 @@
+"""Tests for the four linearization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.serialize import (
+    SERIALIZERS,
+    ColumnMajorSerializer,
+    MarkdownSerializer,
+    RowMajorSerializer,
+    TemplateSerializer,
+    TokenRole,
+)
+from repro.tables import Table, TableContext
+from repro.text import train_tokenizer
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    corpus = [
+        "country capital population australia sydney canberra france paris",
+        "japan tokyo 25.69 67.75 125.7 row one two three is | ; - germany berlin",
+        "population in million by country column",
+    ] * 4
+    return train_tokenizer(corpus, vocab_size=600)
+
+
+def detok(tokens):
+    """Rebuild readable text from wordpiece tokens."""
+    words = []
+    for token in tokens:
+        if token.startswith("##") and words:
+            words[-1] += token[2:]
+        else:
+            words.append(token)
+    return " ".join(words)
+
+
+@pytest.fixture
+def sample():
+    return Table(
+        ["Country", "Capital", "Population"],
+        [["Australia", "Canberra", 25.69], ["France", "Paris", 67.75]],
+        context=TableContext(title="Population in Million by Country"),
+    )
+
+
+class TestRowMajor:
+    def test_starts_with_cls_context(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        assert out.tokens[0] == "[CLS]"
+        start, end = out.context_span
+        assert "population" in detok(out.tokens[start:end])
+
+    def test_cell_spans_cover_all_cells(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        assert set(out.cell_spans) == {(r, c) for r in range(2) for c in range(3)}
+
+    def test_cell_span_tokens_match_value(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        start, end = out.cell_spans[(1, 1)]
+        assert detok(out.tokens[start:end]) == "paris"
+
+    def test_header_spans(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        start, end = out.header_spans[0]
+        assert detok(out.tokens[start:end]) == "country"
+
+    def test_row_ids_assigned(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        start, _ = out.cell_spans[(1, 2)]
+        assert out.row_ids[start] == 2  # 1-based data rows
+        header_start, _ = out.header_spans[2]
+        assert out.row_ids[header_start] == 0
+
+    def test_column_ids_assigned(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        start, _ = out.cell_spans[(0, 1)]
+        assert out.column_ids[start] == 2
+
+    def test_roles_assigned(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        assert out.roles[0] == TokenRole.SPECIAL
+        cell_start, _ = out.cell_spans[(0, 0)]
+        assert out.roles[cell_start] == TokenRole.CELL
+
+    def test_rows_separated_by_sep(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample)
+        sep_count = out.tokens.count("[SEP]")
+        assert sep_count >= sample.num_rows + 1
+
+    def test_empty_cell_gets_empty_token(self, tokenizer):
+        table = Table(["a", "b"], [["x", None]])
+        out = RowMajorSerializer(tokenizer).serialize(table)
+        start, end = out.cell_spans[(0, 1)]
+        assert out.tokens[start:end] == ["[EMPTY]"]
+
+
+class TestContextPlacement:
+    def test_table_first_puts_context_late(self, tokenizer, sample):
+        first = RowMajorSerializer(tokenizer, context_first=True).serialize(sample)
+        last = RowMajorSerializer(tokenizer, context_first=False).serialize(sample)
+        assert first.context_span[0] < first.cell_spans[(0, 0)][0]
+        assert last.context_span[0] > last.cell_spans[(0, 0)][0]
+
+    def test_context_override(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample, context="france capital")
+        start, end = out.context_span
+        assert detok(out.tokens[start:end]) == "france capital"
+
+    def test_no_context(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer).serialize(sample, context="")
+        assert out.context_span == (0, 0)
+
+
+class TestColumnMajor:
+    def test_column_grouping(self, tokenizer, sample):
+        out = ColumnMajorSerializer(tokenizer).serialize(sample)
+        # Within a column, header precedes all its data cells.
+        h_start, _ = out.header_spans[1]
+        c0_start, _ = out.cell_spans[(0, 1)]
+        c1_start, _ = out.cell_spans[(1, 1)]
+        assert h_start < c0_start < c1_start
+        # And all of column 1 precedes column 2's header.
+        h2_start, _ = out.header_spans[2]
+        assert c1_start < h2_start
+
+    def test_same_cells_as_row_major(self, tokenizer, sample):
+        row = RowMajorSerializer(tokenizer).serialize(sample)
+        col = ColumnMajorSerializer(tokenizer).serialize(sample)
+        assert set(row.cell_spans) == set(col.cell_spans)
+
+
+class TestTemplate:
+    def test_reads_as_sentences(self, tokenizer, sample):
+        out = TemplateSerializer(tokenizer).serialize(sample)
+        text = detok(out.tokens)
+        assert "row one" in text
+        assert "country is australia" in text
+
+    def test_headers_repeat_per_row(self, tokenizer, sample):
+        out = TemplateSerializer(tokenizer).serialize(sample)
+        assert detok(out.tokens).count("capital is") == 2
+
+    def test_headerless_columns_get_placeholder(self, tokenizer):
+        table = Table(["", ""], [["x", "y"]])
+        out = TemplateSerializer(tokenizer).serialize(table)
+        assert "column one" in detok(out.tokens)
+
+
+class TestMarkdown:
+    def test_pipe_layout(self, tokenizer, sample):
+        out = MarkdownSerializer(tokenizer).serialize(sample)
+        assert out.tokens.count("|") > 6
+
+    def test_cell_spans_present(self, tokenizer, sample):
+        out = MarkdownSerializer(tokenizer).serialize(sample)
+        assert len(out.cell_spans) == 6
+
+
+class TestTruncation:
+    def test_long_table_truncated_to_budget(self, tokenizer):
+        table = Table(
+            ["Country", "Capital"],
+            [[f"country {i}", f"city {i}"] for i in range(200)],
+        )
+        out = RowMajorSerializer(tokenizer, max_tokens=64).serialize(table)
+        assert len(out) <= 64
+        assert out.truncated_cells > 0
+        assert out.num_rows_serialized >= 1
+
+    def test_short_table_not_truncated(self, tokenizer, sample):
+        out = RowMajorSerializer(tokenizer, max_tokens=256).serialize(sample)
+        assert out.truncated_cells == 0
+
+    def test_min_budget_validated(self, tokenizer):
+        with pytest.raises(ValueError):
+            RowMajorSerializer(tokenizer, max_tokens=4)
+
+
+class TestRegistry:
+    def test_all_serializers_registered(self):
+        assert set(SERIALIZERS) == {"row_major", "column_major", "template", "markdown"}
+
+    def test_every_serializer_produces_aligned_arrays(self, tokenizer, sample):
+        for cls in SERIALIZERS.values():
+            out = cls(tokenizer).serialize(sample)
+            n = len(out)
+            assert out.token_ids.shape == (n,)
+            assert out.roles.shape == (n,)
+            assert out.row_ids.shape == (n,)
+            assert out.column_ids.shape == (n,)

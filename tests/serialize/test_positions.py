@@ -1,0 +1,118 @@
+"""Tests for feature extraction and batch padding."""
+
+import numpy as np
+import pytest
+
+from repro.serialize import RowMajorSerializer, encode_features, pad_batch
+from repro.tables import Table
+from repro.text import train_tokenizer
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return train_tokenizer(["alpha beta gamma delta one two three | ; a b c d"],
+                           vocab_size=200)
+
+
+def make_table(rows):
+    return Table(["a", "b"], [[f"alpha {i}", f"beta {i}"] for i in range(rows)])
+
+
+class TestEncodeFeatures:
+    def test_arrays_aligned(self, tokenizer):
+        serialized = RowMajorSerializer(tokenizer).serialize(make_table(3))
+        features = encode_features(serialized)
+        n = len(serialized)
+        assert len(features) == n
+        assert features.positions.tolist() == list(range(n))
+
+    def test_row_clamping(self, tokenizer):
+        serialized = RowMajorSerializer(tokenizer).serialize(make_table(10))
+        features = encode_features(serialized, max_row_id=4)
+        assert features.row_ids.max() == 4
+        assert serialized.row_ids.max() == 10  # original untouched
+
+    def test_column_clamping(self, tokenizer):
+        table = Table([f"c{i}" for i in range(6)], [[str(i) for i in range(6)]])
+        serialized = RowMajorSerializer(tokenizer).serialize(table)
+        features = encode_features(serialized, max_column_id=3)
+        assert features.column_ids.max() == 3
+
+
+class TestPadBatch:
+    def test_padding_to_longest(self, tokenizer):
+        serializer = RowMajorSerializer(tokenizer)
+        features = [encode_features(serializer.serialize(make_table(n))) for n in (1, 4)]
+        batch = pad_batch(features, pad_id=0)
+        assert batch.batch_size == 2
+        assert batch.seq_len == max(len(f) for f in features)
+        assert batch.lengths.tolist() == [len(features[0]), len(features[1])]
+
+    def test_pad_value_used(self, tokenizer):
+        serializer = RowMajorSerializer(tokenizer)
+        features = [encode_features(serializer.serialize(make_table(n))) for n in (1, 4)]
+        batch = pad_batch(features, pad_id=0)
+        assert np.all(batch.token_ids[0, batch.lengths[0]:] == 0)
+
+    def test_key_padding_mask(self, tokenizer):
+        serializer = RowMajorSerializer(tokenizer)
+        features = [encode_features(serializer.serialize(make_table(n))) for n in (1, 3)]
+        batch = pad_batch(features, pad_id=0)
+        mask = batch.key_padding_mask()
+        assert mask.shape == (2, 1, 1, batch.seq_len)
+        assert mask[0, 0, 0, batch.lengths[0]]
+        assert not mask[0, 0, 0, 0]
+
+    def test_token_validity(self, tokenizer):
+        serializer = RowMajorSerializer(tokenizer)
+        features = [encode_features(serializer.serialize(make_table(n))) for n in (1, 3)]
+        batch = pad_batch(features, pad_id=0)
+        validity = batch.token_validity()
+        assert validity.sum() == batch.lengths.sum()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            pad_batch([], pad_id=0)
+
+
+class TestNumericFeatures:
+    def test_numeric_cells_flagged(self, tokenizer):
+        from repro.tables import Table
+        table = Table(["name", "score"], [["ann", 12.5], ["bob", -3.0]])
+        serialized = RowMajorSerializer(tokenizer).serialize(table)
+        features = encode_features(serialized, table=table)
+        start, end = serialized.cell_spans[(0, 1)]
+        assert features.numeric_features[start, 0] == 1.0
+        assert features.numeric_features[start, 1] == 1.0
+        assert features.numeric_features[start, 2] > 0
+
+    def test_negative_sign_captured(self, tokenizer):
+        from repro.tables import Table
+        table = Table(["v"], [[-3.0]])
+        serialized = RowMajorSerializer(tokenizer).serialize(table)
+        features = encode_features(serialized, table=table)
+        start, _ = serialized.cell_spans[(0, 0)]
+        assert features.numeric_features[start, 1] == -1.0
+
+    def test_text_cells_zero(self, tokenizer):
+        from repro.tables import Table
+        table = Table(["name"], [["ann"]])
+        serialized = RowMajorSerializer(tokenizer).serialize(table)
+        features = encode_features(serialized, table=table)
+        start, _ = serialized.cell_spans[(0, 0)]
+        assert (features.numeric_features[start] == 0).all()
+
+    def test_without_table_all_zero(self, tokenizer):
+        serialized = RowMajorSerializer(tokenizer).serialize(make_table(2))
+        features = encode_features(serialized)
+        assert (features.numeric_features == 0).all()
+
+    def test_batched_numeric_padded(self, tokenizer):
+        from repro.tables import Table
+        serializer = RowMajorSerializer(tokenizer)
+        tables = [Table(["v"], [[7.0]]), Table(["v"], [[1.0], [2.0], [3.0]])]
+        features = [encode_features(serializer.serialize(t), table=t)
+                    for t in tables]
+        batch = pad_batch(features, pad_id=0)
+        assert batch.numeric_features.shape == (2, batch.seq_len, 3)
+        assert (batch.numeric_features[0, batch.lengths[0]:] == 0).all()

@@ -1,0 +1,158 @@
+"""Tests for the ORDER BY / GROUP BY dialect extensions."""
+
+import numpy as np
+import pytest
+
+from repro.sql import (
+    Aggregate,
+    ExecutionError,
+    SqlSyntaxError,
+    execute,
+    generate_query,
+    parse_query,
+)
+from repro.tables import Table
+
+
+@pytest.fixture
+def scores():
+    return Table(
+        ["Name", "Team", "Score"],
+        [
+            ["ann", "red", 30.0],
+            ["bob", "blue", 10.0],
+            ["cat", "red", 20.0],
+            ["dan", "blue", 40.0],
+            ["eve", None, 5.0],
+        ],
+    )
+
+
+def run(sql, table):
+    return execute(parse_query(sql), table)
+
+
+class TestOrderByParsing:
+    def test_ascending_default(self):
+        q = parse_query('SELECT "Name" FROM t ORDER BY "Score"')
+        assert q.order_by == "Score"
+        assert not q.descending
+
+    def test_descending(self):
+        q = parse_query('SELECT "Name" FROM t ORDER BY "Score" DESC')
+        assert q.descending
+
+    def test_explicit_asc(self):
+        q = parse_query('SELECT "Name" FROM t ORDER BY "Score" ASC')
+        assert not q.descending
+
+    def test_render_roundtrip(self):
+        for sql in ('SELECT "Name" FROM t ORDER BY "Score" DESC LIMIT 2',
+                    'SELECT COUNT("Name") FROM t GROUP BY "Team"'):
+            q = parse_query(sql)
+            assert parse_query(q.render()) == q
+
+
+class TestGroupByParsing:
+    def test_group_by(self):
+        q = parse_query('SELECT SUM("Score") FROM t GROUP BY "Team"')
+        assert q.group_by == "Team"
+        assert q.aggregate is Aggregate.SUM
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query('SELECT "Name" FROM t GROUP BY "Team"')
+
+    def test_group_and_order_combination_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query('SELECT SUM("Score") FROM t GROUP BY "Team" '
+                        'ORDER BY "Score"')
+
+
+class TestOrderByExecution:
+    def test_ascending_numeric(self, scores):
+        result = run('SELECT "Name" FROM t ORDER BY "Score"', scores)
+        assert result == ["eve", "bob", "cat", "ann", "dan"]
+
+    def test_descending(self, scores):
+        result = run('SELECT "Name" FROM t ORDER BY "Score" DESC', scores)
+        assert result[0] == "dan"
+
+    def test_order_with_where_and_limit(self, scores):
+        result = run('SELECT "Name" FROM t WHERE "Team" = \'red\' '
+                     'ORDER BY "Score" DESC LIMIT 1', scores)
+        assert result == ["ann"]
+
+    def test_order_by_text_column(self, scores):
+        result = run('SELECT "Score" FROM t ORDER BY "Name"', scores)
+        assert result == [30.0, 10.0, 20.0, 40.0, 5.0]
+
+    def test_unknown_order_column(self, scores):
+        with pytest.raises(ExecutionError):
+            run('SELECT "Name" FROM t ORDER BY "Ghost"', scores)
+
+    def test_order_ignored_for_aggregates(self, scores):
+        # Aggregates are order-insensitive; ORDER BY must not break them.
+        query = parse_query('SELECT "Score" FROM t ORDER BY "Name"')
+        from repro.sql import SelectQuery
+        agg = SelectQuery("Score", Aggregate.MAX, (), None, None,
+                          query.order_by, query.descending)
+        assert execute(agg, scores) == [40.0]
+
+
+class TestGroupByExecution:
+    def test_count_per_group_ordered_by_key(self, scores):
+        result = run('SELECT COUNT("Name") FROM t GROUP BY "Team"', scores)
+        # Groups sorted by key: blue, red (eve's empty team dropped).
+        assert result == [2.0, 2.0]
+
+    def test_sum_per_group(self, scores):
+        result = run('SELECT SUM("Score") FROM t GROUP BY "Team"', scores)
+        assert result == [50.0, 50.0]
+
+    def test_avg_per_group(self, scores):
+        result = run('SELECT AVG("Score") FROM t GROUP BY "Team"', scores)
+        assert result == [25.0, 25.0]
+
+    def test_group_with_where(self, scores):
+        result = run('SELECT MAX("Score") FROM t WHERE "Score" < 35 '
+                     'GROUP BY "Team"', scores)
+        assert result == [10.0, 30.0]
+
+    def test_numeric_group_keys_sorted_numerically(self):
+        table = Table(["k", "v"], [[10.0, 1.0], [2.0, 2.0], [10.0, 3.0]])
+        result = run('SELECT COUNT("v") FROM t GROUP BY "k"', table)
+        assert result == [1.0, 2.0]  # key 2 before key 10
+
+    def test_limit_applies_to_groups(self, scores):
+        result = run('SELECT COUNT("Name") FROM t GROUP BY "Team" LIMIT 1',
+                     scores)
+        assert result == [2.0]
+
+    def test_unknown_group_column(self, scores):
+        with pytest.raises(ExecutionError):
+            run('SELECT COUNT("Name") FROM t GROUP BY "Ghost"', scores)
+
+
+class TestGeneratorClauses:
+    def test_clauses_generated_and_executable(self, scores):
+        rng = np.random.default_rng(0)
+        seen_order = seen_group = False
+        for _ in range(80):
+            query = generate_query(scores, rng)
+            execute(query, scores)  # must never raise
+            seen_order |= query.order_by is not None
+            seen_group |= query.group_by is not None
+        assert seen_order and seen_group
+
+    def test_clauses_disabled(self, scores):
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            query = generate_query(scores, rng, allow_clauses=False)
+            assert query.order_by is None and query.group_by is None
+
+    def test_render_parse_with_clauses(self, scores):
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            query = generate_query(scores, rng)
+            assert parse_query(query.render()) == query

@@ -1,0 +1,116 @@
+"""Tests for the symbolic SQL executor."""
+
+import pytest
+
+from repro.sql import ExecutionError, denotation_text, execute, parse_query
+from repro.tables import Table
+
+
+@pytest.fixture
+def countries():
+    return Table(
+        ["Country", "Capital", "Population"],
+        [
+            ["Australia", "Canberra", 25.69],
+            ["France", "Paris", 67.75],
+            ["Japan", "Tokyo", 125.7],
+            ["Monaco", None, 0.039],
+        ],
+    )
+
+
+def run(sql, table):
+    return execute(parse_query(sql), table)
+
+
+class TestSelection:
+    def test_select_all(self, countries):
+        assert run("SELECT Country FROM t", countries) == \
+            ["Australia", "France", "Japan", "Monaco"]
+
+    def test_where_equality_case_insensitive(self, countries):
+        assert run("SELECT Capital FROM t WHERE Country = 'france'", countries) == ["Paris"]
+
+    def test_where_numeric_threshold(self, countries):
+        assert run("SELECT Country FROM t WHERE Population > 50", countries) == \
+            ["France", "Japan"]
+
+    def test_conjunction(self, countries):
+        result = run(
+            "SELECT Country FROM t WHERE Population > 20 AND Population < 100",
+            countries,
+        )
+        assert result == ["Australia", "France"]
+
+    def test_inequality(self, countries):
+        result = run("SELECT Country FROM t WHERE Country != 'Japan'", countries)
+        assert "Japan" not in result and len(result) == 3
+
+    def test_empty_cells_skipped_in_result(self, countries):
+        assert run("SELECT Capital FROM t WHERE Country = 'Monaco'", countries) == []
+
+    def test_empty_cells_never_match_conditions(self, countries):
+        assert run("SELECT Country FROM t WHERE Capital = ''", countries) == []
+
+    def test_limit(self, countries):
+        assert run("SELECT Country FROM t LIMIT 2", countries) == ["Australia", "France"]
+
+    def test_no_match(self, countries):
+        assert run("SELECT Country FROM t WHERE Population > 1000", countries) == []
+
+
+class TestAggregates:
+    def test_count(self, countries):
+        assert run("SELECT COUNT(Country) FROM t", countries) == [4.0]
+
+    def test_count_respects_where(self, countries):
+        assert run("SELECT COUNT(Country) FROM t WHERE Population > 50", countries) == [2.0]
+
+    def test_count_skips_empty_cells(self, countries):
+        assert run("SELECT COUNT(Capital) FROM t", countries) == [3.0]
+
+    def test_sum(self, countries):
+        assert run("SELECT SUM(Population) FROM t WHERE Population > 50", countries) == \
+            [pytest.approx(193.45)]
+
+    def test_avg(self, countries):
+        assert run("SELECT AVG(Population) FROM t WHERE Country = 'Japan'", countries) == \
+            [125.7]
+
+    def test_min_max(self, countries):
+        assert run("SELECT MIN(Population) FROM t", countries) == [0.039]
+        assert run("SELECT MAX(Population) FROM t", countries) == [125.7]
+
+    def test_numeric_aggregate_over_text_returns_empty(self, countries):
+        assert run("SELECT SUM(Capital) FROM t", countries) == []
+
+
+class TestTypeHandling:
+    def test_thousands_separator_comparison(self):
+        table = Table(["n"], [["1,234"], ["5"]])
+        assert run("SELECT n FROM t WHERE n > 1000", table) == [1234.0]
+
+    def test_text_number_equality_mismatch(self, countries):
+        # Comparing a text column with a number matches nothing.
+        assert run("SELECT Country FROM t WHERE Capital = 5", countries) == []
+
+    def test_ordered_comparison_on_text_is_false(self, countries):
+        assert run("SELECT Country FROM t WHERE Capital > 'Paris'", countries) == []
+
+    def test_unknown_column_raises(self, countries):
+        with pytest.raises(ExecutionError):
+            run("SELECT Area FROM t", countries)
+
+
+class TestDenotationText:
+    def test_integers_rendered_bare(self):
+        assert denotation_text([2.0]) == "2"
+
+    def test_floats_trimmed(self):
+        assert denotation_text([25.69]) == "25.69"
+
+    def test_list_joined(self):
+        assert denotation_text(["Paris", 3.0]) == "Paris, 3"
+
+    def test_empty(self):
+        assert denotation_text([]) == ""

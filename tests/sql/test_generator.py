@@ -1,0 +1,117 @@
+"""Tests for the random query generator, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import (
+    Aggregate,
+    execute,
+    generate_labeled_queries,
+    generate_query,
+    parse_query,
+)
+from repro.tables import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        ["Name", "Score", "Team"],
+        [
+            ["ann", 10.0, "red"],
+            ["bob", 20.0, "blue"],
+            ["cat", 30.0, "red"],
+            ["dan", 40.0, "blue"],
+        ],
+    )
+
+
+class TestGenerateQuery:
+    def test_select_column_exists(self, table):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            q = generate_query(table, rng)
+            assert q.select_column in table.header
+
+    def test_conditions_reference_existing_columns(self, table):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            q = generate_query(table, rng)
+            for cond in q.conditions:
+                assert cond.column in table.header
+
+    def test_text_columns_get_no_numeric_aggregates(self, table):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            q = generate_query(table, rng)
+            if q.select_column in ("Name", "Team"):
+                assert q.aggregate in (Aggregate.NONE, Aggregate.COUNT)
+
+    def test_deterministic_given_seed(self, table):
+        a = generate_query(table, np.random.default_rng(42))
+        b = generate_query(table, np.random.default_rng(42))
+        assert a == b
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            generate_query(Table([], []), np.random.default_rng(0))
+
+    def test_rendered_query_parses_back(self, table):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            q = generate_query(table, rng)
+            assert parse_query(q.render()) == q
+
+
+class TestLabeledQueries:
+    def test_denotations_match_executor(self, table):
+        rng = np.random.default_rng(4)
+        for query, denotation in generate_labeled_queries(table, 15, rng):
+            assert execute(query, table) == denotation
+
+    def test_nonempty_by_default(self, table):
+        rng = np.random.default_rng(5)
+        for _, denotation in generate_labeled_queries(table, 15, rng):
+            assert denotation
+
+    def test_count_respected(self, table):
+        rng = np.random.default_rng(6)
+        assert len(generate_labeled_queries(table, 7, rng)) == 7
+
+    def test_attempt_cap_prevents_hang(self):
+        # A table of only empty cells can never yield non-empty denotations.
+        table = Table(["a", "b"], [[None, None], [None, None]])
+        rng = np.random.default_rng(7)
+        pairs = generate_labeled_queries(table, 5, rng)
+        assert pairs == [] or all(d for _, d in pairs)
+
+
+@st.composite
+def small_tables(draw):
+    n_rows = draw(st.integers(1, 5))
+    names = ["col_a", "col_b"]
+    rows = []
+    for _ in range(n_rows):
+        text = draw(st.sampled_from(["x", "y", "z"]))
+        number = draw(st.integers(0, 100))
+        rows.append([text, float(number)])
+    return Table(names, rows)
+
+
+class TestProperties:
+    @given(small_tables(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_queries_always_execute(self, table, seed):
+        rng = np.random.default_rng(seed)
+        query = generate_query(table, rng)
+        execute(query, table)  # must not raise
+
+    @given(small_tables(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_render_parse_execute_consistent(self, table, seed):
+        rng = np.random.default_rng(seed)
+        query = generate_query(table, rng)
+        reparsed = parse_query(query.render())
+        assert execute(query, table) == execute(reparsed, table)

@@ -1,0 +1,108 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import Aggregate, Comparator, SqlSyntaxError, parse_query
+
+
+class TestBasicParsing:
+    def test_plain_select(self):
+        q = parse_query("SELECT Capital FROM t")
+        assert q.select_column == "Capital"
+        assert q.aggregate is Aggregate.NONE
+        assert q.conditions == ()
+
+    def test_quoted_identifier(self):
+        q = parse_query('SELECT "hours-per-week" FROM t')
+        assert q.select_column == "hours-per-week"
+
+    def test_aggregate(self):
+        q = parse_query("SELECT SUM(Population) FROM t")
+        assert q.aggregate is Aggregate.SUM
+        assert q.select_column == "Population"
+
+    def test_all_aggregates(self):
+        for name, agg in [("COUNT", Aggregate.COUNT), ("AVG", Aggregate.AVG),
+                          ("MIN", Aggregate.MIN), ("MAX", Aggregate.MAX)]:
+            assert parse_query(f"SELECT {name}(x) FROM t").aggregate is agg
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select count(x) from t where y = 1")
+        assert q.aggregate is Aggregate.COUNT
+        assert len(q.conditions) == 1
+
+    def test_column_named_like_aggregate(self):
+        # 'count' without parentheses is a column name.
+        q = parse_query("SELECT count FROM t")
+        assert q.aggregate is Aggregate.NONE
+        assert q.select_column == "count"
+
+
+class TestWhere:
+    def test_single_condition_string(self):
+        q = parse_query("SELECT a FROM t WHERE b = 'Paris'")
+        cond = q.conditions[0]
+        assert cond.column == "b"
+        assert cond.comparator is Comparator.EQ
+        assert cond.value == "Paris"
+
+    def test_escaped_quote_in_string(self):
+        q = parse_query("SELECT a FROM t WHERE b = 'O''Brien'")
+        assert q.conditions[0].value == "O'Brien"
+
+    def test_numeric_condition(self):
+        q = parse_query("SELECT a FROM t WHERE n > 25.5")
+        assert q.conditions[0].value == 25.5
+
+    def test_negative_number(self):
+        q = parse_query("SELECT a FROM t WHERE n >= -3")
+        assert q.conditions[0].value == -3.0
+
+    def test_multiple_conditions(self):
+        q = parse_query("SELECT a FROM t WHERE x = 1 AND y != 'z' AND w <= 2")
+        assert len(q.conditions) == 3
+        assert q.conditions[1].comparator is Comparator.NE
+
+    def test_all_comparators(self):
+        for op, comp in [("=", Comparator.EQ), ("!=", Comparator.NE),
+                         ("<", Comparator.LT), (">", Comparator.GT),
+                         ("<=", Comparator.LE), (">=", Comparator.GE)]:
+            q = parse_query(f"SELECT a FROM t WHERE x {op} 1")
+            assert q.conditions[0].comparator is comp
+
+
+class TestLimit:
+    def test_limit(self):
+        assert parse_query("SELECT a FROM t LIMIT 3").limit == 3
+
+    def test_where_and_limit(self):
+        q = parse_query("SELECT a FROM t WHERE x = 1 LIMIT 2")
+        assert q.limit == 2 and len(q.conditions) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t WHERE x ~ 1",
+        "SELECT a FROM t LIMIT many",
+        "SELECT a FROM t garbage",
+        "UPDATE t SET a = 1",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(bad)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("sql", [
+        'SELECT "Capital" FROM t',
+        'SELECT SUM("Population") FROM t',
+        'SELECT "a" FROM t WHERE "b" = \'Paris\' AND "c" > 3',
+        'SELECT COUNT("a") FROM t LIMIT 1',
+    ])
+    def test_render_parse_fixpoint(self, sql):
+        query = parse_query(sql)
+        assert parse_query(query.render()) == query

@@ -1,0 +1,80 @@
+"""Tests for CSV loading/saving."""
+
+import pytest
+
+from repro.tables import Table, dumps_table, load_table, loads_table, save_table
+
+
+CSV_TEXT = """Country,Capital,Population
+Australia,Canberra,25.69
+France,Paris,67.75
+"""
+
+
+class TestLoadsTable:
+    def test_basic_parse(self):
+        table = loads_table(CSV_TEXT, table_id="t1")
+        assert table.shape == (2, 3)
+        assert table.header == ["Country", "Capital", "Population"]
+        assert table.cell(0, 2).value == 25.69
+        assert table.table_id == "t1"
+
+    def test_numbers_converted(self):
+        table = loads_table("a,b\n1,hello\n2.5,world\n")
+        assert table.cell(0, 0).value == 1.0
+        assert table.cell(1, 0).value == 2.5
+
+    def test_thousands_separators(self):
+        table = loads_table('a\n"1,234"\n')
+        assert table.cell(0, 0).value == 1234.0
+
+    def test_leading_zero_ids_stay_text(self):
+        table = loads_table("code\n007\n")
+        assert table.cell(0, 0).value == "007"
+
+    def test_plain_zero_is_numeric(self):
+        table = loads_table("n\n0\n")
+        assert table.cell(0, 0).value == 0.0
+
+    def test_empty_fields_become_none(self):
+        table = loads_table("a,b\n,x\n")
+        assert table.cell(0, 0).value is None
+
+    def test_short_rows_padded(self):
+        table = loads_table("a,b,c\n1,2\n")
+        assert table.cell(0, 2).value is None
+
+    def test_long_rows_truncated(self):
+        table = loads_table("a,b\n1,2,3\n")
+        assert table.shape == (1, 2)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            loads_table("")
+
+    def test_title_lands_in_context(self):
+        table = loads_table(CSV_TEXT, title="Population by Country")
+        assert table.context.title == "Population by Country"
+
+    def test_tsv_delimiter(self):
+        table = loads_table("a\tb\n1\t2\n", delimiter="\t")
+        assert table.shape == (1, 2)
+
+
+class TestRoundtrip:
+    def test_dumps_then_loads(self):
+        original = loads_table(CSV_TEXT)
+        again = loads_table(dumps_table(original))
+        assert again.header == original.header
+        assert again.cell(1, 1).value == "Paris"
+
+    def test_file_roundtrip(self, tmp_path):
+        table = loads_table(CSV_TEXT)
+        path = save_table(table, tmp_path / "out" / "countries.csv")
+        loaded = load_table(path)
+        assert loaded.header == table.header
+        assert loaded.table_id == "countries"
+
+    def test_quoting_preserved(self):
+        table = Table(["a"], [["has, comma"]])
+        assert loads_table(dumps_table(table)).cell(0, 0).value == "has, comma"

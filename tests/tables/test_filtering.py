@@ -1,0 +1,101 @@
+"""Tests for table filtering / truncation / content snapshot."""
+
+import pytest
+
+from repro.tables import (
+    Table,
+    drop_empty_columns,
+    drop_empty_rows,
+    passes_quality_filter,
+    select_relevant_rows,
+    truncate_columns,
+    truncate_rows,
+)
+
+
+@pytest.fixture
+def films():
+    return Table(
+        ["Year", "Recipient", "Film"],
+        [
+            ["1967", "Satyajit Ray", "Chiriyakhana"],
+            ["1968", "Mrinal Sen", "Bhuvan Shome"],
+            ["1969", "Satyajit Ray", "Goopy Gyne"],
+            ["1970", "Ritwik Ghatak", "Titash"],
+        ],
+    )
+
+
+class TestTruncation:
+    def test_truncate_rows(self, films):
+        assert truncate_rows(films, 2).num_rows == 2
+        assert truncate_rows(films, 2).cell(0, 0).value == "1967"
+
+    def test_truncate_rows_noop(self, films):
+        assert truncate_rows(films, 10) is films
+
+    def test_truncate_rows_validates(self, films):
+        with pytest.raises(ValueError):
+            truncate_rows(films, -1)
+
+    def test_truncate_columns(self, films):
+        assert truncate_columns(films, 1).header == ["Year"]
+
+    def test_truncate_columns_noop(self, films):
+        assert truncate_columns(films, 3) is films
+
+
+class TestDropEmpty:
+    def test_drop_empty_rows(self):
+        table = Table(["a", "b"], [["x", "y"], [None, ""], ["z", None]])
+        cleaned = drop_empty_rows(table)
+        assert cleaned.num_rows == 2
+
+    def test_drop_empty_columns(self):
+        table = Table(["a", "", "c"], [["x", None, "y"], ["z", "", "w"]])
+        cleaned = drop_empty_columns(table)
+        assert cleaned.header == ["a", "c"]
+
+    def test_named_empty_column_kept(self):
+        table = Table(["a", "note"], [["x", None]])
+        assert drop_empty_columns(table).header == ["a", "note"]
+
+
+class TestContentSnapshot:
+    def test_selects_overlapping_rows(self, films):
+        snapshot = select_relevant_rows(films, "films by Satyajit Ray", max_rows=2)
+        recipients = [snapshot.cell(r, 1).value for r in range(2)]
+        assert recipients == ["Satyajit Ray", "Satyajit Ray"]
+
+    def test_order_preserved(self, films):
+        snapshot = select_relevant_rows(films, "Satyajit Ray", max_rows=2)
+        years = [snapshot.cell(r, 0).value for r in range(2)]
+        assert years == sorted(years)
+
+    def test_no_truncation_needed(self, films):
+        assert select_relevant_rows(films, "anything", max_rows=10) is films
+
+    def test_validates_max_rows(self, films):
+        with pytest.raises(ValueError):
+            select_relevant_rows(films, "x", max_rows=0)
+
+    def test_tie_break_keeps_leading_rows(self, films):
+        snapshot = select_relevant_rows(films, "unrelated query", max_rows=2)
+        assert [snapshot.cell(r, 0).value for r in range(2)] == ["1967", "1968"]
+
+
+class TestQualityFilter:
+    def test_accepts_dense_table(self, films):
+        assert passes_quality_filter(films)
+
+    def test_rejects_tiny_table(self):
+        assert not passes_quality_filter(Table(["a"], [["x"], ["y"]]))
+        assert not passes_quality_filter(Table(["a", "b"], [["x", "y"]]))
+
+    def test_rejects_sparse_table(self):
+        table = Table(["a", "b"], [["x", None], [None, None], [None, "y"]])
+        assert not passes_quality_filter(table)
+
+    def test_threshold_configurable(self):
+        table = Table(["a", "b"], [["x", None], [None, "y"]])
+        assert passes_quality_filter(table, max_empty_fraction=0.6)

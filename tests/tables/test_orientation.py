@@ -1,0 +1,123 @@
+"""Tests for orientation detection and transposition."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import KnowledgeBase, generate_infobox, generate_infobox_corpus
+from repro.tables import (
+    Table,
+    detect_orientation,
+    normalize_orientation,
+    transpose_table,
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+def relational_table():
+    return Table(
+        ["name", "year", "score"],
+        [["ann", 2001.0, 3.2], ["bob", 2004.0, 4.5], ["cat", 2010.0, 1.1]],
+    )
+
+
+def vertical_card():
+    return Table(
+        ["", ""],
+        [["population", 67.75], ["capital", "Paris"], ["founded", 1958.0],
+         ["currency", "euro"]],
+        table_id="card",
+    )
+
+
+class TestDetectOrientation:
+    def test_relational_is_horizontal(self):
+        assert detect_orientation(relational_table()) == "horizontal"
+
+    def test_entity_card_is_vertical(self):
+        assert detect_orientation(vertical_card()) == "vertical"
+
+    def test_descriptive_header_short_circuits(self):
+        # Even a card-shaped table with named header counts as horizontal.
+        table = Table(["attribute", "value"],
+                      [["population", 67.75], ["capital", "Paris"]])
+        assert detect_orientation(table) == "horizontal"
+
+    def test_tiny_tables_default_horizontal(self):
+        assert detect_orientation(Table([""], [["x"]])) == "horizontal"
+
+    def test_generated_infoboxes_detected(self, kb):
+        rng = np.random.default_rng(0)
+        detected = [detect_orientation(generate_infobox(kb, rng))
+                    for _ in range(10)]
+        assert detected.count("vertical") >= 7
+
+
+class TestTranspose:
+    def test_first_column_becomes_header(self):
+        flipped = transpose_table(vertical_card())
+        assert flipped.header == ["population", "capital", "founded",
+                                  "currency"]
+        assert flipped.num_rows == 1
+        assert flipped.cell(0, 1).value == "Paris"
+
+    def test_entity_annotations_preserved(self, kb):
+        rng = np.random.default_rng(1)
+        card = generate_infobox(kb, rng, domain="countries")
+        flipped = transpose_table(card)
+        original_entities = {cell.entity_id
+                             for _, _, cell in card.iter_cells()
+                             if cell.entity_id is not None}
+        flipped_entities = {cell.entity_id
+                            for _, _, cell in flipped.iter_cells()
+                            if cell.entity_id is not None}
+        assert original_entities == flipped_entities
+
+    def test_without_header_promotion(self):
+        flipped = transpose_table(vertical_card(),
+                                  header_from_first_column=False)
+        assert flipped.header == ["", "", "", ""]
+        assert flipped.num_rows == 2
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_table(Table([], []))
+
+
+class TestNormalize:
+    def test_horizontal_unchanged(self):
+        table = relational_table()
+        assert normalize_orientation(table) is table
+
+    def test_vertical_transposed(self):
+        normalized = normalize_orientation(vertical_card())
+        assert normalized.num_rows == 1
+        assert "capital" in normalized.header
+
+    def test_normalized_is_horizontal(self, kb):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            card = generate_infobox(kb, rng)
+            normalized = normalize_orientation(card)
+            assert detect_orientation(normalized) == "horizontal"
+
+
+class TestInfoboxCorpus:
+    def test_deterministic(self, kb):
+        a = generate_infobox_corpus(kb, 5, seed=3)
+        b = generate_infobox_corpus(kb, 5, seed=3)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_title_is_subject(self, kb):
+        rng = np.random.default_rng(0)
+        card = generate_infobox(kb, rng, domain="films")
+        film_names = {r["film"].name for r in kb.domain_records("films")}
+        assert card.context.title in film_names
+
+    def test_two_columns_headerless(self, kb):
+        for card in generate_infobox_corpus(kb, 5, seed=1):
+            assert card.num_columns == 2
+            assert card.header == ["", ""]

@@ -1,0 +1,59 @@
+"""Tests for column type inference."""
+
+from repro.tables import Cell, ColumnType, Table, infer_column_type, infer_schema
+
+
+def cells(*values):
+    return [Cell(v) for v in values]
+
+
+class TestInferColumnType:
+    def test_text_column(self):
+        assert infer_column_type(cells("Paris", "Tokyo", "Rome")) == ColumnType.TEXT
+
+    def test_number_column(self):
+        assert infer_column_type(cells(1, 2.5, "3,000")) == ColumnType.NUMBER
+
+    def test_date_column(self):
+        assert infer_column_type(cells("2020-01-01", "1999-12-31")) == ColumnType.DATE
+
+    def test_year_column_is_date(self):
+        assert infer_column_type(cells("1967", "1968", "1969")) == ColumnType.DATE
+
+    def test_us_date_format(self):
+        assert infer_column_type(cells("1/2/2020", "12/31/99")) == ColumnType.DATE
+
+    def test_long_date_format(self):
+        assert infer_column_type(cells("January 5, 2020", "March 10, 2021")) == ColumnType.DATE
+
+    def test_boolean_column(self):
+        assert infer_column_type(cells("yes", "no", "yes")) == ColumnType.BOOLEAN
+
+    def test_empty_column(self):
+        assert infer_column_type(cells(None, "", None)) == ColumnType.EMPTY
+
+    def test_mixed_column(self):
+        assert infer_column_type(cells("Paris", 1, "yes", "2020-01-01")) == ColumnType.MIXED
+
+    def test_dominance_threshold(self):
+        # 3 of 4 are text → 0.75 ≥ 0.7 → TEXT wins despite one number.
+        assert infer_column_type(cells("a", "b", "c", 1)) == ColumnType.TEXT
+
+    def test_number_date_blend_is_number(self):
+        assert infer_column_type(cells("1967", "25.5", "1968", "3.14")) == ColumnType.NUMBER
+
+    def test_empties_ignored_for_dominance(self):
+        assert infer_column_type(cells(None, "Paris", None, "Rome")) == ColumnType.TEXT
+
+
+class TestInferSchema:
+    def test_per_column(self):
+        table = Table(
+            ["name", "score", "date"],
+            [["ann", 1.0, "2020-01-01"], ["bob", 2.0, "2021-06-05"]],
+        )
+        assert infer_schema(table) == [ColumnType.TEXT, ColumnType.NUMBER, ColumnType.DATE]
+
+    def test_empty_table(self):
+        table = Table(["a", "b"], [])
+        assert infer_schema(table) == [ColumnType.EMPTY, ColumnType.EMPTY]

@@ -1,0 +1,135 @@
+"""Tests for the Table data structure."""
+
+import pytest
+
+from repro.tables import Cell, Table, TableContext
+
+
+@pytest.fixture
+def countries():
+    return Table(
+        header=["Country", "Capital", "Population"],
+        rows=[
+            ["Australia", "Canberra", 25.69],
+            ["France", "Paris", 67.75],
+            ["Japan", "Tokyo", 125.7],
+        ],
+        context=TableContext(title="Population in Million by Country"),
+        table_id="countries",
+    )
+
+
+class TestCell:
+    def test_empty_detection(self):
+        assert Cell(None).is_empty
+        assert Cell("  ").is_empty
+        assert not Cell(0).is_empty
+        assert not Cell("x").is_empty
+
+    def test_numeric_detection(self):
+        assert Cell(3.5).is_numeric
+        assert Cell("25.69").is_numeric
+        assert Cell("1,234").is_numeric
+        assert not Cell("Paris").is_numeric
+        assert not Cell(None).is_numeric
+        assert not Cell(True).is_numeric
+
+    def test_text_rendering(self):
+        assert Cell(None).text() == ""
+        assert Cell(25.0).text() == "25"
+        assert Cell(25.69).text() == "25.69"
+        assert Cell("Paris").text() == "Paris"
+
+    def test_entity_annotation(self):
+        assert Cell("France", entity_id=42).entity_id == 42
+        assert Cell("France").entity_id is None
+
+
+class TestTableContext:
+    def test_text_joins_nonempty(self):
+        ctx = TableContext(title="T", caption="C")
+        assert ctx.text() == "T C"
+
+    def test_is_empty(self):
+        assert TableContext().is_empty
+        assert not TableContext(caption="x").is_empty
+
+
+class TestTableGeometry:
+    def test_shape(self, countries):
+        assert countries.shape == (3, 3)
+        assert countries.num_rows == 3
+        assert countries.num_columns == 3
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"], [["only-one"]])
+
+    def test_cell_access(self, countries):
+        assert countries.cell(1, 1).value == "Paris"
+
+    def test_column_values(self, countries):
+        capitals = [c.value for c in countries.column_values(1)]
+        assert capitals == ["Canberra", "Paris", "Tokyo"]
+
+    def test_column_index(self, countries):
+        assert countries.column_index("Capital") == 1
+        with pytest.raises(KeyError):
+            countries.column_index("Area")
+
+    def test_iter_cells_row_major(self, countries):
+        coords = [(r, c) for r, c, _ in countries.iter_cells()]
+        assert coords[:4] == [(0, 0), (0, 1), (0, 2), (1, 0)]
+        assert len(coords) == 9
+
+
+class TestDerivedViews:
+    def test_subtable_rows(self, countries):
+        sub = countries.subtable(row_indices=[2, 0])
+        assert sub.num_rows == 2
+        assert sub.cell(0, 0).value == "Japan"
+        assert sub.context == countries.context
+
+    def test_subtable_columns(self, countries):
+        sub = countries.subtable(column_indices=[2])
+        assert sub.header == ["Population"]
+        assert sub.cell(0, 0).value == 25.69
+
+    def test_permutation_validated(self, countries):
+        with pytest.raises(ValueError):
+            countries.with_rows_permuted([0, 0, 1])
+
+    def test_permutation_applied(self, countries):
+        permuted = countries.with_rows_permuted([2, 1, 0])
+        assert permuted.cell(0, 0).value == "Japan"
+
+    def test_without_header(self, countries):
+        bare = countries.without_header()
+        assert bare.header == ["", "", ""]
+        assert bare.cell(0, 0).value == "Australia"
+
+    def test_replace_cell_is_copy(self, countries):
+        replaced = countries.replace_cell(0, 1, "Sydney")
+        assert replaced.cell(0, 1).value == "Sydney"
+        assert countries.cell(0, 1).value == "Canberra"
+
+
+class TestStatistics:
+    def test_empty_fraction(self):
+        table = Table(["a", "b"], [[None, "x"], ["", "y"]])
+        assert table.empty_fraction() == 0.5
+
+    def test_numeric_fraction(self, countries):
+        assert countries.numeric_fraction() == pytest.approx(3 / 9)
+
+    def test_numeric_fraction_empty_table(self):
+        assert Table(["a"], []).numeric_fraction() == 0.0
+
+    def test_descriptive_header(self, countries):
+        assert countries.has_descriptive_header()
+        assert not countries.without_header().has_descriptive_header()
+
+    def test_equality(self, countries):
+        clone = Table(countries.header, countries.rows, context=countries.context)
+        assert countries == clone
+        assert countries != countries.without_header()

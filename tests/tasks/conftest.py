@@ -1,0 +1,64 @@
+"""Shared fixtures for task tests: corpora, tokenizer, tiny encoders."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import KnowledgeBase, generate_git_corpus, generate_wiki_corpus
+from repro.models import EncoderConfig, TableBert, Tapas, Turl
+from repro.text import train_tokenizer
+
+
+def corpus_texts(tables):
+    texts = []
+    for table in tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        for _, _, cell in table.iter_cells():
+            texts.append(cell.text())
+    return texts
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+@pytest.fixture(scope="session")
+def wiki_tables(kb):
+    return generate_wiki_corpus(kb, 24, seed=0)
+
+
+@pytest.fixture(scope="session")
+def git_tables():
+    return generate_git_corpus(12, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(wiki_tables, git_tables):
+    extra = ["what is the when how many entries are there lowest highest "
+             "total average where and not below above at most least"]
+    return train_tokenizer(corpus_texts(wiki_tables + git_tables) + extra * 3,
+                           vocab_size=900)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+        hidden_dim=32, max_position=160, num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture
+def bert(config, tokenizer):
+    return TableBert(config, tokenizer, np.random.default_rng(0))
+
+
+@pytest.fixture
+def tapas(config, tokenizer):
+    return Tapas(config, tokenizer, np.random.default_rng(0))
+
+
+@pytest.fixture
+def turl(config, tokenizer):
+    return Turl(config, tokenizer, np.random.default_rng(0))

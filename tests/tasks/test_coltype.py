@@ -1,0 +1,60 @@
+"""Tests for column type prediction."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_coltype_dataset
+from repro.tasks import (
+    ColumnTypePredictor,
+    FinetuneConfig,
+    build_label_set,
+    finetune,
+)
+
+
+@pytest.fixture
+def examples(wiki_tables):
+    return build_coltype_dataset(wiki_tables)
+
+
+class TestLabelSet:
+    def test_sorted_distinct(self, examples):
+        labels = build_label_set(examples)
+        assert labels == sorted(set(labels))
+        assert all(e.label in labels for e in examples)
+
+
+class TestColumnTypePredictor:
+    def test_empty_labels_rejected(self, bert):
+        with pytest.raises(ValueError):
+            ColumnTypePredictor(bert, [], np.random.default_rng(0))
+
+    def test_logits_shape(self, bert, examples):
+        labels = build_label_set(examples)
+        predictor = ColumnTypePredictor(bert, labels, np.random.default_rng(0))
+        assert predictor.logits(examples[:4]).shape == (4, len(labels))
+
+    def test_predictions_in_label_set(self, bert, examples):
+        labels = build_label_set(examples)
+        predictor = ColumnTypePredictor(bert, labels, np.random.default_rng(0))
+        assert all(p in labels for p in predictor.predict(examples[:5]))
+
+    def test_finetune_reduces_loss(self, bert, examples):
+        labels = build_label_set(examples)
+        predictor = ColumnTypePredictor(bert, labels, np.random.default_rng(0))
+        history = finetune(predictor, examples,
+                           FinetuneConfig(epochs=4, batch_size=8,
+                                          learning_rate=3e-3))
+        assert np.mean(history[-3:]) < np.mean(history[:3])
+
+    def test_learns_types_from_values(self, bert, examples):
+        """Column values alone (header hidden) should be enough to beat the
+        majority class on training data."""
+        labels = build_label_set(examples)
+        predictor = ColumnTypePredictor(bert, labels, np.random.default_rng(0))
+        finetune(predictor, examples,
+                 FinetuneConfig(epochs=10, batch_size=8, learning_rate=3e-3))
+        result = predictor.evaluate(examples)
+        from collections import Counter
+        majority = Counter(e.label for e in examples).most_common(1)[0][1]
+        assert result["accuracy"] > majority / len(examples)

@@ -1,0 +1,101 @@
+"""Tests for entity linking."""
+
+import numpy as np
+import pytest
+
+from repro.pretrain import Pretrainer, PretrainConfig
+from repro.tasks import EntityLinker, build_linking_dataset
+
+
+@pytest.fixture
+def examples(kb, wiki_tables):
+    return build_linking_dataset(wiki_tables, np.random.default_rng(0),
+                                 per_table=2)
+
+
+class TestDatasetBuilder:
+    def test_mention_annotation_stripped(self, examples):
+        for example in examples:
+            assert example.table.cell(example.row, example.column).entity_id is None
+
+    def test_gold_ids_valid(self, kb, examples):
+        for example in examples:
+            assert 0 <= example.gold_entity_id < kb.num_entities
+
+    def test_mention_text_matches_gold_name(self, kb, examples):
+        for example in examples:
+            mention = example.table.cell(example.row, example.column).text()
+            assert mention == kb.entity(example.gold_entity_id).name
+
+    def test_per_table_cap(self, wiki_tables):
+        examples = build_linking_dataset(wiki_tables,
+                                         np.random.default_rng(1), per_table=1)
+        ids = {}
+        for e in examples:
+            ids[e.table.table_id] = ids.get(e.table.table_id, 0) + 1
+        assert all(v <= 1 for v in ids.values())
+
+
+class TestEntityLinker:
+    def test_requires_turl(self, bert, kb):
+        with pytest.raises(TypeError):
+            EntityLinker(bert, kb)
+
+    def test_candidate_generation_exact_match(self, turl, kb):
+        linker = EntityLinker(turl, kb)
+        candidates = linker.candidates("France")
+        assert candidates
+        assert candidates[0].name == "France"
+
+    def test_candidate_generation_partial_tokens(self, turl, kb):
+        linker = EntityLinker(turl, kb)
+        # Person names share tokens: "satyajit ray" overlaps several.
+        person = kb.entities_of_type("person")[0]
+        candidates = linker.candidates(person.name)
+        assert any(c.entity_id == person.entity_id for c in candidates)
+
+    def test_no_candidates_for_garbage(self, turl, kb):
+        linker = EntityLinker(turl, kb)
+        assert linker.candidates("zzzz qqqq") == []
+
+    def test_max_candidates_respected(self, turl, kb):
+        linker = EntityLinker(turl, kb, max_candidates=3)
+        assert len(linker.candidates("ray")) <= 3
+
+    def test_max_candidates_validated(self, turl, kb):
+        with pytest.raises(ValueError):
+            EntityLinker(turl, kb, max_candidates=0)
+
+    def test_link_returns_valid_or_none(self, turl, kb, examples):
+        linker = EntityLinker(turl, kb)
+        for example in examples[:6]:
+            predicted = linker.link(example)
+            assert predicted is None or 0 <= predicted < kb.num_entities
+
+    def test_evaluate_keys(self, turl, kb, examples):
+        linker = EntityLinker(turl, kb)
+        result = linker.evaluate(examples[:8])
+        assert set(result) == {"accuracy", "candidate_recall"}
+        assert result["candidate_recall"] >= result["accuracy"] - 1e-9
+
+    def test_candidate_recall_high_for_exact_mentions(self, turl, kb, examples):
+        # Mentions are exact KB names, so lexical recall should be near 1.
+        linker = EntityLinker(turl, kb)
+        result = linker.evaluate(examples)
+        assert result["candidate_recall"] > 0.9
+
+    def test_pretraining_improves_or_maintains_linking(self, kb, wiki_tables,
+                                                       config, tokenizer):
+        from repro.models import Turl
+        examples = build_linking_dataset(wiki_tables,
+                                         np.random.default_rng(2), per_table=2)
+        fresh = Turl(config, tokenizer, np.random.default_rng(0))
+        base = EntityLinker(fresh, kb).evaluate(examples)["accuracy"]
+
+        trained = Turl(config, tokenizer, np.random.default_rng(0))
+        Pretrainer(trained, PretrainConfig(steps=30, batch_size=6,
+                                           learning_rate=5e-3,
+                                           mer_mask_probability=0.5)
+                   ).train(wiki_tables)
+        tuned = EntityLinker(trained, kb).evaluate(examples)["accuracy"]
+        assert tuned >= base - 0.1  # never catastrophically worse

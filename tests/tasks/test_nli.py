@@ -1,0 +1,54 @@
+"""Tests for table NLI / fact verification."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_nli_dataset
+from repro.tasks import FinetuneConfig, NliClassifier, finetune
+
+
+@pytest.fixture
+def examples(wiki_tables):
+    return build_nli_dataset(wiki_tables, np.random.default_rng(0), per_table=2)
+
+
+class TestNliClassifier:
+    def test_logit_shape(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        assert clf.logits(examples[:3]).shape == (3, 2)
+
+    def test_predictions_binary(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        assert set(clf.predict(examples[:6])) <= {0, 1}
+
+    def test_evaluate_keys(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        result = clf.evaluate(examples[:6])
+        assert set(result) == {"accuracy", "precision", "recall", "f1"}
+
+    def test_finetune_reduces_loss(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        history = finetune(clf, examples,
+                           FinetuneConfig(epochs=5, batch_size=8,
+                                          learning_rate=3e-3))
+        assert np.mean(history[-3:]) < np.mean(history[:3])
+
+    def test_finetune_beats_chance_on_train(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        finetune(clf, examples,
+                 FinetuneConfig(epochs=12, batch_size=8, learning_rate=3e-3))
+        assert clf.evaluate(examples)["accuracy"] > 0.55
+
+    def test_freeze_encoder_probe(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        before = bert.token_embedding.weight.data.copy()
+        finetune(clf, examples[:8],
+                 FinetuneConfig(epochs=1, batch_size=4, freeze_encoder=True),
+                 encoder=bert)
+        np.testing.assert_array_equal(bert.token_embedding.weight.data, before)
+
+    def test_freeze_requires_encoder_argument(self, bert, examples):
+        clf = NliClassifier(bert, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            finetune(clf, examples[:4],
+                     FinetuneConfig(epochs=1, freeze_encoder=True))

@@ -1,0 +1,55 @@
+"""Tests for cell-selection QA."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_qa_dataset
+from repro.tasks import CellSelectionQA, FinetuneConfig, finetune
+
+
+@pytest.fixture
+def examples(wiki_tables):
+    return build_qa_dataset(wiki_tables, np.random.default_rng(0), per_table=2)
+
+
+class TestCellSelectionQA:
+    def test_reuses_tapas_head(self, tapas):
+        qa = CellSelectionQA(tapas, np.random.default_rng(0))
+        assert qa.head is tapas.cell_selection
+
+    def test_fresh_head_for_bert(self, bert):
+        qa = CellSelectionQA(bert, np.random.default_rng(0))
+        assert qa.head is not None
+
+    def test_loss_positive(self, tapas, examples):
+        qa = CellSelectionQA(tapas, np.random.default_rng(0))
+        assert float(qa.loss(examples[:4]).data) > 0
+
+    def test_predictions_are_cells(self, tapas, examples):
+        qa = CellSelectionQA(tapas, np.random.default_rng(0))
+        for example, coord in zip(examples[:5], qa.predict(examples[:5])):
+            assert coord is not None
+            row, col = coord
+            assert 0 <= row < example.table.num_rows
+            assert 0 <= col < example.table.num_columns
+
+    def test_evaluate_keys_and_range(self, tapas, examples):
+        qa = CellSelectionQA(tapas, np.random.default_rng(0))
+        result = qa.evaluate(examples[:6])
+        assert set(result) == {"cell_accuracy", "value_accuracy"}
+        assert 0.0 <= result["cell_accuracy"] <= result["value_accuracy"] <= 1.0
+
+    def test_finetune_reduces_loss(self, tapas, examples):
+        qa = CellSelectionQA(tapas, np.random.default_rng(0))
+        history = finetune(qa, examples,
+                           FinetuneConfig(epochs=4, batch_size=8,
+                                          learning_rate=3e-3))
+        assert np.mean(history[-3:]) < np.mean(history[:3])
+
+    def test_finetune_beats_untrained(self, tapas, examples):
+        qa = CellSelectionQA(tapas, np.random.default_rng(0))
+        before = qa.evaluate(examples)["cell_accuracy"]
+        finetune(qa, examples,
+                 FinetuneConfig(epochs=10, batch_size=8, learning_rate=3e-3))
+        after = qa.evaluate(examples)["cell_accuracy"]
+        assert after > before

@@ -1,0 +1,57 @@
+"""Tests for the sketch-based text-to-SQL parser."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_text2sql_dataset
+from repro.sql import Aggregate, SelectQuery
+from repro.tasks import FinetuneConfig, SketchParser, finetune
+
+
+@pytest.fixture
+def examples(wiki_tables):
+    return build_text2sql_dataset(wiki_tables, np.random.default_rng(0),
+                                  per_table=2)
+
+
+class TestSketchParser:
+    def test_loss_positive(self, tapas, examples):
+        parser = SketchParser(tapas, np.random.default_rng(0))
+        assert float(parser.loss(examples[:4]).data) > 0
+
+    def test_predictions_are_queries(self, tapas, examples):
+        parser = SketchParser(tapas, np.random.default_rng(0))
+        for example, predicted in zip(examples[:5], parser.predict(examples[:5])):
+            assert isinstance(predicted, SelectQuery)
+            assert predicted.select_column in example.table.header
+            assert len(predicted.conditions) <= 1
+
+    def test_predicted_conditions_use_table_values(self, tapas, examples):
+        parser = SketchParser(tapas, np.random.default_rng(0))
+        for example, predicted in zip(examples[:8], parser.predict(examples[:8])):
+            for condition in predicted.conditions:
+                column = example.table.column_index(condition.column)
+                values = {cell.text() for cell in example.table.column_values(column)}
+                assert str(condition.value) in values
+
+    def test_evaluate_keys(self, tapas, examples):
+        parser = SketchParser(tapas, np.random.default_rng(0))
+        result = parser.evaluate(examples[:5])
+        assert set(result) == {"sketch_accuracy", "denotation_accuracy"}
+        assert result["sketch_accuracy"] <= result["denotation_accuracy"] + 1e-9
+
+    def test_finetune_reduces_loss(self, tapas, examples):
+        parser = SketchParser(tapas, np.random.default_rng(0))
+        history = finetune(parser, examples,
+                           FinetuneConfig(epochs=4, batch_size=8,
+                                          learning_rate=3e-3))
+        assert np.mean(history[-3:]) < np.mean(history[:3])
+
+    def test_finetune_improves_denotation_accuracy(self, tapas, examples):
+        parser = SketchParser(tapas, np.random.default_rng(0))
+        before = parser.evaluate(examples)["denotation_accuracy"]
+        finetune(parser, examples,
+                 FinetuneConfig(epochs=10, batch_size=8, learning_rate=3e-3))
+        after = parser.evaluate(examples)["denotation_accuracy"]
+        assert after >= before
+        assert after > 0.1

@@ -1,0 +1,42 @@
+"""Tests for text normalization helpers."""
+
+from repro.text import normalize_number, normalize_text, word_tokenize
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Hello WORLD") == "hello world"
+
+    def test_strips_accents(self):
+        assert normalize_text("Café São") == "cafe sao"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("a\t b\n  c") == "a b c"
+
+
+class TestWordTokenize:
+    def test_words_and_punct(self):
+        assert word_tokenize("hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_decimals_kept_whole(self):
+        assert word_tokenize("pop is 25.69 million") == ["pop", "is", "25.69", "million"]
+
+    def test_empty(self):
+        assert word_tokenize("") == []
+
+    def test_hyphenated(self):
+        assert word_tokenize("hours-per-week") == ["hours", "-", "per", "-", "week"]
+
+
+class TestNormalizeNumber:
+    def test_integer_float(self):
+        assert normalize_number(25.0) == "25"
+
+    def test_int(self):
+        assert normalize_number(42) == "42"
+
+    def test_float_trimmed(self):
+        assert normalize_number(3.14159265) == "3.14159"
+
+    def test_bool(self):
+        assert normalize_number(True) == "true"

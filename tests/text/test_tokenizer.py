@@ -1,0 +1,100 @@
+"""Tests for the WordPiece tokenizer, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import Vocab, WordPieceTokenizer, train_tokenizer
+
+CORPUS = [
+    "the population of france is 67.75 million",
+    "the population of australia is 25.69 million",
+    "country capital population",
+    "playing played player plays",
+    "tables are relational data structures",
+    "the capital of france is paris",
+]
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return train_tokenizer(CORPUS, vocab_size=400)
+
+
+class TestTraining:
+    def test_vocab_within_budget(self, tokenizer):
+        assert len(tokenizer.vocab) <= 400
+
+    def test_frequent_words_become_single_tokens(self, tokenizer):
+        assert tokenizer.tokenize("population") == ["population"]
+        assert tokenizer.tokenize("the") == ["the"]
+
+    def test_shared_stems_reused(self, tokenizer):
+        pieces = tokenizer.tokenize("player")
+        assert len(pieces) >= 1
+        joined = pieces[0] + "".join(p[2:] for p in pieces[1:])
+        assert joined == "player"
+
+    def test_min_pair_frequency_limits_merges(self):
+        tiny = train_tokenizer(["ab"], vocab_size=1000, min_pair_frequency=2)
+        # 'ab' occurs once, so no merge happens: it splits into characters.
+        assert tiny.tokenize("ab") == ["a", "##b"]
+
+
+class TestEncoding:
+    def test_continuation_pieces_marked(self, tokenizer):
+        for piece in tokenizer.tokenize("populations")[1:]:
+            assert piece.startswith("##")
+
+    def test_unknown_characters_become_unk(self, tokenizer):
+        assert tokenizer.vocab.unk_token in tokenizer.tokenize("日本")
+
+    def test_overlong_word_is_unk(self):
+        tok = WordPieceTokenizer(Vocab(["a"]), max_word_chars=5)
+        assert tok.tokenize_word("a" * 6) == ["[UNK]"]
+
+    def test_encode_decode_roundtrip(self, tokenizer):
+        text = "the population of france"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_decode_skips_specials(self, tokenizer):
+        ids = [tokenizer.vocab.cls_id] + tokenizer.encode("paris") + [tokenizer.vocab.sep_id]
+        assert tokenizer.decode(ids) == "paris"
+
+    def test_numbers_tokenized(self, tokenizer):
+        pieces = tokenizer.tokenize("67.75")
+        assert pieces  # never empty
+        rebuilt = pieces[0] + "".join(p[2:] for p in pieces[1:])
+        assert rebuilt == "67.75"
+
+
+class TestPersistence:
+    def test_save_load_identical_encoding(self, tokenizer, tmp_path):
+        path = tokenizer.save(tmp_path / "tok.json")
+        loaded = WordPieceTokenizer.load(path)
+        text = "population of australia is 25.69"
+        assert loaded.encode(text) == tokenizer.encode(text)
+
+
+class TestProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_ascii_words_never_unk(self, tokenizer, word):
+        # Training corpus covers all lowercase ascii letters used here?
+        # Not necessarily — but pieces must always rebuild the word or be UNK.
+        pieces = tokenizer.tokenize_word(word)
+        if tokenizer.vocab.unk_token not in pieces:
+            rebuilt = pieces[0] + "".join(p[2:] for p in pieces[1:])
+            assert rebuilt == word
+
+    @given(st.lists(st.sampled_from(CORPUS), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_corpus_sentences_roundtrip(self, tokenizer, sentences):
+        text = " ".join(sentences)
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_tokenize_never_crashes(self, tokenizer, text):
+        pieces = tokenizer.tokenize(text)
+        assert isinstance(pieces, list)

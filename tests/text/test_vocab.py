@@ -1,0 +1,49 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.text import SPECIAL_TOKENS, Vocab
+
+
+class TestVocab:
+    def test_specials_reserved_first(self):
+        vocab = Vocab()
+        for index, token in enumerate(SPECIAL_TOKENS):
+            assert vocab.token(index) == token
+
+    def test_convenience_ids(self):
+        vocab = Vocab()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.cls_id == 2
+        assert vocab.sep_id == 3
+        assert vocab.mask_id == 4
+
+    def test_add_idempotent(self):
+        vocab = Vocab()
+        first = vocab.add("hello")
+        second = vocab.add("hello")
+        assert first == second
+        assert len(vocab) == len(SPECIAL_TOKENS) + 1
+
+    def test_unknown_falls_back_to_unk(self):
+        vocab = Vocab(["known"])
+        assert vocab.id("unknown-token") == vocab.unk_id
+
+    def test_contains(self):
+        vocab = Vocab(["x"])
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocab(["alpha", "beta"])
+        path = vocab.save(tmp_path / "vocab.json")
+        loaded = Vocab.load(path)
+        assert len(loaded) == len(vocab)
+        assert loaded.id("beta") == vocab.id("beta")
+
+    def test_load_rejects_corrupt_specials(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('["not-pad", "x"]')
+        with pytest.raises(ValueError):
+            Vocab.load(path)

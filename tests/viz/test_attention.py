@@ -1,0 +1,59 @@
+"""Tests for attention visualization utilities."""
+
+import numpy as np
+import pytest
+
+from repro.viz import attention_entropy, attention_heatmap, top_attended_tokens
+
+
+def uniform(n):
+    return np.full((n, n), 1.0 / n)
+
+
+class TestHeatmap:
+    def test_renders_one_line_per_token(self):
+        out = attention_heatmap(uniform(4), ["a", "b", "c", "d"])
+        assert len(out.splitlines()) == 4
+
+    def test_truncates_to_max_tokens(self):
+        out = attention_heatmap(uniform(10), [f"t{i}" for i in range(10)],
+                                max_tokens=3)
+        assert len(out.splitlines()) == 3
+
+    def test_peak_rendered_darkest(self):
+        weights = uniform(3)
+        weights[0] = [0.0, 0.0, 1.0]
+        out = attention_heatmap(weights, ["x", "y", "z"]).splitlines()[0]
+        assert out.rstrip("|").endswith("@")
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            attention_heatmap(np.ones((2, 3)), ["a", "b"])
+        with pytest.raises(ValueError):
+            attention_heatmap(uniform(2), ["only-one"])
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert attention_entropy(uniform(8)) == pytest.approx(np.log(8))
+
+    def test_onehot_is_zero(self):
+        assert attention_entropy(np.eye(5)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_batched_input(self):
+        stacked = np.stack([uniform(4), np.eye(4)])
+        value = attention_entropy(stacked)
+        assert 0 < value < np.log(4)
+
+
+class TestTopAttended:
+    def test_ranking(self):
+        weights = np.array([[0.1, 0.7, 0.2]])
+        top = top_attended_tokens(np.vstack([weights, weights, weights]),
+                                  ["a", "b", "c"], query_index=0, k=2)
+        assert top[0] == ("b", pytest.approx(0.7))
+        assert top[1][0] == "c"
+
+    def test_index_validated(self):
+        with pytest.raises(IndexError):
+            top_attended_tokens(uniform(3), ["a", "b", "c"], query_index=9)

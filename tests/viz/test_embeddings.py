@@ -1,0 +1,58 @@
+"""Tests for embedding inspection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.viz import nearest_neighbors, pca_2d, similarity_report
+
+
+@pytest.fixture
+def matrix():
+    return np.array([
+        [1.0, 0.0, 0.0],
+        [0.9, 0.1, 0.0],   # close to row 0
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ])
+
+
+LABELS = ["paris", "lyon", "tokyo", "lima"]
+
+
+class TestNearestNeighbors:
+    def test_closest_first(self, matrix):
+        neighbours = nearest_neighbors(matrix, LABELS, 0, k=2)
+        assert neighbours[0][0] == "lyon"
+
+    def test_query_excluded(self, matrix):
+        names = [n for n, _ in nearest_neighbors(matrix, LABELS, 0, k=4)]
+        assert "paris" not in names
+
+    def test_validation(self, matrix):
+        with pytest.raises(ValueError):
+            nearest_neighbors(matrix, ["too", "few"], 0)
+        with pytest.raises(IndexError):
+            nearest_neighbors(matrix, LABELS, 99)
+
+
+class TestPca:
+    def test_output_shape(self, matrix):
+        assert pca_2d(matrix).shape == (4, 2)
+
+    def test_preserves_separation(self):
+        tight = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 10.0], [10.1, 10.0]])
+        projected = pca_2d(tight)
+        d_close = np.linalg.norm(projected[0] - projected[1])
+        d_far = np.linalg.norm(projected[0] - projected[2])
+        assert d_far > d_close
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            pca_2d(np.ones((1, 3)))
+
+
+class TestReport:
+    def test_one_line_per_label(self, matrix):
+        report = similarity_report(matrix, LABELS, k=2)
+        assert len(report.splitlines()) == 4
+        assert report.startswith("paris:")
