@@ -4,7 +4,16 @@ Each bench file regenerates one experiment from DESIGN.md's experiment
 index (E1–E12) and prints the corresponding rows/series.  Heavyweight
 resources (knowledge base, corpora, tokenizer) are session-scoped so the
 suite stays fast.
+
+Every bench run also produces one machine-readable JSONL metrics
+artifact (step telemetry, profile stats, and the printed result tables)
+under ``benchmarks/artifacts/`` — override the location with the
+``REPRO_BENCH_METRICS`` environment variable.
 """
+
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,7 +21,30 @@ import pytest
 from repro.core import build_tokenizer_for_tables
 from repro.corpus import KnowledgeBase, generate_git_corpus, generate_wiki_corpus
 from repro.models import EncoderConfig
+from repro.runtime import JsonlSink, get_registry
 from repro.tables import Table, TableContext
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_metrics_artifact():
+    """Capture the whole bench session's telemetry as one JSONL file."""
+    override = os.environ.get("REPRO_BENCH_METRICS")
+    if override:
+        path = Path(override)
+    else:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        path = Path(__file__).parent / "artifacts" / f"metrics-{stamp}.jsonl"
+    registry = get_registry()
+    sink = registry.add_sink(JsonlSink(path))
+    try:
+        yield path
+    finally:
+        registry.emit_snapshot()
+        registry.remove_sink(sink)
+        sink.close()
+        if sink.events_written:
+            print(f"\nbench metrics artifact: {path} "
+                  f"({sink.events_written} events)")
 
 
 @pytest.fixture(scope="session")
@@ -70,10 +102,14 @@ def fig1_table():
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
-    """Render an experiment's result table to stdout."""
+    """Render an experiment's result table to stdout (and the metrics sink)."""
     widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
               else len(str(h)) for i, h in enumerate(headers)]
     print(f"\n=== {title} ===")
     print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    get_registry().emit({
+        "kind": "bench_table", "title": title, "headers": list(headers),
+        "rows": [[str(c) for c in row] for row in rows],
+    })

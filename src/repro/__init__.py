@@ -25,6 +25,7 @@ from .core import (
     run_imputation_pipeline,
     save_pretrained,
 )
+from .runtime import TrainRecord, get_registry, profile
 from .tables import Table, TableContext, load_table
 
 __version__ = "0.1.0"
@@ -33,5 +34,6 @@ __all__ = [
     "Table", "TableContext", "load_table",
     "create_model", "save_pretrained", "load_pretrained",
     "build_tokenizer_for_tables", "run_imputation_pipeline",
+    "TrainRecord", "get_registry", "profile",
     "__version__",
 ]

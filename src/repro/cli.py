@@ -6,9 +6,13 @@ Subcommands mirror the hands-on session's stages:
 - ``repro encode``     encode a CSV table and summarize the result (§3.1);
 - ``repro pretrain``   pretrain a model over a corpus and save the bundle
   (§3.3);
-- ``repro behavioral`` run the §2.4 behavioral battery on a model.
+- ``repro behavioral`` run the §2.4 behavioral battery on a model;
+- ``repro profile``    run the Fig. 1 pipeline under the tape profiler and
+  print the per-op cost table.
 
-Every command is pure-stdout and deterministic given ``--seed``.
+Every command is pure-stdout and deterministic given ``--seed``.  Commands
+that train accept ``--metrics-out PATH`` to capture step-level telemetry
+as a JSONL artifact (see ``repro.runtime``).
 """
 
 from __future__ import annotations
@@ -58,6 +62,25 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--seed", type=int, default=0)
     pretrain.add_argument("--out", required=True,
                           help="bundle output directory")
+    pretrain.add_argument("--metrics-out", default=None,
+                          help="write step telemetry to this JSONL file")
+
+    prof = sub.add_parser(
+        "profile",
+        help="run the Fig. 1 pipeline under the autograd-tape profiler")
+    prof.add_argument("corpus", help="directory containing *.csv tables")
+    prof.add_argument("--model", default="bert")
+    prof.add_argument("--steps", type=int, default=10,
+                      help="pretraining steps")
+    prof.add_argument("--epochs", type=int, default=1,
+                      help="fine-tuning epochs")
+    prof.add_argument("--vocab-size", type=int, default=1200)
+    prof.add_argument("--dim", type=int, default=32)
+    prof.add_argument("--layers", type=int, default=2)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--metrics-out", default=None,
+                      help="write step telemetry + per-op stats to this "
+                           "JSONL file")
 
     behavioral = sub.add_parser(
         "behavioral", help="run the §2.4 behavioral battery on a model")
@@ -151,30 +174,82 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_scope(path: str | None):
+    """Attach a JSONL sink to the global registry while the block runs."""
+    from contextlib import nullcontext
+
+    if path is None:
+        return nullcontext()
+    from .runtime import JsonlSink, get_registry
+
+    return get_registry().sink_attached(JsonlSink(path))
+
+
+def _build_cli_config(tokenizer, dim: int, layers: int):
+    from .models import EncoderConfig
+
+    # CSV corpora carry no entity annotations, so give TURL a small slack
+    # entity vocabulary; MER simply finds no targets and MLM drives training.
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=dim, num_heads=4,
+        num_layers=layers, hidden_dim=dim * 2, max_position=192,
+        num_entities=max(1, 8),
+    )
+
+
 def _cmd_pretrain(args: argparse.Namespace) -> int:
     from .core import build_tokenizer_for_tables, create_model, save_pretrained
-    from .models import EncoderConfig
     from .pretrain import Pretrainer, PretrainConfig
 
     tables = _load_corpus_dir(args.corpus)
     tokenizer = build_tokenizer_for_tables(tables, vocab_size=args.vocab_size)
-    # CSV corpora carry no entity annotations, so give TURL a small slack
-    # entity vocabulary; MER simply finds no targets and MLM drives training.
-    config = EncoderConfig(
-        vocab_size=len(tokenizer.vocab), dim=args.dim, num_heads=4,
-        num_layers=args.layers, hidden_dim=args.dim * 2, max_position=192,
-        num_entities=max(1, 8),
-    )
+    config = _build_cli_config(tokenizer, args.dim, args.layers)
     model = create_model(args.model, tokenizer, config=config, seed=args.seed)
     trainer = Pretrainer(model, PretrainConfig(
         steps=args.steps, batch_size=args.batch_size,
         learning_rate=args.learning_rate, seed=args.seed))
-    history = trainer.train(tables)
+    with _metrics_scope(args.metrics_out):
+        history = trainer.train(tables)
     print(f"pretrained {args.model} for {args.steps} steps over "
           f"{len(tables)} tables")
     print(f"loss: {history[0].loss:.3f} -> {history[-1].loss:.3f}")
+    tokens_per_second = [r.tokens_per_second for r in history
+                         if r.tokens_per_second > 0]
+    if tokens_per_second:
+        print(f"throughput: {np.mean(tokens_per_second):.0f} tokens/s")
     bundle = save_pretrained(model, args.out)
     print(f"bundle saved to {bundle}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core import build_tokenizer_for_tables, run_imputation_pipeline
+    from .pretrain import PretrainConfig
+    from .runtime import profile
+    from .tasks import FinetuneConfig
+
+    tables = _load_corpus_dir(args.corpus)
+    if len(tables) < 10:
+        raise SystemExit("profile needs a corpus of at least 10 tables")
+    tokenizer = build_tokenizer_for_tables(tables, vocab_size=args.vocab_size)
+    config = _build_cli_config(tokenizer, args.dim, args.layers)
+    with _metrics_scope(args.metrics_out):
+        with profile() as prof:
+            result = run_imputation_pipeline(
+                tables, model_name=args.model, pretrained=args.steps > 0,
+                tokenizer=tokenizer, config=config,
+                pretrain_config=PretrainConfig(steps=max(args.steps, 1),
+                                               seed=args.seed),
+                finetune_config=FinetuneConfig(epochs=args.epochs,
+                                               seed=args.seed),
+                seed=args.seed)
+    print(result.summary())
+    print()
+    print(prof.table())
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -193,6 +268,7 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "encode": _cmd_encode,
     "pretrain": _cmd_pretrain,
+    "profile": _cmd_profile,
     "behavioral": _cmd_behavioral,
 }
 

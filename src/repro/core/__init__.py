@@ -2,6 +2,7 @@
 
 from .pipeline import PipelineResult, run_imputation_pipeline
 from .registry import (
+    BUNDLE_FORMAT_VERSION,
     build_tokenizer_for_tables,
     create_model,
     load_pretrained,
@@ -12,5 +13,6 @@ from .registry import (
 __all__ = [
     "create_model", "save_pretrained", "load_pretrained",
     "text_corpus_from_tables", "build_tokenizer_for_tables",
+    "BUNDLE_FORMAT_VERSION",
     "PipelineResult", "run_imputation_pipeline",
 ]

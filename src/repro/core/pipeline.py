@@ -4,18 +4,25 @@
 benchmark): pretrain a table LM over a corpus with masked-cell objectives,
 fine-tune it for data imputation, and report hold-out metrics — optionally
 skipping pretraining to quantify its benefit.
+
+Every stage reports step-level telemetry through :mod:`repro.runtime`;
+pass ``metrics_out`` to capture the run as a JSONL artifact, or wrap the
+call in :func:`repro.runtime.profile` for a per-op cost table.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from .registry import build_tokenizer_for_tables, create_model
 from ..corpus import build_imputation_dataset, split_tables
 from ..models import EncoderConfig
-from ..pretrain import Pretrainer, PretrainConfig, StepRecord
+from ..pretrain import Pretrainer, PretrainConfig
+from ..runtime import JsonlSink, TrainRecord, get_registry
 from ..tables import Table
 from ..tasks import (
     FinetuneConfig,
@@ -30,12 +37,16 @@ __all__ = ["PipelineResult", "run_imputation_pipeline"]
 
 @dataclass
 class PipelineResult:
-    """Everything a pipeline run produced."""
+    """Everything a pipeline run produced.
+
+    Both histories are symmetric ``list[TrainRecord]`` — pretraining and
+    fine-tuning report through the same record type.
+    """
 
     model_name: str
     pretrained: bool
-    pretrain_history: list[StepRecord] = field(default_factory=list)
-    finetune_history: list[float] = field(default_factory=list)
+    pretrain_history: list[TrainRecord] = field(default_factory=list)
+    finetune_history: list[TrainRecord] = field(default_factory=list)
     train_metrics: dict[str, float] = field(default_factory=dict)
     test_metrics: dict[str, float] = field(default_factory=dict)
 
@@ -57,40 +68,71 @@ def run_imputation_pipeline(
     finetune_config: FinetuneConfig | None = None,
     examples_per_table: int = 2,
     seed: int = 0,
+    metrics_out: str | Path | None = None,
     **model_kwargs,
 ) -> PipelineResult:
     """Run the Fig. 1 pipeline for the data-imputation downstream task.
 
     The corpus is split by table id into train/valid/test; pretraining and
     the imputation value vocabulary only ever see training tables.
+
+    Parameters
+    ----------
+    metrics_out:
+        Optional path; when given, a JSONL sink is attached to the global
+        metrics registry for the duration of the run, capturing every
+        ``train_step`` event plus a final ``pipeline_run`` summary line.
     """
     if len(corpus) < 10:
         raise ValueError("pipeline needs a corpus of at least 10 tables")
-    rng = np.random.default_rng(seed)
-    tokenizer = tokenizer or build_tokenizer_for_tables(corpus)
-    model = create_model(model_name, tokenizer, config=config, seed=seed,
-                         **model_kwargs)
+    # Independent per-split generators: test-set example sampling must not
+    # depend on how many draws the train split consumed.
+    train_seq, test_seq = np.random.SeedSequence(seed).spawn(2)
+    train_rng = np.random.default_rng(train_seq)
+    test_rng = np.random.default_rng(test_seq)
 
-    train_tables, _, test_tables = split_tables(corpus)
-    result = PipelineResult(model_name=model_name, pretrained=pretrained)
+    registry = get_registry()
+    sink_scope = (registry.sink_attached(JsonlSink(metrics_out))
+                  if metrics_out is not None else nullcontext())
+    with sink_scope:
+        tokenizer = tokenizer or build_tokenizer_for_tables(corpus)
+        model = create_model(model_name, tokenizer, config=config, seed=seed,
+                             **model_kwargs)
 
-    if pretrained:
-        trainer = Pretrainer(model, pretrain_config or PretrainConfig(seed=seed))
-        result.pretrain_history = trainer.train(train_tables)
+        train_tables, _, test_tables = split_tables(corpus)
+        result = PipelineResult(model_name=model_name, pretrained=pretrained)
 
-    train_examples = build_imputation_dataset(
-        train_tables, rng, per_table=examples_per_table)
-    test_examples = build_imputation_dataset(
-        test_tables, rng, per_table=examples_per_table)
-    if not train_examples or not test_examples:
-        raise ValueError("imputation dataset came out empty; corpus too small")
+        if pretrained:
+            trainer = Pretrainer(model,
+                                 pretrain_config or PretrainConfig(seed=seed))
+            with registry.timer("pipeline.pretrain_seconds").time():
+                result.pretrain_history = trainer.train(train_tables)
 
-    vocabulary = build_value_vocabulary_from_tables(train_tables, text_only=True)
-    imputer = ValueImputer(model, vocabulary, np.random.default_rng(seed))
-    result.finetune_history = finetune(
-        imputer, train_examples,
-        finetune_config or FinetuneConfig(seed=seed))
+        train_examples = build_imputation_dataset(
+            train_tables, train_rng, per_table=examples_per_table)
+        test_examples = build_imputation_dataset(
+            test_tables, test_rng, per_table=examples_per_table)
+        if not train_examples or not test_examples:
+            raise ValueError("imputation dataset came out empty; corpus too small")
 
-    result.train_metrics = imputer.evaluate(train_examples)
-    result.test_metrics = imputer.evaluate(test_examples)
+        vocabulary = build_value_vocabulary_from_tables(train_tables,
+                                                        text_only=True)
+        imputer = ValueImputer(model, vocabulary, np.random.default_rng(seed))
+        with registry.timer("pipeline.finetune_seconds").time():
+            result.finetune_history = finetune(
+                imputer, train_examples,
+                finetune_config or FinetuneConfig(seed=seed))
+
+        with registry.timer("pipeline.evaluate_seconds").time():
+            result.train_metrics = imputer.evaluate(train_examples)
+            result.test_metrics = imputer.evaluate(test_examples)
+
+        registry.emit({
+            "kind": "pipeline_run", "model": model_name,
+            "pretrained": pretrained,
+            "pretrain_steps": len(result.pretrain_history),
+            "finetune_steps": len(result.finetune_history),
+            "test_accuracy": result.test_metrics.get("accuracy", 0.0),
+            "test_macro_f1": result.test_metrics.get("macro_f1", 0.0),
+        })
     return result

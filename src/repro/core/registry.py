@@ -14,7 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from ..models import MODEL_CLASSES, EncoderConfig
-from ..nn import Module, load_checkpoint, save_checkpoint
+from ..nn import InitMetadata, Module, load_checkpoint, save_checkpoint
 from ..tables import Table
 from ..text import WordPieceTokenizer, train_tokenizer
 
@@ -24,7 +24,15 @@ __all__ = [
     "load_pretrained",
     "text_corpus_from_tables",
     "build_tokenizer_for_tables",
+    "BUNDLE_FORMAT_VERSION",
 ]
+
+# Version stamp written into every bundle's config.json.  Bump when the
+# bundle layout changes incompatibly; ``load_pretrained`` rejects versions
+# it does not understand.  Bundles written before versioning are treated
+# as version 1 (same layout).
+BUNDLE_FORMAT_VERSION = 1
+_SUPPORTED_BUNDLE_VERSIONS = frozenset({1})
 
 
 def text_corpus_from_tables(tables: list[Table]) -> list[str]:
@@ -77,8 +85,7 @@ def create_model(name: str, tokenizer: WordPieceTokenizer,
             f"tokenizer ({len(tokenizer.vocab)} tokens)")
     rng = np.random.default_rng(seed)
     model = MODEL_CLASSES[name](config, tokenizer, rng, **kwargs)
-    object.__setattr__(model, "_init_kwargs", dict(kwargs))
-    object.__setattr__(model, "_init_seed", seed)
+    model.init_metadata = InitMetadata(seed=seed, kwargs=dict(kwargs))
     return model
 
 
@@ -86,11 +93,13 @@ def save_pretrained(model: Module, directory: str | Path) -> Path:
     """Write a loadable bundle: weights.npz + config.json + tokenizer.json."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    init = model.init_metadata
     metadata = {
+        "format_version": BUNDLE_FORMAT_VERSION,
         "model_name": model.model_name,
         "config": model.config.to_dict(),
-        "kwargs": getattr(model, "_init_kwargs", {}),
-        "seed": getattr(model, "_init_seed", 0),
+        "kwargs": init.kwargs,
+        "seed": init.seed,
     }
     save_checkpoint(model, directory / "weights.npz")
     (directory / "config.json").write_text(json.dumps(metadata, indent=2))
@@ -102,6 +111,13 @@ def load_pretrained(directory: str | Path) -> Module:
     """Reconstruct a model bundle written by :func:`save_pretrained`."""
     directory = Path(directory)
     metadata = json.loads((directory / "config.json").read_text())
+    version = metadata.get("format_version", 1)
+    if version not in _SUPPORTED_BUNDLE_VERSIONS:
+        supported = sorted(_SUPPORTED_BUNDLE_VERSIONS)
+        raise ValueError(
+            f"bundle {directory} has format_version {version!r}; this build "
+            f"supports {supported}. Re-export the bundle with a matching "
+            f"version of repro.")
     tokenizer = WordPieceTokenizer.load(directory / "tokenizer.json")
     config = EncoderConfig.from_dict(metadata["config"])
     model = create_model(metadata["model_name"], tokenizer, config=config,

@@ -15,7 +15,7 @@ from .functional import (
 )
 from .io import load_checkpoint, save_checkpoint
 from .layers import Dropout, Embedding, LayerNorm, Linear
-from .module import Module, ModuleList, Parameter
+from .module import InitMetadata, Module, ModuleList, Parameter
 from .optim import (
     SGD,
     Adam,
@@ -24,12 +24,12 @@ from .optim import (
     LinearWarmupSchedule,
     clip_gradients,
 )
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import Tensor, get_tape_hook, is_grad_enabled, no_grad, set_tape_hook
 from .transformer import Decoder, DecoderLayer, Encoder, EncoderLayer, FeedForward
 
 __all__ = [
-    "Tensor", "no_grad", "is_grad_enabled",
-    "Module", "ModuleList", "Parameter",
+    "Tensor", "no_grad", "is_grad_enabled", "set_tape_hook", "get_tape_hook",
+    "Module", "ModuleList", "Parameter", "InitMetadata",
     "Linear", "Embedding", "LayerNorm", "Dropout",
     "MultiHeadAttention", "causal_mask", "padding_mask",
     "FeedForward", "EncoderLayer", "Encoder", "DecoderLayer", "Decoder",

@@ -8,13 +8,36 @@ checkpoint code in :mod:`repro.nn.io`.
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["Parameter", "Module", "ModuleList"]
+__all__ = ["Parameter", "Module", "ModuleList", "InitMetadata"]
+
+
+@dataclass(frozen=True)
+class InitMetadata:
+    """How a module was constructed — what a bundle needs to rebuild it.
+
+    Factories (see :func:`repro.core.create_model`) stamp this on the
+    models they build via :attr:`Module.init_metadata`; ``save_pretrained``
+    serializes it so ``load_pretrained`` can re-invoke the constructor
+    with the same seed and extra keyword arguments.
+    """
+
+    seed: int = 0
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InitMetadata":
+        return cls(seed=int(payload.get("seed", 0)),
+                   kwargs=dict(payload.get("kwargs", {})))
 
 
 class Parameter(Tensor):
@@ -38,6 +61,22 @@ class Module:
         elif isinstance(value, Module):
             self._modules[name] = value
         object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Construction metadata
+    # ------------------------------------------------------------------
+    @property
+    def init_metadata(self) -> InitMetadata:
+        """Construction metadata for bundle IO (empty unless stamped)."""
+        stamped = getattr(self, "_init_metadata", None)
+        return stamped if stamped is not None else InitMetadata()
+
+    @init_metadata.setter
+    def init_metadata(self, value: InitMetadata) -> None:
+        if not isinstance(value, InitMetadata):
+            raise TypeError(
+                f"init_metadata must be an InitMetadata, got {type(value).__name__}")
+        object.__setattr__(self, "_init_metadata", value)
 
     # ------------------------------------------------------------------
     # Parameter iteration

@@ -18,13 +18,37 @@ suite (``tests/nn/test_tensor.py``).
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled",
+           "set_tape_hook", "get_tape_hook"]
 
 _GRAD_ENABLED = True
+
+# Optional profiling hook (see repro.runtime.profiler).  When installed it
+# receives ``on_forward(op, nbytes)`` for every op creation and
+# ``on_backward(op, seconds)`` for every vector-Jacobian product.  The
+# disabled path is a single ``is None`` check per op.
+_TAPE_HOOK = None
+
+
+def set_tape_hook(hook) -> object | None:
+    """Install a tape profiling hook; returns the previously installed one.
+
+    Pass ``None`` to uninstall.  Used by :func:`repro.runtime.profile`.
+    """
+    global _TAPE_HOOK
+    previous = _TAPE_HOOK
+    _TAPE_HOOK = hook
+    return previous
+
+
+def get_tape_hook() -> object | None:
+    """The currently installed tape hook, if any."""
+    return _TAPE_HOOK
 
 
 class no_grad:
@@ -156,6 +180,8 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
+        if _TAPE_HOOK is not None:
+            _TAPE_HOOK.on_forward(op, data.nbytes)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
@@ -202,10 +228,19 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward is None or node.grad is None:
-                continue
-            node._backward(node.grad)
+        hook = _TAPE_HOOK
+        if hook is None:
+            for node in reversed(order):
+                if node._backward is None or node.grad is None:
+                    continue
+                node._backward(node.grad)
+        else:
+            for node in reversed(order):
+                if node._backward is None or node.grad is None:
+                    continue
+                start = time.perf_counter()
+                node._backward(node.grad)
+                hook.on_backward(node._op, time.perf_counter() - start)
 
     def zero_grad(self) -> None:
         """Drop any accumulated gradient."""

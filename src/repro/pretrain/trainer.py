@@ -9,7 +9,9 @@ model exposes a ``mer_head`` (TURL).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -17,6 +19,7 @@ from .masking import combine_masking, mask_for_mer, mask_for_mlm
 from .objectives import masked_accuracy, mer_loss, mlm_loss
 from ..models import MlmHead, TableEncoder
 from ..nn import Adam, LinearWarmupSchedule, clip_gradients
+from ..runtime import TrainRecord, emit_train_record
 from ..tables import Table
 
 __all__ = ["PretrainConfig", "StepRecord", "Pretrainer"]
@@ -45,18 +48,28 @@ class PretrainConfig:
             raise ValueError("at least one pretraining objective must be enabled")
 
 
-@dataclass
-class StepRecord:
-    """Per-step training log entry."""
+class StepRecord(TrainRecord):
+    """Deprecated alias of :class:`repro.runtime.TrainRecord`.
 
-    step: int
-    loss: float
-    mlm_loss: float
-    mer_loss: float
-    mlm_accuracy: float
-    mer_accuracy: float
-    learning_rate: float
-    grad_norm: float = 0.0
+    Accepts the legacy constructor signature (``mlm_loss``,
+    ``mer_accuracy``, ``learning_rate``, ...) and maps it onto the
+    unified record; the per-objective fields land in ``extras`` and stay
+    readable as attributes.  New code should use ``TrainRecord``.
+    """
+
+    def __init__(self, step: int, loss: float = 0.0, mlm_loss: float = 0.0,
+                 mer_loss: float = 0.0, mlm_accuracy: float = 0.0,
+                 mer_accuracy: float = 0.0, learning_rate: float = 0.0,
+                 grad_norm: float = 0.0, **kwargs) -> None:
+        warnings.warn(
+            "StepRecord is deprecated; use repro.runtime.TrainRecord",
+            DeprecationWarning, stacklevel=2)
+        extras = dict(kwargs.pop("extras", {}))
+        extras.update(mlm_loss=mlm_loss, mer_loss=mer_loss,
+                      mlm_accuracy=mlm_accuracy, mer_accuracy=mer_accuracy)
+        super().__init__(step=step, loss=loss,
+                         lr=kwargs.pop("lr", learning_rate),
+                         grad_norm=grad_norm, extras=extras, **kwargs)
 
 
 class Pretrainer:
@@ -84,7 +97,7 @@ class Pretrainer:
         warmup = max(1, int(self.config.steps * self.config.warmup_fraction))
         self.schedule = LinearWarmupSchedule(
             self.config.learning_rate, warmup, self.config.steps + 1)
-        self.history: list[StepRecord] = []
+        self.history: list[TrainRecord] = []
 
     # ------------------------------------------------------------------
     def _sample_tables(self, corpus: list[Table]) -> list[Table]:
@@ -111,10 +124,12 @@ class Pretrainer:
                             whole_cell=self.config.whole_cell_masking)
 
     # ------------------------------------------------------------------
-    def train_step(self, corpus: list[Table]) -> StepRecord:
+    def train_step(self, corpus: list[Table]) -> TrainRecord:
         """One optimization step over a sampled batch; returns the record."""
         step = len(self.history)
+        started = time.perf_counter()
         masked = self._masked_batch(self._sample_tables(corpus))
+        tokens = int(masked.batch.token_ids.size)
 
         self.optimizer.zero_grad()
         hidden = self.model(masked.batch)
@@ -149,15 +164,18 @@ class Pretrainer:
             grad_norm = 0.0
             total_value = 0.0
 
-        record = StepRecord(
-            step=step, loss=total_value, mlm_loss=mlm_value, mer_loss=mer_value,
-            mlm_accuracy=mlm_acc, mer_accuracy=mer_acc,
-            learning_rate=self.optimizer.lr, grad_norm=grad_norm,
+        record = TrainRecord(
+            step=step, loss=total_value, lr=self.optimizer.lr,
+            grad_norm=grad_norm, wall_time=time.perf_counter() - started,
+            tokens=tokens,
+            extras={"mlm_loss": mlm_value, "mer_loss": mer_value,
+                    "mlm_accuracy": mlm_acc, "mer_accuracy": mer_acc},
         )
         self.history.append(record)
+        emit_train_record(record, source="pretrain")
         return record
 
-    def train(self, corpus: list[Table]) -> list[StepRecord]:
+    def train(self, corpus: list[Table]) -> list[TrainRecord]:
         """Run the configured number of steps; returns the full history."""
         if not corpus:
             raise ValueError("pretraining corpus is empty")

@@ -1,0 +1,50 @@
+"""repro.runtime — telemetry: metrics, training records, tape profiling.
+
+The observability layer every training loop and benchmark reports
+through:
+
+- :class:`TrainRecord` — the unified step record returned by
+  :meth:`~repro.pretrain.Pretrainer.train`, :func:`~repro.tasks.finetune`
+  and carried on :class:`~repro.core.PipelineResult`;
+- :class:`MetricsRegistry` (+ :func:`get_registry`) — named counters,
+  timers and histograms with pluggable sinks (:class:`InMemorySink`,
+  :class:`JsonlSink`, :class:`StdoutTableSink`);
+- :func:`profile` — a context manager that hooks the autograd tape and
+  accounts per-op forward/backward calls, wall time and array bytes,
+  with a no-op fast path when inactive.
+
+Quick taste::
+
+    from repro.runtime import JsonlSink, get_registry, profile
+
+    with get_registry().sink_attached(JsonlSink("metrics.jsonl")):
+        with profile() as prof:
+            run_imputation_pipeline(corpus)
+    print(prof.table())
+"""
+
+from .records import TrainRecord
+from .registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    emit_train_record,
+    get_registry,
+    set_registry,
+    set_telemetry,
+    telemetry_enabled,
+    using_registry,
+)
+from .sinks import InMemorySink, JsonlSink, MetricSink, StdoutTableSink, render_table
+from .profiler import OpStat, TapeProfile, profile
+
+__all__ = [
+    "TrainRecord",
+    "Counter", "Timer", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry", "using_registry",
+    "telemetry_enabled", "set_telemetry", "emit_train_record",
+    "MetricSink", "InMemorySink", "JsonlSink", "StdoutTableSink",
+    "render_table",
+    "OpStat", "TapeProfile", "profile",
+]

@@ -1,0 +1,114 @@
+"""The unified training record shared by every training loop.
+
+Historically each layer logged its own shape: :class:`~repro.pretrain`
+produced typed ``StepRecord`` entries while fine-tuning returned a bare
+``list[float]`` of losses.  :class:`TrainRecord` replaces both — one
+step-level record carrying the fields every loop can report (step, loss,
+learning rate, gradient norm, wall time, token throughput) plus an
+``extras`` mapping for loop-specific scalars (per-objective losses,
+masked-recovery accuracies, epoch indices, ...).
+
+Extras are reachable as attributes for backwards compatibility, so code
+written against the old ``StepRecord`` fields (``record.mlm_loss``,
+``record.mer_accuracy``) keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["TrainRecord"]
+
+
+@dataclass
+class TrainRecord:
+    """One optimization step of any training loop.
+
+    Parameters
+    ----------
+    step:
+        Zero-based global step index within the run.
+    loss:
+        Total scalar loss the optimizer stepped on.
+    lr:
+        Learning rate in effect for this step.
+    grad_norm:
+        Global gradient norm before clipping.
+    wall_time:
+        Wall-clock seconds the step took (0 when not measured).
+    tokens:
+        Input tokens processed this step (0 when not applicable).
+    extras:
+        Loop-specific scalars, e.g. ``{"mlm_loss": 2.3, "epoch": 1}``.
+        Readable as attributes: ``record.mlm_loss``.
+    """
+
+    step: int
+    loss: float
+    lr: float = 0.0
+    grad_norm: float = 0.0
+    wall_time: float = 0.0
+    tokens: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Legacy-compatible access
+    # ------------------------------------------------------------------
+    @property
+    def learning_rate(self) -> float:
+        """Alias of :attr:`lr` (the old ``StepRecord`` field name)."""
+        return self.lr
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Throughput of the step; 0 when wall time was not measured."""
+        if self.wall_time <= 0.0 or self.tokens <= 0:
+            return 0.0
+        return self.tokens / self.wall_time
+
+    def __getattr__(self, name: str) -> float:
+        # Only reached for names that are not fields/properties: resolve
+        # them against ``extras`` so legacy per-objective fields survive.
+        if name.startswith("_") or name == "extras":
+            raise AttributeError(name)
+        extras = self.__dict__.get("extras")
+        if extras is not None and name in extras:
+            return extras[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} has no field or extra {name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (the JSONL metrics schema)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready mapping; extras are inlined alongside fields."""
+        out: dict[str, Any] = {
+            "step": int(self.step),
+            "loss": float(self.loss),
+            "lr": float(self.lr),
+            "grad_norm": float(self.grad_norm),
+            "wall_time": float(self.wall_time),
+            "tokens": int(self.tokens),
+        }
+        for key, value in self.extras.items():
+            if key not in out:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrainRecord":
+        """Rebuild a record from :meth:`to_dict` output (extras restored)."""
+        fields = {"step", "loss", "lr", "grad_norm", "wall_time", "tokens"}
+        extras = {k: v for k, v in payload.items()
+                  if k not in fields and k not in ("kind", "source")}
+        return cls(
+            step=int(payload.get("step", 0)),
+            loss=float(payload.get("loss", 0.0)),
+            lr=float(payload.get("lr", 0.0)),
+            grad_norm=float(payload.get("grad_norm", 0.0)),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            tokens=int(payload.get("tokens", 0)),
+            extras=extras,
+        )

@@ -1,0 +1,273 @@
+"""A lightweight metrics registry: counters, timers, histograms, sinks.
+
+One process-global :class:`MetricsRegistry` (reachable via
+:func:`get_registry`) collects everything the training loops and the
+profiler report.  With no sinks attached — the default — emitting an
+event is a single empty-list iteration, so instrumented code pays
+effectively nothing until someone asks for the data.
+
+Telemetry can be switched off entirely with :func:`set_telemetry`; the
+emit path then returns immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .records import TrainRecord
+from .sinks import MetricSink
+
+__all__ = [
+    "Counter", "Timer", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry", "using_registry",
+    "telemetry_enabled", "set_telemetry",
+    "emit_train_record",
+]
+
+_TELEMETRY_ENABLED = True
+
+
+def telemetry_enabled() -> bool:
+    """Whether step-level telemetry emission is currently on."""
+    return _TELEMETRY_ENABLED
+
+
+def set_telemetry(enabled: bool) -> bool:
+    """Globally enable/disable telemetry emission; returns previous state."""
+    global _TELEMETRY_ENABLED
+    previous = _TELEMETRY_ENABLED
+    _TELEMETRY_ENABLED = bool(enabled)
+    return previous
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": "metric", "metric": "counter", "name": self.name,
+                "value": self.value}
+
+
+class Timer:
+    """Accumulates durations; use :meth:`time` as a context manager."""
+
+    __slots__ = ("name", "count", "total_seconds", "min_seconds",
+                 "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": "metric", "metric": "timer", "name": self.name,
+                "count": self.count, "total_seconds": self.total_seconds,
+                "mean_seconds": self.mean_seconds,
+                "min_seconds": 0.0 if self.count == 0 else self.min_seconds,
+                "max_seconds": self.max_seconds}
+
+
+class Histogram:
+    """Streaming summary of observed values (count/mean/min/max).
+
+    Keeps O(1) state rather than raw samples so long runs stay cheap.
+    """
+
+    __slots__ = ("name", "count", "total", "min_value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        empty = self.count == 0
+        return {"kind": "metric", "metric": "histogram", "name": self.name,
+                "count": self.count, "mean": self.mean,
+                "min": 0.0 if empty else self.min_value,
+                "max": 0.0 if empty else self.max_value}
+
+
+class MetricsRegistry:
+    """Named counters/timers/histograms plus a fan-out list of sinks."""
+
+    def __init__(self, sinks: list[MetricSink] | None = None) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._sinks: list[MetricSink] = list(sinks or [])
+
+    # ------------------------------------------------------------------
+    # Instrument access (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Sinks and events
+    # ------------------------------------------------------------------
+    @property
+    def sinks(self) -> tuple[MetricSink, ...]:
+        return tuple(self._sinks)
+
+    def add_sink(self, sink: MetricSink) -> MetricSink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: MetricSink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    @contextmanager
+    def sink_attached(self, sink: MetricSink) -> Iterator[MetricSink]:
+        """Attach ``sink`` for the duration of a ``with`` block, then close."""
+        self.add_sink(sink)
+        try:
+            yield sink
+        finally:
+            self.remove_sink(sink)
+            sink.close()
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Forward one event to every attached sink (no-op when disabled)."""
+        if not _TELEMETRY_ENABLED or not self._sinks:
+            return
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self._sinks:
+            sink.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """One ``metric`` event per instrument (JSONL-schema shaped)."""
+        instruments = (list(self._counters.values())
+                       + list(self._timers.values())
+                       + list(self._histograms.values()))
+        return [instrument.snapshot() for instrument in instruments]
+
+    def emit_snapshot(self) -> None:
+        """Push the current snapshot through the sinks."""
+        for event in self.snapshot():
+            self.emit(event)
+
+    def reset(self) -> None:
+        """Drop all instruments (sinks stay attached)."""
+        self._counters.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every training loop reports to."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global registry; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def using_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily swap in ``registry`` (tests, isolated runs)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def emit_train_record(record: TrainRecord, source: str,
+                      registry: MetricsRegistry | None = None) -> None:
+    """Emit one ``train_step`` event and roll it into standard instruments.
+
+    Parameters
+    ----------
+    record:
+        The step record produced by a training loop.
+    source:
+        Which loop: ``"pretrain"``, ``"finetune"``, ...
+    registry:
+        Defaults to the global registry.
+    """
+    if not _TELEMETRY_ENABLED:
+        return
+    registry = registry or _REGISTRY
+    registry.counter(f"{source}.steps").inc()
+    if record.tokens:
+        registry.counter(f"{source}.tokens").inc(record.tokens)
+    if record.wall_time > 0.0:
+        registry.timer(f"{source}.step_seconds").observe(record.wall_time)
+    registry.histogram(f"{source}.loss").observe(record.loss)
+    if registry.sinks:
+        event = {"kind": "train_step", "source": source}
+        event.update(record.to_dict())
+        registry.emit(event)

@@ -1,0 +1,178 @@
+"""Pluggable metric sinks: where telemetry events go.
+
+Every event is a flat JSON-serializable ``dict`` with at least a ``kind``
+key.  The kinds the library emits (the JSONL metrics schema):
+
+- ``train_step`` — one optimization step from any loop.  Fields:
+  ``source`` (``"pretrain"`` | ``"finetune"``), plus the flattened
+  :class:`~repro.runtime.TrainRecord` (``step``, ``loss``, ``lr``,
+  ``grad_norm``, ``wall_time``, ``tokens`` and any extras).
+- ``profile_op`` — one autograd-tape op from a :func:`~repro.runtime.profile`
+  region: ``op``, ``calls``, ``forward_seconds``, ``backward_calls``,
+  ``backward_seconds``, ``bytes``.
+- ``metric`` — a registry snapshot entry: ``name``, ``value`` (counters),
+  or ``name``, ``count``, ``total_seconds`` (timers), or ``name``,
+  ``count``, ``mean``, ``min``, ``max`` (histograms).
+- ``bench_table`` — one rendered benchmark result table: ``title``,
+  ``headers``, ``rows``.
+
+Sinks must tolerate any extra keys — the schema is additive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["MetricSink", "InMemorySink", "JsonlSink", "StdoutTableSink"]
+
+
+class MetricSink:
+    """Base class; a sink receives events and may buffer until flush."""
+
+    def emit(self, event: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Write out any buffered state (default: nothing to do)."""
+
+    def close(self) -> None:
+        """Flush and release resources (default: just flush)."""
+        self.flush()
+
+    def __enter__(self) -> "MetricSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InMemorySink(MetricSink):
+    """Collect events in a list — the default for tests and notebooks."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(dict(event))
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """Events whose ``kind`` field matches."""
+        return [e for e in self.events if e.get("kind") == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink(MetricSink):
+    """Append one JSON object per line to a file (the metrics artifact).
+
+    The file is opened lazily on the first event so constructing the sink
+    never touches the filesystem.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: IO[str] | None = None
+        self.events_written = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a", encoding="utf-8")
+        self._file.write(json.dumps(event, default=_jsonify) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _jsonify(value: Any) -> Any:
+    """Fallback serializer: numpy scalars and anything float-like."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+class StdoutTableSink(MetricSink):
+    """Buffer events and render them as aligned text tables on flush.
+
+    ``train_step`` events are grouped by ``source`` and summarized;
+    ``profile_op`` events render as the per-op profile table; other kinds
+    print as one compact line each.
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be positive")
+        self.every = every
+        self._events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self._events.append(dict(event))
+
+    def flush(self) -> None:
+        if not self._events:
+            return
+        steps = [e for e in self._events if e.get("kind") == "train_step"]
+        ops = [e for e in self._events if e.get("kind") == "profile_op"]
+        rest = [e for e in self._events
+                if e.get("kind") not in ("train_step", "profile_op")]
+        if steps:
+            self._print_steps(steps)
+        if ops:
+            self._print_ops(ops)
+        for event in rest:
+            kind = event.get("kind", "event")
+            detail = " ".join(f"{k}={v}" for k, v in event.items()
+                              if k != "kind")
+            print(f"[{kind}] {detail}")
+        self._events.clear()
+
+    # ------------------------------------------------------------------
+    def _print_steps(self, steps: list[dict[str, Any]]) -> None:
+        header = ["source", "step", "loss", "lr", "grad_norm",
+                  "wall_time", "tokens/s"]
+        rows = []
+        for event in steps[:: self.every]:
+            wall = float(event.get("wall_time", 0.0))
+            tokens = float(event.get("tokens", 0))
+            tps = tokens / wall if wall > 0 and tokens > 0 else 0.0
+            rows.append([
+                str(event.get("source", "?")), str(event.get("step", "?")),
+                f"{float(event.get('loss', 0.0)):.4f}",
+                f"{float(event.get('lr', 0.0)):.2e}",
+                f"{float(event.get('grad_norm', 0.0)):.3f}",
+                f"{wall:.4f}", f"{tps:.0f}",
+            ])
+        print(render_table("train steps", header, rows))
+
+    def _print_ops(self, ops: list[dict[str, Any]]) -> None:
+        header = ["op", "calls", "fwd s", "bwd calls", "bwd s", "MB"]
+        rows = [[
+            str(e.get("op", "?")), str(e.get("calls", 0)),
+            f"{float(e.get('forward_seconds', 0.0)):.4f}",
+            str(e.get("backward_calls", 0)),
+            f"{float(e.get('backward_seconds', 0.0)):.4f}",
+            f"{float(e.get('bytes', 0)) / 1e6:.2f}",
+        ] for e in ops]
+        print(render_table("profile", header, rows))
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Align ``rows`` under ``headers`` — shared by sinks and the profiler."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(str(h)), *(len(r[i]) for r in cells)) if cells
+              else len(str(h)) for i, h in enumerate(headers)]
+    lines = [f"=== {title} ===",
+             "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in cells]
+    return "\n".join(lines)

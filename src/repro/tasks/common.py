@@ -8,12 +8,14 @@ Task modules implement ``loss(examples) -> Tensor`` and plug into
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..nn import Adam, Tensor, clip_gradients
 from ..models import TableEncoder
+from ..runtime import TrainRecord, emit_train_record
 
 __all__ = ["FinetuneConfig", "finetune", "pooled_span", "minibatches"]
 
@@ -58,8 +60,8 @@ def minibatches(items: list, batch_size: int,
 
 
 def finetune(task, examples: list, config: FinetuneConfig | None = None,
-             encoder: TableEncoder | None = None) -> list[float]:
-    """Generic fine-tuning loop; returns per-step loss history.
+             encoder: TableEncoder | None = None) -> list[TrainRecord]:
+    """Generic fine-tuning loop; returns the per-step record history.
 
     Parameters
     ----------
@@ -69,6 +71,12 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
     encoder:
         When ``config.freeze_encoder`` is set, parameters belonging to this
         encoder are excluded from optimization (linear-probe fine-tuning).
+
+    Returns
+    -------
+    One :class:`~repro.runtime.TrainRecord` per optimizer step; the loss
+    values previously returned as bare floats live in ``record.loss``,
+    and ``record.epoch``/``record.batch_size`` are carried as extras.
     """
     config = config or FinetuneConfig()
     if not examples:
@@ -86,14 +94,22 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
     optimizer = Adam(parameters, lr=config.learning_rate)
 
     task.train()
-    history: list[float] = []
-    for _ in range(config.epochs):
+    history: list[TrainRecord] = []
+    for epoch in range(config.epochs):
         for batch in minibatches(examples, config.batch_size, rng):
+            started = time.perf_counter()
             optimizer.zero_grad()
             loss = task.loss(batch)
             loss.backward()
-            clip_gradients(parameters, config.grad_clip)
+            grad_norm = clip_gradients(parameters, config.grad_clip)
             optimizer.step()
-            history.append(float(loss.data))
+            record = TrainRecord(
+                step=len(history), loss=float(loss.data), lr=optimizer.lr,
+                grad_norm=grad_norm,
+                wall_time=time.perf_counter() - started,
+                extras={"epoch": epoch, "batch_size": len(batch)},
+            )
+            history.append(record)
+            emit_train_record(record, source="finetune")
     task.eval()
     return history

@@ -87,3 +87,45 @@ class TestBehavioralCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "[INV]" in out and "[MFT]" in out
+
+
+class TestProfileCommand:
+    @pytest.fixture(scope="class")
+    def big_corpus_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("profile-corpus")
+        assert main(["corpus", "--kind", "wiki", "--size", "12",
+                     "--out", str(out)]) == 0
+        return out
+
+    def test_profile_prints_op_table_and_writes_metrics(self, big_corpus_dir,
+                                                        tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["profile", str(big_corpus_dir), "--model", "bert",
+                     "--steps", "2", "--epochs", "1", "--dim", "16",
+                     "--layers", "1", "--vocab-size", "500",
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "tape profile (per-op)" in out
+        assert "matmul" in out
+        events = [json.loads(line)
+                  for line in metrics.read_text().splitlines()]
+        kinds = {event["kind"] for event in events}
+        assert {"train_step", "profile_op", "pipeline_run"} <= kinds
+
+    def test_profile_rejects_small_corpus(self, corpus_dir):
+        with pytest.raises(SystemExit):
+            main(["profile", str(corpus_dir)])
+
+
+class TestPretrainMetricsOut:
+    def test_pretrain_writes_metrics_artifact(self, corpus_dir, tmp_path):
+        metrics = tmp_path / "pretrain.jsonl"
+        assert main(["pretrain", str(corpus_dir), "--model", "bert",
+                     "--steps", "2", "--dim", "16", "--layers", "1",
+                     "--out", str(tmp_path / "bundle"),
+                     "--metrics-out", str(metrics)]) == 0
+        events = [json.loads(line)
+                  for line in metrics.read_text().splitlines()]
+        assert len(events) == 2
+        assert all(e["kind"] == "train_step" and e["source"] == "pretrain"
+                   for e in events)

@@ -100,3 +100,71 @@ class TestBundles:
         assert (directory / "weights.npz").exists()
         assert (directory / "config.json").exists()
         assert (directory / "tokenizer.json").exists()
+
+
+class TestInitMetadata:
+    def test_create_model_stamps_metadata(self, tokenizer, config):
+        model = create_model("tabert", tokenizer, config=config, seed=9,
+                            snapshot_rows=5)
+        assert model.init_metadata.seed == 9
+        assert model.init_metadata.kwargs == {"snapshot_rows": 5}
+
+    def test_unstamped_module_has_empty_metadata(self, tokenizer, config):
+        from repro.models import MODEL_CLASSES
+
+        model = MODEL_CLASSES["bert"](config, tokenizer,
+                                      np.random.default_rng(0))
+        assert model.init_metadata.seed == 0
+        assert model.init_metadata.kwargs == {}
+
+    def test_setter_rejects_wrong_type(self, tokenizer, config):
+        model = create_model("bert", tokenizer, config=config)
+        with pytest.raises(TypeError):
+            model.init_metadata = {"seed": 1}
+
+    def test_metadata_dict_round_trip(self):
+        from repro.nn import InitMetadata
+
+        metadata = InitMetadata(seed=4, kwargs={"snapshot_rows": 2})
+        assert InitMetadata.from_dict(metadata.to_dict()) == metadata
+
+
+class TestBundleFormatVersion:
+    def test_bundle_stamped_with_format_version(self, tokenizer, config,
+                                                tmp_path):
+        import json
+
+        from repro.core import BUNDLE_FORMAT_VERSION
+
+        model = create_model("bert", tokenizer, config=config)
+        directory = save_pretrained(model, tmp_path / "m")
+        metadata = json.loads((directory / "config.json").read_text())
+        assert metadata["format_version"] == BUNDLE_FORMAT_VERSION
+
+    def test_unknown_format_version_rejected(self, tokenizer, config,
+                                             tmp_path):
+        import json
+
+        model = create_model("bert", tokenizer, config=config)
+        directory = save_pretrained(model, tmp_path / "m")
+        path = directory / "config.json"
+        metadata = json.loads(path.read_text())
+        metadata["format_version"] = 999
+        path.write_text(json.dumps(metadata))
+        with pytest.raises(ValueError, match="format_version"):
+            load_pretrained(directory)
+
+    def test_legacy_bundle_without_version_loads(self, tokenizer, config,
+                                                 tmp_path):
+        import json
+
+        model = create_model("tabert", tokenizer, config=config,
+                             snapshot_rows=4)
+        directory = save_pretrained(model, tmp_path / "m")
+        path = directory / "config.json"
+        metadata = json.loads(path.read_text())
+        del metadata["format_version"]
+        path.write_text(json.dumps(metadata))
+        loaded = load_pretrained(directory)
+        assert loaded.snapshot_rows == 4
+        assert loaded.init_metadata.kwargs == {"snapshot_rows": 4}

@@ -1,0 +1,29 @@
+"""Shared tiny-model fixtures for runtime telemetry tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tokenizer_for_tables
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig, TableBert
+
+
+@pytest.fixture(scope="module")
+def wiki_tables():
+    return generate_wiki_corpus(KnowledgeBase(seed=0), 16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(wiki_tables):
+    return build_tokenizer_for_tables(wiki_tables, vocab_size=600)
+
+
+@pytest.fixture(scope="module")
+def config(tokenizer):
+    return EncoderConfig(vocab_size=len(tokenizer.vocab), dim=16, num_heads=2,
+                         num_layers=1, hidden_dim=32, max_position=128)
+
+
+@pytest.fixture
+def bert(config, tokenizer):
+    return TableBert(config, tokenizer, np.random.default_rng(0))

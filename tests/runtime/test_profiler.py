@@ -1,0 +1,126 @@
+"""Tests for the autograd-tape profiler."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import Encoder, Tensor, get_tape_hook
+from repro.runtime import InMemorySink, MetricsRegistry, profile
+
+
+def small_workload():
+    a = Tensor(np.ones((4, 8)), requires_grad=True)
+    b = Tensor(np.ones((8, 4)), requires_grad=True)
+    out = (a @ b).relu().sum()
+    out.backward()
+    return a, b
+
+
+class TestProfileCollection:
+    def test_counts_and_bytes(self):
+        with profile(emit=False) as prof:
+            small_workload()
+        assert prof.stats["matmul"].calls == 1
+        assert prof.stats["relu"].calls == 1
+        assert prof.stats["sum"].calls == 1
+        # (4, 4) float64 output arrays
+        assert prof.stats["matmul"].bytes == 4 * 4 * 8
+        assert prof.total_calls >= 3
+
+    def test_forward_and_backward_timed(self):
+        with profile(emit=False) as prof:
+            small_workload()
+        matmul = prof.stats["matmul"]
+        assert matmul.forward_seconds > 0
+        assert matmul.backward_calls == 1
+        assert matmul.backward_seconds > 0
+
+    def test_nothing_recorded_outside_region(self):
+        with profile(emit=False) as prof:
+            pass
+        small_workload()
+        assert prof.stats == {}
+
+    def test_table_lists_every_op(self):
+        with profile(emit=False) as prof:
+            small_workload()
+        table = prof.table()
+        for op in ("matmul", "relu", "sum", "TOTAL"):
+            assert op in table
+
+    def test_events_emitted_to_registry(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        with profile(registry=registry):
+            small_workload()
+        ops = {event["op"] for event in sink.of_kind("profile_op")}
+        assert {"matmul", "relu", "sum"} <= ops
+
+    def test_encoder_forward_profiles_attention(self):
+        rng = np.random.default_rng(0)
+        encoder = Encoder(dim=8, num_heads=2, hidden_dim=16, num_layers=1,
+                          rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 8)))
+        with profile(emit=False) as prof:
+            encoder(x)
+        assert prof.stats["softmax"].calls >= 1
+        assert prof.stats["matmul"].calls >= 4  # qkv projections + scores
+
+
+class TestProfileHygiene:
+    def test_hook_and_methods_restored(self):
+        original_add = Tensor.__dict__["__add__"]
+        with profile(emit=False):
+            assert Tensor.__dict__["__add__"] is not original_add
+            assert get_tape_hook() is not None
+        assert Tensor.__dict__["__add__"] is original_add
+        assert get_tape_hook() is None
+
+    def test_restored_after_exception(self):
+        original_add = Tensor.__dict__["__add__"]
+        with pytest.raises(RuntimeError):
+            with profile(emit=False):
+                raise RuntimeError("boom")
+        assert Tensor.__dict__["__add__"] is original_add
+        assert get_tape_hook() is None
+
+    def test_nested_profile_rejected(self):
+        with profile(emit=False):
+            with pytest.raises(RuntimeError):
+                with profile(emit=False):
+                    pass
+        assert get_tape_hook() is None
+
+
+class TestDisabledOverhead:
+    def test_disabled_path_not_slower_than_profiled(self):
+        """The no-op fast path must stay within 5% of the profiled path.
+
+        By construction the disabled path does strictly less work per op
+        than the profiled one, so this bound only fails if the hook check
+        leaks cost into the common case.
+        """
+        rng = np.random.default_rng(0)
+        encoder = Encoder(dim=16, num_heads=2, hidden_dim=32, num_layers=1,
+                          rng=rng)
+        x = Tensor(rng.normal(size=(2, 16, 16)))
+
+        def forward():
+            encoder(x)
+
+        forward()  # warm up
+        assert get_tape_hook() is None
+        disabled_samples, profiled_samples = [], []
+        for _ in range(9):  # interleave A/B so clock drift cancels
+            start = time.perf_counter()
+            forward()
+            disabled_samples.append(time.perf_counter() - start)
+            with profile(emit=False):
+                start = time.perf_counter()
+                forward()
+                profiled_samples.append(time.perf_counter() - start)
+        disabled = float(np.median(disabled_samples))
+        profiled = float(np.median(profiled_samples))
+        # Strictly-less-work bound, with margin only for scheduler noise.
+        assert disabled <= profiled * 1.25

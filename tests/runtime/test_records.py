@@ -1,0 +1,74 @@
+"""Tests for the unified TrainRecord and the StepRecord migration path."""
+
+import pytest
+
+from repro.runtime import TrainRecord
+
+
+class TestTrainRecord:
+    def test_defaults(self):
+        record = TrainRecord(step=3, loss=1.5)
+        assert record.step == 3
+        assert record.loss == 1.5
+        assert record.lr == 0.0
+        assert record.grad_norm == 0.0
+        assert record.wall_time == 0.0
+        assert record.tokens == 0
+        assert record.extras == {}
+
+    def test_learning_rate_alias(self):
+        record = TrainRecord(step=0, loss=1.0, lr=3e-3)
+        assert record.learning_rate == 3e-3
+
+    def test_extras_readable_as_attributes(self):
+        record = TrainRecord(step=0, loss=1.0,
+                             extras={"mlm_loss": 0.7, "epoch": 2})
+        assert record.mlm_loss == 0.7
+        assert record.epoch == 2
+
+    def test_unknown_attribute_raises(self):
+        record = TrainRecord(step=0, loss=1.0)
+        with pytest.raises(AttributeError):
+            record.not_a_field
+
+    def test_tokens_per_second(self):
+        assert TrainRecord(step=0, loss=0.0, wall_time=2.0,
+                           tokens=500).tokens_per_second == 250.0
+        assert TrainRecord(step=0, loss=0.0).tokens_per_second == 0.0
+
+    def test_to_dict_inlines_extras(self):
+        record = TrainRecord(step=1, loss=2.0, lr=0.01, grad_norm=0.5,
+                             wall_time=0.1, tokens=64,
+                             extras={"mer_loss": 1.0})
+        payload = record.to_dict()
+        assert payload["step"] == 1
+        assert payload["mer_loss"] == 1.0
+        assert "extras" not in payload
+
+    def test_dict_round_trip(self):
+        record = TrainRecord(step=4, loss=2.0, lr=0.01, grad_norm=0.5,
+                             wall_time=0.25, tokens=128,
+                             extras={"mlm_accuracy": 0.4})
+        rebuilt = TrainRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+
+    def test_equality(self):
+        assert TrainRecord(step=0, loss=1.0) == TrainRecord(step=0, loss=1.0)
+        assert TrainRecord(step=0, loss=1.0) != TrainRecord(step=0, loss=2.0)
+
+
+class TestStepRecordAlias:
+    def test_is_deprecated_trainrecord(self):
+        from repro.pretrain import StepRecord
+
+        with pytest.deprecated_call():
+            record = StepRecord(step=2, loss=3.0, mlm_loss=2.5, mer_loss=0.5,
+                                mlm_accuracy=0.25, mer_accuracy=0.125,
+                                learning_rate=1e-3, grad_norm=0.9)
+        assert isinstance(record, TrainRecord)
+        assert record.loss == 3.0
+        assert record.lr == 1e-3
+        assert record.learning_rate == 1e-3
+        assert record.mlm_loss == 2.5
+        assert record.mer_accuracy == 0.125
+        assert record.grad_norm == 0.9

@@ -1,0 +1,146 @@
+"""Tests for the metrics registry, instruments, and sinks."""
+
+import json
+import time
+
+import pytest
+
+from repro.runtime import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    StdoutTableSink,
+    TrainRecord,
+    emit_train_record,
+    get_registry,
+    set_telemetry,
+    telemetry_enabled,
+    using_registry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc()
+        registry.counter("steps").inc(4)
+        assert registry.counter("steps").value == 5
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.timer("work").time():
+            time.sleep(0.002)
+        timer = registry.timer("work")
+        assert timer.count == 1
+        assert timer.total_seconds > 0
+        assert timer.min_seconds <= timer.max_seconds
+        assert timer.mean_seconds == timer.total_seconds
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("loss").observe(value)
+        histogram = registry.histogram("loss")
+        assert histogram.count == 3
+        assert histogram.mean == 2.0
+        assert histogram.min_value == 1.0
+        assert histogram.max_value == 3.0
+
+    def test_snapshot_covers_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.timer("b").observe(0.5)
+        registry.histogram("c").observe(1.0)
+        names = {event["name"] for event in registry.snapshot()}
+        assert names == {"a", "b", "c"}
+        assert all(event["kind"] == "metric" for event in registry.snapshot())
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.counter("a").value == 0
+
+
+class TestSinks:
+    def test_in_memory_sink_collects(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        registry.emit({"kind": "train_step", "loss": 1.0})
+        registry.emit({"kind": "pipeline_run"})
+        assert len(sink.events) == 2
+        assert len(sink.of_kind("train_step")) == 1
+
+    def test_jsonl_sink_is_lazy_and_parseable(self, tmp_path):
+        path = tmp_path / "sub" / "metrics.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # nothing written yet
+        sink.emit({"kind": "train_step", "loss": 0.5})
+        sink.emit({"kind": "metric", "name": "x", "value": 1})
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["train_step", "metric"]
+        assert sink.events_written == 2
+
+    def test_stdout_table_sink_renders(self, capsys):
+        sink = StdoutTableSink()
+        sink.emit({"kind": "train_step", "source": "pretrain", "step": 0,
+                   "loss": 1.25, "lr": 1e-3, "grad_norm": 0.5,
+                   "wall_time": 0.1, "tokens": 100})
+        sink.emit({"kind": "profile_op", "op": "matmul", "calls": 3,
+                   "forward_seconds": 0.01, "backward_calls": 2,
+                   "backward_seconds": 0.02, "bytes": 1024})
+        sink.emit({"kind": "pipeline_run", "model": "bert"})
+        sink.flush()
+        out = capsys.readouterr().out
+        assert "train steps" in out
+        assert "matmul" in out
+        assert "[pipeline_run] model=bert" in out
+
+    def test_sink_attached_detaches_and_closes(self):
+        registry = MetricsRegistry()
+        with registry.sink_attached(InMemorySink()) as sink:
+            registry.emit({"kind": "metric"})
+        assert registry.sinks == ()
+        assert len(sink.events) == 1
+        registry.emit({"kind": "metric"})
+        assert len(sink.events) == 1  # no longer attached
+
+
+class TestGlobalRegistry:
+    def test_using_registry_swaps_and_restores(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        with using_registry(replacement):
+            assert get_registry() is replacement
+        assert get_registry() is original
+
+    def test_set_telemetry_disables_emission(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        previous = set_telemetry(False)
+        try:
+            assert not telemetry_enabled()
+            registry.emit({"kind": "train_step"})
+            emit_train_record(TrainRecord(step=0, loss=1.0),
+                              source="pretrain", registry=registry)
+            assert sink.events == []
+        finally:
+            set_telemetry(previous)
+
+
+class TestEmitTrainRecord:
+    def test_updates_instruments_and_sinks(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        record = TrainRecord(step=0, loss=2.0, lr=1e-3, wall_time=0.5,
+                             tokens=100, extras={"epoch": 0})
+        emit_train_record(record, source="finetune", registry=registry)
+        assert registry.counter("finetune.steps").value == 1
+        assert registry.counter("finetune.tokens").value == 100
+        assert registry.timer("finetune.step_seconds").count == 1
+        assert registry.histogram("finetune.loss").mean == 2.0
+        (event,) = sink.of_kind("train_step")
+        assert event["source"] == "finetune"
+        assert event["loss"] == 2.0
+        assert event["epoch"] == 0

@@ -45,7 +45,7 @@ class TestColumnTypePredictor:
         history = finetune(predictor, examples,
                            FinetuneConfig(epochs=4, batch_size=8,
                                           learning_rate=3e-3))
-        assert np.mean(history[-3:]) < np.mean(history[:3])
+        assert np.mean([r.loss for r in history[-3:]]) < np.mean([r.loss for r in history[:3]])
 
     def test_learns_types_from_values(self, bert, examples):
         """Column values alone (header hidden) should be enough to beat the

@@ -57,7 +57,7 @@ class TestValueImputer:
         history = finetune(imputer, examples,
                            FinetuneConfig(epochs=6, batch_size=8,
                                           learning_rate=3e-3, seed=0))
-        assert np.mean(history[-3:]) < np.mean(history[:3])
+        assert np.mean([r.loss for r in history[-3:]]) < np.mean([r.loss for r in history[:3]])
 
     def test_evaluate_keys(self, bert, examples):
         vocab = build_value_vocabulary(examples)

@@ -31,7 +31,7 @@ class TestNliClassifier:
         history = finetune(clf, examples,
                            FinetuneConfig(epochs=5, batch_size=8,
                                           learning_rate=3e-3))
-        assert np.mean(history[-3:]) < np.mean(history[:3])
+        assert np.mean([r.loss for r in history[-3:]]) < np.mean([r.loss for r in history[:3]])
 
     def test_finetune_beats_chance_on_train(self, bert, examples):
         clf = NliClassifier(bert, np.random.default_rng(0))

@@ -44,7 +44,7 @@ class TestCellSelectionQA:
         history = finetune(qa, examples,
                            FinetuneConfig(epochs=4, batch_size=8,
                                           learning_rate=3e-3))
-        assert np.mean(history[-3:]) < np.mean(history[:3])
+        assert np.mean([r.loss for r in history[-3:]]) < np.mean([r.loss for r in history[:3]])
 
     def test_finetune_beats_untrained(self, tapas, examples):
         qa = CellSelectionQA(tapas, np.random.default_rng(0))

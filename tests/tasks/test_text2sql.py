@@ -45,7 +45,7 @@ class TestSketchParser:
         history = finetune(parser, examples,
                            FinetuneConfig(epochs=4, batch_size=8,
                                           learning_rate=3e-3))
-        assert np.mean(history[-3:]) < np.mean(history[:3])
+        assert np.mean([r.loss for r in history[-3:]]) < np.mean([r.loss for r in history[:3]])
 
     def test_finetune_improves_denotation_accuracy(self, tapas, examples):
         parser = SketchParser(tapas, np.random.default_rng(0))
