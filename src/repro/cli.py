@@ -12,7 +12,11 @@ Subcommands mirror the hands-on session's stages:
 
 Every command is pure-stdout and deterministic given ``--seed``.  Commands
 that train accept ``--metrics-out PATH`` to capture step-level telemetry
-as a JSONL artifact (see ``repro.runtime``).
+as a JSONL artifact (see ``repro.runtime``).  ``repro pretrain`` is
+fault-tolerant: ``--checkpoint-dir``/``--checkpoint-every`` write periodic
+full-state snapshots and ``--resume PATH`` continues an interrupted run
+bit-identically.  Operator errors (missing paths, corrupt bundles or
+checkpoints) exit with code 2 and a one-line message.
 """
 
 from __future__ import annotations
@@ -64,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="bundle output directory")
     pretrain.add_argument("--metrics-out", default=None,
                           help="write step telemetry to this JSONL file")
+    pretrain.add_argument("--checkpoint-dir", default=None,
+                          help="write periodic trainer snapshots here")
+    pretrain.add_argument("--checkpoint-every", type=int, default=0,
+                          help="snapshot cadence in steps (0 disables; "
+                               "defaults to 10 when --checkpoint-dir is set)")
+    pretrain.add_argument("--keep-checkpoints", type=int, default=3,
+                          help="snapshots retained on disk (last K)")
+    pretrain.add_argument("--resume", default=None, metavar="PATH",
+                          help="checkpoint file or snapshot directory to "
+                               "resume from")
 
     prof = sub.add_parser(
         "profile",
@@ -95,12 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
+def _fail(message: str) -> "NoReturn":  # noqa: F821 — quoted to stay lazy
+    """One-line operator error: print to stderr and exit with code 2."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def _load_corpus_dir(directory: str) -> list:
     from .tables import load_table
 
-    paths = sorted(Path(directory).glob("*.csv"))
+    root = Path(directory)
+    if not root.is_dir():
+        _fail(f"corpus directory not found: {directory}")
+    paths = sorted(root.glob("*.csv"))
     if not paths:
-        raise SystemExit(f"no *.csv files found in {directory}")
+        _fail(f"no *.csv files found in {directory}")
     return [load_table(path) for path in paths]
 
 
@@ -108,13 +131,16 @@ def _resolve_model(spec: str, tables: list, seed: int):
     """A model name builds a fresh model; a directory loads a bundle."""
     from .core import build_tokenizer_for_tables, create_model, load_pretrained
     from .models import MODEL_CLASSES
+    from .nn import CheckpointError
 
     if Path(spec).is_dir():
-        return load_pretrained(spec)
+        try:
+            return load_pretrained(spec)
+        except (CheckpointError, ValueError) as error:
+            _fail(f"cannot load bundle {spec}: {error}")
     if spec not in MODEL_CLASSES:
-        raise SystemExit(
-            f"unknown model {spec!r}; choose one of {sorted(MODEL_CLASSES)} "
-            "or pass a bundle directory")
+        _fail(f"unknown model {spec!r}; choose one of {sorted(MODEL_CLASSES)} "
+              "or pass a bundle directory")
     tokenizer = build_tokenizer_for_tables(tables)
     return create_model(spec, tokenizer, seed=seed)
 
@@ -153,6 +179,8 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     from .tables import load_table
     from .viz import attention_attribution
 
+    if not Path(args.table).is_file():
+        _fail(f"table file not found: {args.table}")
     table = load_table(args.table, title=args.context)
     model = _resolve_model(args.model, [table], args.seed)
     encoding = model.encode(table, context=args.context or None)
@@ -205,11 +233,31 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     tokenizer = build_tokenizer_for_tables(tables, vocab_size=args.vocab_size)
     config = _build_cli_config(tokenizer, args.dim, args.layers)
     model = create_model(args.model, tokenizer, config=config, seed=args.seed)
-    trainer = Pretrainer(model, PretrainConfig(
-        steps=args.steps, batch_size=args.batch_size,
-        learning_rate=args.learning_rate, seed=args.seed))
+    checkpoint_every = args.checkpoint_every
+    if args.checkpoint_dir and not checkpoint_every:
+        checkpoint_every = 10
+    try:
+        pretrain_config = PretrainConfig(
+            steps=args.steps, batch_size=args.batch_size,
+            learning_rate=args.learning_rate, seed=args.seed,
+            checkpoint_every=checkpoint_every,
+            keep_checkpoints=args.keep_checkpoints)
+    except ValueError as error:
+        _fail(str(error))
+    trainer = Pretrainer(model, pretrain_config)
+    if args.resume is not None:
+        if not Path(args.resume).exists():
+            _fail(f"checkpoint path not found: {args.resume}")
+        restored = trainer.resume(args.resume)
+        print(f"resumed from {args.resume} at step {restored}")
     with _metrics_scope(args.metrics_out):
-        history = trainer.train(tables)
+        if len(trainer.history) < args.steps:
+            history = trainer.train(tables,
+                                    checkpoint_dir=args.checkpoint_dir)
+        else:
+            history = trainer.history
+            print("checkpoint already covers the requested steps; "
+                  "nothing to train")
     print(f"pretrained {args.model} for {args.steps} steps over "
           f"{len(tables)} tables")
     print(f"loss: {history[0].loss:.3f} -> {history[-1].loss:.3f}")
@@ -274,9 +322,27 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operator errors — nonexistent corpus/checkpoint/table paths, corrupt
+    bundles or checkpoints, diverged runs — exit with code 2 and a
+    one-line message instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except SystemExit:
+        raise
+    except Exception as error:
+        from .nn import CheckpointError
+        from .runtime import TrainingDivergedError
+
+        if isinstance(error, (CheckpointError, TrainingDivergedError,
+                              FileNotFoundError, NotADirectoryError,
+                              IsADirectoryError, PermissionError,
+                              json.JSONDecodeError)):
+            _fail(str(error))
+        raise
 
 
 if __name__ == "__main__":

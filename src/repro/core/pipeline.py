@@ -22,7 +22,7 @@ from .registry import build_tokenizer_for_tables, create_model
 from ..corpus import build_imputation_dataset, split_tables
 from ..models import EncoderConfig
 from ..pretrain import Pretrainer, PretrainConfig
-from ..runtime import JsonlSink, TrainRecord, get_registry
+from ..runtime import HealthConfig, JsonlSink, TrainRecord, get_registry
 from ..tables import Table
 from ..tasks import (
     FinetuneConfig,
@@ -57,6 +57,13 @@ class PipelineResult:
                 f"test accuracy={self.test_metrics.get('accuracy', 0.0):.3f} "
                 f"macro-F1={self.test_metrics.get('macro_f1', 0.0):.3f}")
 
+    @property
+    def skipped_steps(self) -> int:
+        """Steps the numerical-health guard skipped across both loops."""
+        return sum(1 for record in
+                   self.pretrain_history + self.finetune_history
+                   if record.extras.get("skipped"))
+
 
 def run_imputation_pipeline(
     corpus: list[Table],
@@ -69,6 +76,7 @@ def run_imputation_pipeline(
     examples_per_table: int = 2,
     seed: int = 0,
     metrics_out: str | Path | None = None,
+    health: HealthConfig | None = None,
     **model_kwargs,
 ) -> PipelineResult:
     """Run the Fig. 1 pipeline for the data-imputation downstream task.
@@ -82,6 +90,12 @@ def run_imputation_pipeline(
         Optional path; when given, a JSONL sink is attached to the global
         metrics registry for the duration of the run, capturing every
         ``train_step`` event plus a final ``pipeline_run`` summary line.
+    health:
+        Numerical-health guard settings applied to both training stages
+        (``None`` keeps the defaults; explicit ``pretrain_config``
+        carries its own guard settings).  Bad steps are skipped and
+        reported as ``health`` events; the ``pipeline_run`` summary
+        carries the total skipped-step count.
     """
     if len(corpus) < 10:
         raise ValueError("pipeline needs a corpus of at least 10 tables")
@@ -103,8 +117,11 @@ def run_imputation_pipeline(
         result = PipelineResult(model_name=model_name, pretrained=pretrained)
 
         if pretrained:
-            trainer = Pretrainer(model,
-                                 pretrain_config or PretrainConfig(seed=seed))
+            if pretrain_config is None:
+                pretrain_config = (PretrainConfig(seed=seed, health=health)
+                                   if health is not None
+                                   else PretrainConfig(seed=seed))
+            trainer = Pretrainer(model, pretrain_config)
             with registry.timer("pipeline.pretrain_seconds").time():
                 result.pretrain_history = trainer.train(train_tables)
 
@@ -121,7 +138,8 @@ def run_imputation_pipeline(
         with registry.timer("pipeline.finetune_seconds").time():
             result.finetune_history = finetune(
                 imputer, train_examples,
-                finetune_config or FinetuneConfig(seed=seed))
+                finetune_config or FinetuneConfig(seed=seed),
+                health=health)
 
         with registry.timer("pipeline.evaluate_seconds").time():
             result.train_metrics = imputer.evaluate(train_examples)
@@ -132,6 +150,7 @@ def run_imputation_pipeline(
             "pretrained": pretrained,
             "pretrain_steps": len(result.pretrain_history),
             "finetune_steps": len(result.finetune_history),
+            "skipped_steps": result.skipped_steps,
             "test_accuracy": result.test_metrics.get("accuracy", 0.0),
             "test_macro_f1": result.test_metrics.get("macro_f1", 0.0),
         })

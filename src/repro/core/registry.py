@@ -14,7 +14,13 @@ from pathlib import Path
 import numpy as np
 
 from ..models import MODEL_CLASSES, EncoderConfig
-from ..nn import InitMetadata, Module, load_checkpoint, save_checkpoint
+from ..nn import (
+    CheckpointError,
+    InitMetadata,
+    Module,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..tables import Table
 from ..text import WordPieceTokenizer, train_tokenizer
 
@@ -108,9 +114,24 @@ def save_pretrained(model: Module, directory: str | Path) -> Path:
 
 
 def load_pretrained(directory: str | Path) -> Module:
-    """Reconstruct a model bundle written by :func:`save_pretrained`."""
+    """Reconstruct a model bundle written by :func:`save_pretrained`.
+
+    Corrupt bundles — unparseable or incomplete ``config.json``, a
+    truncated ``weights.npz``, a weight set that does not fit the model —
+    raise :class:`~repro.nn.CheckpointError` naming the problem instead
+    of surfacing raw JSON/zipfile/key errors.
+    """
     directory = Path(directory)
-    metadata = json.loads((directory / "config.json").read_text())
+    config_path = directory / "config.json"
+    if not config_path.is_file():
+        raise CheckpointError(
+            f"{directory} is not a model bundle (no config.json)")
+    try:
+        metadata = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"bundle {directory} has a corrupt config.json: {error}"
+        ) from error
     version = metadata.get("format_version", 1)
     if version not in _SUPPORTED_BUNDLE_VERSIONS:
         supported = sorted(_SUPPORTED_BUNDLE_VERSIONS)
@@ -118,11 +139,16 @@ def load_pretrained(directory: str | Path) -> Module:
             f"bundle {directory} has format_version {version!r}; this build "
             f"supports {supported}. Re-export the bundle with a matching "
             f"version of repro.")
-    tokenizer = WordPieceTokenizer.load(directory / "tokenizer.json")
-    config = EncoderConfig.from_dict(metadata["config"])
-    model = create_model(metadata["model_name"], tokenizer, config=config,
-                         seed=metadata.get("seed", 0),
-                         **metadata.get("kwargs", {}))
+    try:
+        tokenizer = WordPieceTokenizer.load(directory / "tokenizer.json")
+        config = EncoderConfig.from_dict(metadata["config"])
+        model = create_model(metadata["model_name"], tokenizer, config=config,
+                             seed=metadata.get("seed", 0),
+                             **metadata.get("kwargs", {}))
+    except (KeyError, json.JSONDecodeError, FileNotFoundError) as error:
+        raise CheckpointError(
+            f"bundle {directory} is incomplete or corrupt: {error}"
+        ) from error
     load_checkpoint(model, directory / "weights.npz")
     model.eval()
     return model

@@ -13,7 +13,15 @@ from .functional import (
     in_batch_contrastive_loss,
     mse_loss,
 )
-from .io import load_checkpoint, save_checkpoint
+from .io import (
+    CheckpointError,
+    latest_valid_checkpoint,
+    load_checkpoint,
+    read_npz_verified,
+    save_checkpoint,
+    verify_checkpoint,
+    write_npz_atomic,
+)
 from .layers import Dropout, Embedding, LayerNorm, Linear
 from .module import InitMetadata, Module, ModuleList, Parameter
 from .optim import (
@@ -37,5 +45,7 @@ __all__ = [
     "ConstantSchedule", "LinearWarmupSchedule", "CosineSchedule",
     "cross_entropy", "binary_cross_entropy_with_logits", "mse_loss",
     "cosine_similarity", "in_batch_contrastive_loss",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "CheckpointError",
+    "write_npz_atomic", "read_npz_verified", "verify_checkpoint",
+    "latest_valid_checkpoint",
 ]

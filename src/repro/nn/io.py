@@ -1,31 +1,205 @@
-"""Checkpoint IO: save/load module state plus a JSON config sidecar."""
+"""Crash-safe checkpoint IO: atomic writes, manifests, verified loads.
+
+Checkpoints are ``.npz`` archives written atomically (tmp file +
+``os.replace``) so a crash mid-write can never leave a half-written
+archive under the final name.  Every archive gets a ``.manifest.json``
+sidecar stamping its SHA-256 digest and byte size; loads verify the
+digest and raise :class:`CheckpointError` on truncation or corruption
+instead of surfacing a raw ``zipfile``/``numpy`` failure.
+
+:func:`latest_valid_checkpoint` scans a snapshot directory for the
+newest archive that still verifies — the fallback path trainers use
+when the most recent snapshot was interrupted mid-write.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "write_npz_atomic",
+    "read_npz_verified",
+    "verify_checkpoint",
+    "manifest_path",
+    "latest_valid_checkpoint",
+]
+
+MANIFEST_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, verified, or applied."""
+
+
+def manifest_path(path: str | Path) -> Path:
+    """The ``.manifest.json`` sidecar location for an archive path."""
+    path = Path(path)
+    return path.with_name(path.name + ".manifest.json")
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def write_npz_atomic(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Write ``arrays`` to ``path`` atomically and stamp a manifest sidecar.
+
+    The archive is first written to a ``.tmp`` file in the same directory
+    and moved into place with ``os.replace`` (atomic on POSIX), then the
+    manifest — SHA-256 digest, byte size, array names — is written the
+    same way.  Readers that find a digest mismatch know the archive is
+    corrupt; readers that find no manifest treat the archive as legacy
+    and skip verification.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    manifest = {
+        "format_version": MANIFEST_FORMAT_VERSION,
+        "file": path.name,
+        "sha256": _sha256(path),
+        "bytes": path.stat().st_size,
+        "arrays": sorted(arrays),
+    }
+    _atomic_write_text(manifest_path(path),
+                       json.dumps(manifest, indent=2, sort_keys=True))
+    return path
+
+
+def verify_checkpoint(path: str | Path) -> bool:
+    """Whether ``path`` is a readable archive matching its manifest.
+
+    Returns ``False`` (never raises) for missing, truncated, or corrupt
+    archives and for digest mismatches; archives without a manifest pass
+    if the zip structure itself is intact.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return False
+    sidecar = manifest_path(path)
+    if sidecar.exists():
+        try:
+            manifest = json.loads(sidecar.read_text())
+        except (json.JSONDecodeError, OSError):
+            return False
+        if manifest.get("bytes") != path.stat().st_size:
+            return False
+        if manifest.get("sha256") != _sha256(path):
+            return False
+        return True
+    try:
+        with zipfile.ZipFile(path) as archive:
+            return archive.testzip() is None
+    except (zipfile.BadZipFile, OSError, EOFError):
+        return False
+
+
+def read_npz_verified(path: str | Path) -> dict[str, np.ndarray]:
+    """Load every array from an archive, verifying integrity first.
+
+    Raises
+    ------
+    FileNotFoundError
+        When the archive does not exist.
+    CheckpointError
+        When the archive is truncated/corrupt or fails manifest digest
+        verification.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    sidecar = manifest_path(path)
+    if sidecar.exists() and not verify_checkpoint(path):
+        raise CheckpointError(
+            f"checkpoint {path} failed manifest verification "
+            f"(truncated or corrupt archive)")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
+
+
+def latest_valid_checkpoint(directory: str | Path,
+                            pattern: str = "*.npz") -> Path | None:
+    """The newest archive under ``directory`` that verifies, else ``None``.
+
+    Candidates are ordered by name (snapshot names embed zero-padded step
+    numbers, so lexicographic order is training order) and checked newest
+    first, skipping any that a crash left truncated.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    for candidate in sorted(directory.glob(pattern), reverse=True):
+        if verify_checkpoint(candidate):
+            return candidate
+    return None
+
+
+def _state_diff(module: Module,
+                state: dict[str, np.ndarray]) -> list[str]:
+    """Human-readable problems applying ``state`` to ``module``, if any."""
+    own = dict(module.named_parameters())
+    problems = []
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing:
+        problems.append(f"missing keys: {missing}")
+    if unexpected:
+        problems.append(f"unexpected keys: {unexpected}")
+    mismatched = [
+        f"{name} (saved {state[name].shape}, model {param.shape})"
+        for name, param in sorted(own.items())
+        if name in state and np.asarray(state[name]).shape != param.shape
+    ]
+    if mismatched:
+        problems.append(f"shape mismatches: {mismatched}")
+    return problems
 
 
 def save_checkpoint(module: Module, path: str | Path,
                     config: dict | None = None) -> Path:
     """Persist ``module.state_dict()`` (npz) and an optional config (json).
 
-    Returns the npz path written.
+    The archive is written atomically with a SHA-256 manifest sidecar
+    (see :func:`write_npz_atomic`).  Returns the npz path written.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    state = module.state_dict()
-    np.savez(path, **state)
+    write_npz_atomic(path, module.state_dict())
     if config is not None:
-        path.with_suffix(".json").write_text(json.dumps(config, indent=2, sort_keys=True))
+        _atomic_write_text(path.with_suffix(".json"),
+                           json.dumps(config, indent=2, sort_keys=True))
     return path
 
 
@@ -33,12 +207,23 @@ def load_checkpoint(module: Module, path: str | Path) -> dict | None:
     """Load a checkpoint written by :func:`save_checkpoint` into ``module``.
 
     Returns the config dict if a sidecar exists, else ``None``.
+
+    Raises
+    ------
+    CheckpointError
+        When the archive is corrupt, or when its keys do not match the
+        module (every missing/unexpected/shape-mismatched key is listed).
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        module.load_state_dict({name: archive[name] for name in archive.files})
+    state = read_npz_verified(path)
+    problems = _state_diff(module, state)
+    if problems:
+        raise CheckpointError(
+            f"checkpoint {path} does not match the model: "
+            + "; ".join(problems))
+    module.load_state_dict(state)
     config_path = path.with_suffix(".json")
     if config_path.exists():
         return json.loads(config_path.read_text())

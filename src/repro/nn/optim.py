@@ -51,6 +51,41 @@ class _Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # State IO (trainer checkpointing)
+    # ------------------------------------------------------------------
+    def _slot_names(self) -> tuple[str, ...]:
+        """Names of per-parameter state attributes (lists of arrays)."""
+        return ()
+
+    def state_dict(self) -> dict:
+        """Everything needed to continue stepping bit-identically."""
+        state: dict = {"lr": self.lr, "step_count": self.step_count}
+        for name in self._slot_names():
+            state[name] = [array.copy() for array in getattr(self, name)]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (validates slot shapes)."""
+        for name in self._slot_names():
+            saved = state[name]
+            own = getattr(self, name)
+            if len(saved) != len(own):
+                raise ValueError(
+                    f"optimizer state {name!r} has {len(saved)} slots, "
+                    f"expected {len(own)}")
+            mismatched = [i for i, (s, o) in enumerate(zip(saved, own))
+                          if np.asarray(s).shape != o.shape]
+            if mismatched:
+                raise ValueError(
+                    f"optimizer state {name!r} shape mismatch at "
+                    f"slots {mismatched}")
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+        for name in self._slot_names():
+            for own, saved in zip(getattr(self, name), state[name]):
+                own[...] = saved
+
 
 class SGD(_Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -60,6 +95,9 @@ class SGD(_Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _slot_names(self) -> tuple[str, ...]:
+        return ("_velocity",)
 
     def step(self) -> None:
         self.step_count += 1
@@ -84,6 +122,9 @@ class Adam(_Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _slot_names(self) -> tuple[str, ...]:
+        return ("_m", "_v")
 
     def step(self) -> None:
         self.step_count += 1

@@ -5,13 +5,31 @@ models without their own MLM head (everything except TURL) get one attached
 over their token embedding, so the vanilla-vs-structure-aware comparison is
 apples-to-apples.  Masked entity recovery is enabled automatically when the
 model exposes a ``mer_head`` (TURL).
+
+The loop is fault-tolerant:
+
+- :class:`TrainerCheckpoint` captures the *full* run state — model and
+  (external) MLM-head weights, Adam moments and step count, LR-schedule
+  position, the ``np.random.Generator`` bit-generator state, and the
+  step history — so :meth:`Pretrainer.resume` continues a run
+  bit-identically to one that was never interrupted;
+- snapshots are written every ``checkpoint_every`` steps via the atomic
+  npz+manifest writer in :mod:`repro.nn.io`, with bounded retention
+  (``keep_checkpoints``), and resuming from a directory falls back to
+  the newest snapshot that still verifies;
+- a :class:`~repro.runtime.HealthMonitor` checks loss and gradient norm
+  every step; bad steps are skipped before they reach ``Adam.step`` and
+  a streak of them rolls the trainer back to its last good checkpoint
+  with a reduced learning rate.
 """
 
 from __future__ import annotations
 
+import json
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -19,10 +37,34 @@ from .masking import combine_masking, mask_for_mer, mask_for_mlm
 from .objectives import masked_accuracy, mer_loss, mlm_loss
 from ..models import MlmHead, TableEncoder
 from ..nn import Adam, LinearWarmupSchedule, clip_gradients
-from ..runtime import TrainRecord, emit_train_record
+from ..nn.io import (
+    CheckpointError,
+    latest_valid_checkpoint,
+    read_npz_verified,
+    write_npz_atomic,
+)
+from ..runtime import (
+    HealthConfig,
+    HealthMonitor,
+    TrainRecord,
+    TrainingDivergedError,
+    emit_train_record,
+    get_registry,
+)
 from ..tables import Table
 
-__all__ = ["PretrainConfig", "StepRecord", "Pretrainer"]
+__all__ = ["PretrainConfig", "StepRecord", "Pretrainer", "TrainerCheckpoint"]
+
+TRAINER_CHECKPOINT_VERSION = 1
+_CHECKPOINT_PREFIX = "ckpt-"
+
+# PretrainConfig fields that must match between a checkpoint and the
+# trainer resuming from it for the continuation to be bit-identical.
+_RESUME_CRITICAL_FIELDS = (
+    "steps", "batch_size", "learning_rate", "warmup_fraction",
+    "mask_probability", "mer_mask_probability", "whole_cell_masking",
+    "use_mlm", "use_mer", "grad_clip", "seed",
+)
 
 
 @dataclass(frozen=True)
@@ -40,12 +82,19 @@ class PretrainConfig:
     use_mer: bool = True          # only takes effect when the model supports it
     grad_clip: float = 1.0
     seed: int = 0
+    checkpoint_every: int = 0     # snapshot cadence in steps; 0 disables
+    keep_checkpoints: int = 3     # on-disk snapshot retention (last K)
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.batch_size < 1:
             raise ValueError("steps and batch_size must be positive")
         if not (self.use_mlm or self.use_mer):
             raise ValueError("at least one pretraining objective must be enabled")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be positive")
 
 
 class StepRecord(TrainRecord):
@@ -72,6 +121,104 @@ class StepRecord(TrainRecord):
                          grad_norm=grad_norm, extras=extras, **kwargs)
 
 
+@dataclass
+class TrainerCheckpoint:
+    """The complete state of a :class:`Pretrainer` at one step boundary.
+
+    Restoring a checkpoint and continuing is bit-identical to never
+    having stopped: all randomness, optimizer moments, schedule position
+    and history are captured.
+    """
+
+    model_state: dict[str, np.ndarray]
+    head_state: dict[str, np.ndarray] | None
+    optimizer_state: dict
+    rng_state: dict
+    history: list[dict]
+    schedule_lr: float
+    config: dict
+
+    @property
+    def step(self) -> int:
+        """The number of completed steps this checkpoint represents."""
+        return len(self.history)
+
+    # ------------------------------------------------------------------
+    # Disk format: one atomic npz archive + manifest sidecar.  Arrays are
+    # namespaced (model./head./optim.m.i/optim.v.i) and everything
+    # non-array travels in a JSON ``meta`` entry.
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        arrays: dict[str, np.ndarray] = {}
+        for name, value in self.model_state.items():
+            arrays[f"model.{name}"] = value
+        for name, value in (self.head_state or {}).items():
+            arrays[f"head.{name}"] = value
+        for i, moment in enumerate(self.optimizer_state.get("_m", [])):
+            arrays[f"optim.m.{i}"] = moment
+        for i, moment in enumerate(self.optimizer_state.get("_v", [])):
+            arrays[f"optim.v.{i}"] = moment
+        meta = {
+            "format_version": TRAINER_CHECKPOINT_VERSION,
+            "has_head": self.head_state is not None,
+            "optimizer": {"lr": self.optimizer_state["lr"],
+                          "step_count": self.optimizer_state["step_count"]},
+            "rng_state": self.rng_state,
+            "history": self.history,
+            "schedule_lr": self.schedule_lr,
+            "config": self.config,
+        }
+        arrays["meta"] = np.array(json.dumps(meta))
+        return write_npz_atomic(path, arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainerCheckpoint":
+        """Read a checkpoint archive; raises :class:`CheckpointError` on
+        truncated/corrupt archives or a missing/unreadable meta entry."""
+        path = Path(path)
+        arrays = read_npz_verified(path)
+        if "meta" not in arrays:
+            raise CheckpointError(
+                f"checkpoint {path} has no meta entry; not a trainer "
+                f"checkpoint")
+        try:
+            meta = json.loads(str(arrays.pop("meta")[()]))
+        except (json.JSONDecodeError, TypeError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} meta entry is unreadable: {error}"
+            ) from error
+        version = meta.get("format_version", 1)
+        if version != TRAINER_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format_version {version!r}; this "
+                f"build supports {TRAINER_CHECKPOINT_VERSION}")
+        model_state = {name[len("model."):]: value
+                       for name, value in arrays.items()
+                       if name.startswith("model.")}
+        head_state = {name[len("head."):]: value
+                      for name, value in arrays.items()
+                      if name.startswith("head.")} or None
+        moments_m = [arrays[f"optim.m.{i}"]
+                     for i in range(sum(1 for n in arrays
+                                        if n.startswith("optim.m.")))]
+        moments_v = [arrays[f"optim.v.{i}"]
+                     for i in range(sum(1 for n in arrays
+                                        if n.startswith("optim.v.")))]
+        optimizer_state = dict(meta["optimizer"], _m=moments_m, _v=moments_v)
+        return cls(
+            model_state=model_state,
+            head_state=head_state if meta.get("has_head") else None,
+            optimizer_state=optimizer_state,
+            rng_state=meta["rng_state"],
+            history=list(meta["history"]),
+            schedule_lr=float(meta["schedule_lr"]),
+            config=dict(meta.get("config", {})),
+        )
+
+
 class Pretrainer:
     """Runs MLM (+MER where supported) pretraining over a table corpus."""
 
@@ -82,10 +229,12 @@ class Pretrainer:
 
         if hasattr(model, "mlm_head"):
             self.mlm_head = model.mlm_head
+            self._external_head = False
             extra_params: list = []
         else:
             self.mlm_head = MlmHead(model.config.dim,
                                     model.token_embedding.weight, self.rng)
+            self._external_head = True
             extra_params = [p for name, p in self.mlm_head.named_parameters()
                             if "tied_weight" not in name]
         self.supports_mer = hasattr(model, "mer_head")
@@ -98,6 +247,111 @@ class Pretrainer:
         self.schedule = LinearWarmupSchedule(
             self.config.learning_rate, warmup, self.config.steps + 1)
         self.history: list[TrainRecord] = []
+        self.health = HealthMonitor(self.config.health, source="pretrain")
+        self._last_good: TrainerCheckpoint | None = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def capture(self) -> TrainerCheckpoint:
+        """Snapshot the full trainer state in memory."""
+        head_state = (self.mlm_head.state_dict()
+                      if self._external_head else None)
+        return TrainerCheckpoint(
+            model_state=self.model.state_dict(),
+            head_state=head_state,
+            optimizer_state=self.optimizer.state_dict(),
+            rng_state=self.rng.bit_generator.state,
+            history=[record.to_dict() for record in self.history],
+            schedule_lr=self.schedule.lr,
+            config=self._config_dict(),
+        )
+
+    def restore(self, checkpoint: TrainerCheckpoint) -> int:
+        """Load a checkpoint into this trainer; returns the restored step.
+
+        Raises :class:`CheckpointError` when the saved state does not fit
+        the model/optimizer (all offending keys listed).
+        """
+        try:
+            self.model.load_state_dict(checkpoint.model_state)
+            if checkpoint.head_state is not None:
+                if not self._external_head:
+                    raise CheckpointError(
+                        "checkpoint carries an external MLM head but the "
+                        "model owns its own")
+                self.mlm_head.load_state_dict(checkpoint.head_state)
+            elif self._external_head:
+                raise CheckpointError(
+                    "checkpoint has no external MLM head state but this "
+                    "trainer needs one")
+            self.optimizer.load_state_dict(checkpoint.optimizer_state)
+        except (KeyError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint does not match the trainer: {error}") from error
+        self.rng.bit_generator.state = checkpoint.rng_state
+        self.schedule.lr = float(checkpoint.schedule_lr)
+        self.history = [TrainRecord.from_dict(d) for d in checkpoint.history]
+        return len(self.history)
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Capture and atomically persist the trainer state."""
+        return self.capture().save(path)
+
+    def resume(self, path: str | Path) -> int:
+        """Restore state from a checkpoint file or snapshot directory.
+
+        A directory resumes from its newest snapshot that verifies; an
+        explicit file that turns out corrupt falls back to the newest
+        valid sibling snapshot (warning) before giving up.  Returns the
+        restored step count.
+        """
+        path = Path(path)
+        if path.is_dir():
+            candidate = latest_valid_checkpoint(
+                path, pattern=f"{_CHECKPOINT_PREFIX}*.npz")
+            if candidate is None:
+                raise CheckpointError(
+                    f"no valid trainer checkpoint found in {path}")
+            checkpoint = TrainerCheckpoint.load(candidate)
+        else:
+            try:
+                checkpoint = TrainerCheckpoint.load(path)
+            except (CheckpointError, FileNotFoundError) as error:
+                fallback = latest_valid_checkpoint(
+                    path.parent, pattern=f"{_CHECKPOINT_PREFIX}*.npz")
+                if fallback is None or fallback == path:
+                    raise
+                warnings.warn(
+                    f"checkpoint {path} is unusable ({error}); falling "
+                    f"back to {fallback}", RuntimeWarning, stacklevel=2)
+                checkpoint = TrainerCheckpoint.load(fallback)
+        self._check_config_compatible(checkpoint.config)
+        step = self.restore(checkpoint)
+        self._last_good = checkpoint
+        return step
+
+    def _config_dict(self) -> dict:
+        config = asdict(self.config)
+        config["health"] = asdict(self.config.health)
+        return config
+
+    def _check_config_compatible(self, saved: dict) -> None:
+        if not saved:
+            return
+        current = self._config_dict()
+        mismatched = {
+            name: (saved[name], current[name])
+            for name in _RESUME_CRITICAL_FIELDS
+            if name in saved and saved[name] != current[name]
+        }
+        if mismatched:
+            details = ", ".join(
+                f"{name}: checkpoint={a!r} trainer={b!r}"
+                for name, (a, b) in sorted(mismatched.items()))
+            raise CheckpointError(
+                f"checkpoint was written with different hyperparameters "
+                f"({details}); resuming would not be bit-identical")
 
     # ------------------------------------------------------------------
     def _sample_tables(self, corpus: list[Table]) -> list[Table]:
@@ -124,8 +378,30 @@ class Pretrainer:
                             whole_cell=self.config.whole_cell_masking)
 
     # ------------------------------------------------------------------
+    def _rollback(self) -> None:
+        """Return to the last good checkpoint with a reduced base LR."""
+        if self.health.rollback_exhausted():
+            raise TrainingDivergedError(
+                f"pretraining diverged: {self.health.bad_steps} bad steps "
+                f"and {self.health.rollbacks} rollbacks "
+                f"(max {self.config.health.max_rollbacks})")
+        if self._last_good is None:
+            raise TrainingDivergedError(
+                "pretraining diverged before the first checkpoint; "
+                "no state to roll back to")
+        self.restore(self._last_good)
+        self.schedule.lr *= self.config.health.lr_backoff
+        self.health.reset_window()
+
     def train_step(self, corpus: list[Table]) -> TrainRecord:
-        """One optimization step over a sampled batch; returns the record."""
+        """One optimization step over a sampled batch; returns the record.
+
+        Steps the health monitor judges bad (NaN/Inf loss or gradient,
+        divergence spike) skip the optimizer update; a streak of them
+        rolls the trainer back to the last good checkpoint, in which case
+        the returned record belongs to the discarded timeline and is not
+        appended to :attr:`history`.
+        """
         step = len(self.history)
         started = time.perf_counter()
         masked = self._masked_batch(self._sample_tables(corpus))
@@ -150,6 +426,8 @@ class Pretrainer:
             mer_value = float(loss.data)
             mer_acc = masked_accuracy(logits, masked.mer_targets)
 
+        skipped = False
+        rolled_back = False
         if losses:
             total = losses[0]
             for extra in losses[1:]:
@@ -157,30 +435,88 @@ class Pretrainer:
             total.backward()
             grad_norm = clip_gradients(self.optimizer.parameters,
                                        self.config.grad_clip)
-            self.optimizer.lr = self.schedule(step)
-            self.optimizer.step()
             total_value = float(total.data)
+            verdict = self.health.check(step, total_value, grad_norm)
+            if verdict.ok:
+                self.optimizer.lr = self.schedule(step)
+                self.optimizer.step()
+            else:
+                skipped = True
+                self.optimizer.zero_grad()
+                if verdict.rollback:
+                    rolled_back = True
+                    self._rollback()
         else:
             grad_norm = 0.0
             total_value = 0.0
 
+        extras = {"mlm_loss": mlm_value, "mer_loss": mer_value,
+                  "mlm_accuracy": mlm_acc, "mer_accuracy": mer_acc}
+        if skipped:
+            extras["skipped"] = 1.0
         record = TrainRecord(
             step=step, loss=total_value, lr=self.optimizer.lr,
             grad_norm=grad_norm, wall_time=time.perf_counter() - started,
-            tokens=tokens,
-            extras={"mlm_loss": mlm_value, "mer_loss": mer_value,
-                    "mlm_accuracy": mlm_acc, "mer_accuracy": mer_acc},
+            tokens=tokens, extras=extras,
         )
-        self.history.append(record)
+        if not rolled_back:
+            self.history.append(record)
         emit_train_record(record, source="pretrain")
         return record
 
-    def train(self, corpus: list[Table]) -> list[TrainRecord]:
-        """Run the configured number of steps; returns the full history."""
+    # ------------------------------------------------------------------
+    def _write_snapshot(self, directory: Path) -> Path:
+        path = directory / f"{_CHECKPOINT_PREFIX}{len(self.history):08d}.npz"
+        written = self.save_checkpoint(path)
+        self._prune_snapshots(directory)
+        return written
+
+    def _prune_snapshots(self, directory: Path) -> None:
+        snapshots = sorted(directory.glob(f"{_CHECKPOINT_PREFIX}*.npz"))
+        for stale in snapshots[:-self.config.keep_checkpoints]:
+            stale.unlink(missing_ok=True)
+            manifest = stale.with_name(stale.name + ".manifest.json")
+            manifest.unlink(missing_ok=True)
+
+    def train(self, corpus: list[Table],
+              checkpoint_dir: str | Path | None = None) -> list[TrainRecord]:
+        """Run (or continue) the configured number of steps.
+
+        A fresh trainer runs ``config.steps`` steps; a trainer restored
+        via :meth:`resume` continues from its checkpoint until the same
+        total.  Calling ``train`` again on a completed run raises —
+        silent re-entry would continue the history with a stale LR
+        schedule (resume is the supported continuation path).
+
+        With ``config.checkpoint_every > 0`` a full snapshot is taken at
+        that cadence (and written to ``checkpoint_dir`` when given, with
+        the last ``config.keep_checkpoints`` retained on disk).
+        """
         if not corpus:
             raise ValueError("pretraining corpus is empty")
+        if len(self.history) >= self.config.steps:
+            raise RuntimeError(
+                f"training already completed {len(self.history)} of "
+                f"{self.config.steps} steps; build a fresh Pretrainer or "
+                f"resume() a checkpoint to continue a run")
+        directory: Path | None = None
+        if checkpoint_dir is not None:
+            directory = Path(checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
         self.model.train()
-        for _ in range(self.config.steps):
+        if self._last_good is None:
+            self._last_good = self.capture()
+        while len(self.history) < self.config.steps:
             self.train_step(corpus)
+            done = len(self.history)
+            cadence = self.config.checkpoint_every
+            if (cadence and done % cadence == 0
+                    and not self.history[-1].extras.get("skipped")):
+                self._last_good = self.capture()
+                if directory is not None:
+                    self._write_snapshot(directory)
+        if directory is not None:
+            self._write_snapshot(directory)
         self.model.eval()
+        get_registry().counter("pretrain.runs_completed").inc()
         return self.history

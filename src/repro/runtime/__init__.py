@@ -11,7 +11,10 @@ through:
   :class:`JsonlSink`, :class:`StdoutTableSink`);
 - :func:`profile` — a context manager that hooks the autograd tape and
   accounts per-op forward/backward calls, wall time and array bytes,
-  with a no-op fast path when inactive.
+  with a no-op fast path when inactive;
+- :class:`HealthMonitor` — the numerical-health guard every training
+  loop runs each step (NaN/Inf/spike detection, bad-step skipping,
+  rollback requests), reporting ``health`` events through the registry.
 
 Quick taste::
 
@@ -23,6 +26,12 @@ Quick taste::
     print(prof.table())
 """
 
+from .health import (
+    HealthConfig,
+    HealthMonitor,
+    HealthVerdict,
+    TrainingDivergedError,
+)
 from .records import TrainRecord
 from .registry import (
     Counter,
@@ -41,6 +50,8 @@ from .profiler import OpStat, TapeProfile, profile
 
 __all__ = [
     "TrainRecord",
+    "HealthConfig", "HealthMonitor", "HealthVerdict",
+    "TrainingDivergedError",
     "Counter", "Timer", "Histogram", "MetricsRegistry",
     "get_registry", "set_registry", "using_registry",
     "telemetry_enabled", "set_telemetry", "emit_train_record",

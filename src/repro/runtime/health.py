@@ -1,0 +1,177 @@
+"""Numerical-health guards for training loops.
+
+Long pretraining runs die numerically before they die mechanically: one
+NaN loss poisons the Adam moments and every subsequent step.  The
+:class:`HealthMonitor` sits between the backward pass and the optimizer
+update in every training loop (:class:`~repro.pretrain.Pretrainer`,
+:func:`~repro.tasks.finetune`) and classifies each step as healthy or
+bad — non-finite loss, non-finite or exploding gradient norm, or a loss
+spike far above the trailing window.  Bad steps are skipped (the update
+never reaches the optimizer) and emitted as ``health`` events through
+the :class:`~repro.runtime.MetricsRegistry`; after a configurable streak
+of consecutive bad steps the monitor asks the caller to roll back to its
+last good checkpoint with a reduced learning rate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from .registry import get_registry, telemetry_enabled
+
+__all__ = [
+    "HealthConfig",
+    "HealthVerdict",
+    "HealthMonitor",
+    "TrainingDivergedError",
+]
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training kept producing bad steps after every permitted rollback."""
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs of a :class:`HealthMonitor`.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; a disabled monitor approves every step.
+    max_consecutive_bad:
+        Bad steps in a row before the monitor requests a rollback.
+    max_rollbacks:
+        Rollbacks permitted before the run is declared diverged.
+    divergence_factor:
+        A finite loss this many times the trailing-window mean counts as
+        a spike (only once the window holds ``min_history`` values).
+    window:
+        Trailing healthy-loss window length for spike detection.
+    min_history:
+        Healthy losses required before spike detection activates.
+    grad_norm_limit:
+        Finite pre-clip gradient norms above this are bad steps.
+    lr_backoff:
+        Multiplier applied to the learning rate on rollback.
+    """
+
+    enabled: bool = True
+    max_consecutive_bad: int = 3
+    max_rollbacks: int = 3
+    divergence_factor: float = 25.0
+    window: int = 32
+    min_history: int = 8
+    grad_norm_limit: float = 1e6
+    lr_backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_consecutive_bad < 1:
+            raise ValueError("max_consecutive_bad must be positive")
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be non-negative")
+        if not (0.0 < self.lr_backoff <= 1.0):
+            raise ValueError("lr_backoff must be in (0, 1]")
+        if self.divergence_factor <= 1.0:
+            raise ValueError("divergence_factor must exceed 1")
+
+
+@dataclass(frozen=True)
+class HealthVerdict:
+    """Outcome of checking one step.
+
+    ``ok`` means the optimizer update may proceed; otherwise ``reason``
+    says why the step is bad and ``rollback`` whether the bad streak has
+    exhausted the monitor's patience.
+    """
+
+    ok: bool
+    reason: str = ""
+    rollback: bool = False
+
+
+_OK = HealthVerdict(True)
+
+
+class HealthMonitor:
+    """Classifies training steps and tracks bad-step streaks.
+
+    One monitor guards one training loop; call :meth:`check` after the
+    backward pass with the step's loss and pre-clip gradient norm, and
+    only apply the optimizer update when the verdict is ``ok``.
+    """
+
+    def __init__(self, config: HealthConfig | None = None,
+                 source: str = "train") -> None:
+        self.config = config or HealthConfig()
+        self.source = source
+        self._window: deque[float] = deque(maxlen=self.config.window)
+        self.consecutive_bad = 0
+        self.bad_steps = 0
+        self.rollbacks = 0
+
+    # ------------------------------------------------------------------
+    def _classify(self, loss: float, grad_norm: float) -> str:
+        if not math.isfinite(loss):
+            return "non_finite_loss"
+        if not math.isfinite(grad_norm):
+            return "non_finite_grad_norm"
+        if grad_norm > self.config.grad_norm_limit:
+            return "grad_norm_limit"
+        if len(self._window) >= self.config.min_history:
+            mean = sum(self._window) / len(self._window)
+            if mean > 0.0 and loss > self.config.divergence_factor * mean:
+                return "loss_spike"
+        return ""
+
+    def check(self, step: int, loss: float,
+              grad_norm: float = 0.0) -> HealthVerdict:
+        """Judge one step; emits a ``health`` event when the step is bad."""
+        if not self.config.enabled:
+            return _OK
+        reason = self._classify(float(loss), float(grad_norm))
+        if not reason:
+            self._window.append(float(loss))
+            self.consecutive_bad = 0
+            return _OK
+        self.consecutive_bad += 1
+        self.bad_steps += 1
+        streak = self.consecutive_bad
+        rollback = streak >= self.config.max_consecutive_bad
+        if rollback:
+            self.consecutive_bad = 0
+            self.rollbacks += 1
+        self._emit(step, loss, grad_norm, reason, rollback, streak)
+        return HealthVerdict(False, reason, rollback)
+
+    def rollback_exhausted(self) -> bool:
+        """Whether another rollback would exceed ``max_rollbacks``."""
+        return self.rollbacks > self.config.max_rollbacks
+
+    def reset_window(self) -> None:
+        """Forget the trailing loss window (after a rollback the replayed
+        steps re-populate it)."""
+        self._window.clear()
+
+    # ------------------------------------------------------------------
+    def _emit(self, step: int, loss: float, grad_norm: float,
+              reason: str, rollback: bool, streak: int) -> None:
+        if not telemetry_enabled():
+            return
+        registry = get_registry()
+        registry.counter(f"{self.source}.health.bad_steps").inc()
+        if rollback:
+            registry.counter(f"{self.source}.health.rollbacks").inc()
+        registry.emit({
+            "kind": "health",
+            "source": self.source,
+            "step": int(step),
+            "status": "rollback" if rollback else "bad_step",
+            "reason": reason,
+            "loss": float(loss),
+            "grad_norm": float(grad_norm),
+            "consecutive_bad": int(streak),
+            "bad_steps": int(self.bad_steps),
+        })

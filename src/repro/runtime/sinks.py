@@ -15,6 +15,11 @@ key.  The kinds the library emits (the JSONL metrics schema):
   ``count``, ``mean``, ``min``, ``max`` (histograms).
 - ``bench_table`` — one rendered benchmark result table: ``title``,
   ``headers``, ``rows``.
+- ``health`` — a numerical-health incident from
+  :class:`~repro.runtime.HealthMonitor`: ``source``, ``step``, ``status``
+  (``"bad_step"`` | ``"rollback"``), ``reason``, ``loss``, ``grad_norm``,
+  ``consecutive_bad``, ``bad_steps``.  Non-finite floats are written as
+  ``null`` in the JSONL artifact (JSON has no NaN/Inf literals).
 
 Sinks must tolerate any extra keys — the schema is additive.
 """
@@ -22,6 +27,7 @@ Sinks must tolerate any extra keys — the schema is additive.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, IO
 
@@ -81,7 +87,10 @@ class JsonlSink(MetricSink):
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("a", encoding="utf-8")
-        self._file.write(json.dumps(event, default=_jsonify) + "\n")
+        # Health events can legitimately carry NaN/Inf losses; the JSON
+        # spec has no literal for them, so map to null to keep the
+        # artifact parseable outside Python.
+        self._file.write(json.dumps(_finite(event), default=_jsonify) + "\n")
         self.events_written += 1
 
     def flush(self) -> None:
@@ -99,6 +108,19 @@ def _jsonify(value: Any) -> Any:
     if hasattr(value, "item"):
         return value.item()
     return str(value)
+
+
+def _finite(value: Any) -> Any:
+    """Replace non-finite floats with None, recursing into containers."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "item"):
+        return _finite(value.item())
+    if isinstance(value, dict):
+        return {key: _finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_finite(item) for item in value]
+    return value
 
 
 class StdoutTableSink(MetricSink):

@@ -15,9 +15,19 @@ import numpy as np
 
 from ..nn import Adam, Tensor, clip_gradients
 from ..models import TableEncoder
-from ..runtime import TrainRecord, emit_train_record
+from ..runtime import (
+    HealthConfig,
+    HealthMonitor,
+    TrainingDivergedError,
+    TrainRecord,
+    emit_train_record,
+)
 
 __all__ = ["FinetuneConfig", "finetune", "pooled_span", "minibatches"]
+
+# How many healthy steps between refreshes of the in-memory rollback
+# snapshot the health guard falls back to after a bad-step streak.
+_SNAPSHOT_EVERY = 8
 
 
 @dataclass(frozen=True)
@@ -59,8 +69,22 @@ def minibatches(items: list, batch_size: int,
         yield [items[int(i)] for i in order[start:start + batch_size]]
 
 
+def _capture_snapshot(parameters, optimizer: Adam) -> tuple[list, dict]:
+    """Copy the trainable state the health guard can roll back to."""
+    return ([p.data.copy() for p in parameters], optimizer.state_dict())
+
+
+def _restore_snapshot(parameters, optimizer: Adam,
+                      snapshot: tuple[list, dict]) -> None:
+    arrays, optimizer_state = snapshot
+    for param, saved in zip(parameters, arrays):
+        param.data[...] = saved
+    optimizer.load_state_dict(optimizer_state)
+
+
 def finetune(task, examples: list, config: FinetuneConfig | None = None,
-             encoder: TableEncoder | None = None) -> list[TrainRecord]:
+             encoder: TableEncoder | None = None,
+             health: HealthConfig | None = None) -> list[TrainRecord]:
     """Generic fine-tuning loop; returns the per-step record history.
 
     Parameters
@@ -71,6 +95,13 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
     encoder:
         When ``config.freeze_encoder`` is set, parameters belonging to this
         encoder are excluded from optimization (linear-probe fine-tuning).
+    health:
+        Configuration of the numerical-health guard (defaults on).  Steps
+        with a NaN/Inf loss or gradient never reach ``Adam.step``; a
+        streak of bad steps restores the last in-memory parameter
+        snapshot with a reduced learning rate, and a run that keeps
+        diverging past ``max_rollbacks`` raises
+        :class:`~repro.runtime.TrainingDivergedError`.
 
     Returns
     -------
@@ -92,6 +123,9 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
         if not parameters:
             raise ValueError("freezing the encoder left nothing to train")
     optimizer = Adam(parameters, lr=config.learning_rate)
+    monitor = HealthMonitor(health, source="finetune")
+    snapshot = _capture_snapshot(parameters, optimizer)
+    good_steps = 0
 
     task.train()
     history: list[TrainRecord] = []
@@ -102,12 +136,29 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
             loss = task.loss(batch)
             loss.backward()
             grad_norm = clip_gradients(parameters, config.grad_clip)
-            optimizer.step()
+            extras = {"epoch": epoch, "batch_size": len(batch)}
+            verdict = monitor.check(len(history), float(loss.data), grad_norm)
+            if verdict.ok:
+                optimizer.step()
+                good_steps += 1
+                if good_steps % _SNAPSHOT_EVERY == 0:
+                    snapshot = _capture_snapshot(parameters, optimizer)
+            else:
+                extras["skipped"] = 1.0
+                optimizer.zero_grad()
+                if verdict.rollback:
+                    if monitor.rollback_exhausted():
+                        raise TrainingDivergedError(
+                            f"fine-tuning diverged: {monitor.bad_steps} bad "
+                            f"steps and {monitor.rollbacks} rollbacks")
+                    _restore_snapshot(parameters, optimizer, snapshot)
+                    optimizer.lr *= monitor.config.lr_backoff
+                    monitor.reset_window()
             record = TrainRecord(
                 step=len(history), loss=float(loss.data), lr=optimizer.lr,
                 grad_norm=grad_norm,
                 wall_time=time.perf_counter() - started,
-                extras={"epoch": epoch, "batch_size": len(batch)},
+                extras=extras,
             )
             history.append(record)
             emit_train_record(record, source="finetune")

@@ -117,6 +117,88 @@ class TestProfileCommand:
             main(["profile", str(corpus_dir)])
 
 
+class TestOperatorErrors:
+    """Bad paths and corrupt artifacts exit 2 with a one-line message."""
+
+    def _assert_fails_cleanly(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_pretrain_missing_corpus(self, tmp_path, capsys):
+        self._assert_fails_cleanly(
+            ["pretrain", str(tmp_path / "nope"), "--out", str(tmp_path / "b")],
+            capsys)
+
+    def test_encode_missing_table(self, tmp_path, capsys):
+        self._assert_fails_cleanly(["encode", str(tmp_path / "nope.csv")],
+                                   capsys)
+
+    def test_profile_missing_corpus(self, tmp_path, capsys):
+        self._assert_fails_cleanly(["profile", str(tmp_path / "nope")],
+                                   capsys)
+
+    def test_pretrain_missing_resume_path(self, corpus_dir, tmp_path, capsys):
+        self._assert_fails_cleanly(
+            ["pretrain", str(corpus_dir), "--steps", "2",
+             "--resume", str(tmp_path / "nope.npz"),
+             "--out", str(tmp_path / "b")], capsys)
+
+    def test_encode_corrupt_bundle(self, corpus_dir, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(["pretrain", str(corpus_dir), "--model", "bert",
+                     "--steps", "2", "--dim", "16", "--layers", "1",
+                     "--out", str(bundle)]) == 0
+        weights = bundle / "weights.npz"
+        weights.write_bytes(weights.read_bytes()[:40])
+        table = sorted(corpus_dir.glob("*.csv"))[0]
+        capsys.readouterr()
+        self._assert_fails_cleanly(
+            ["encode", str(table), "--model", str(bundle)], capsys)
+
+
+class TestCheckpointResumeCli:
+    def test_checkpoint_dir_and_resume(self, corpus_dir, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        common = ["pretrain", str(corpus_dir), "--model", "bert",
+                  "--steps", "6", "--dim", "16", "--layers", "1"]
+        assert main(common + ["--checkpoint-dir", str(ckpts),
+                              "--checkpoint-every", "3",
+                              "--out", str(tmp_path / "b1")]) == 0
+        snapshots = sorted(p.name for p in ckpts.glob("ckpt-*.npz"))
+        assert snapshots == ["ckpt-00000003.npz", "ckpt-00000006.npz"]
+        assert all((ckpts / f"{name}.manifest.json").exists()
+                   for name in snapshots)
+
+        assert main(common + ["--resume", str(ckpts / "ckpt-00000003.npz"),
+                              "--out", str(tmp_path / "b2")]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+        import numpy as np
+        first = np.load(tmp_path / "b1" / "weights.npz")
+        second = np.load(tmp_path / "b2" / "weights.npz")
+        assert all(np.array_equal(first[name], second[name])
+                   for name in first.files)
+
+    def test_resume_from_directory_picks_newest(self, corpus_dir, tmp_path,
+                                                capsys):
+        ckpts = tmp_path / "ckpts"
+        common = ["pretrain", str(corpus_dir), "--model", "bert",
+                  "--steps", "4", "--dim", "16", "--layers", "1"]
+        assert main(common + ["--checkpoint-dir", str(ckpts),
+                              "--checkpoint-every", "2",
+                              "--out", str(tmp_path / "b1")]) == 0
+        assert main(common + ["--resume", str(ckpts),
+                              "--out", str(tmp_path / "b2")]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "nothing to train" in out
+
+
 class TestPretrainMetricsOut:
     def test_pretrain_writes_metrics_artifact(self, corpus_dir, tmp_path):
         metrics = tmp_path / "pretrain.jsonl"

@@ -1,9 +1,23 @@
-"""Tests for checkpoint save/load."""
+"""Tests for checkpoint save/load and crash-safe IO."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.nn import Linear, Module, Tensor, load_checkpoint, save_checkpoint
+from repro.nn import (
+    CheckpointError,
+    Linear,
+    Module,
+    Tensor,
+    latest_valid_checkpoint,
+    load_checkpoint,
+    read_npz_verified,
+    save_checkpoint,
+    verify_checkpoint,
+    write_npz_atomic,
+)
+from repro.nn.io import manifest_path
 
 
 class SmallNet(Module):
@@ -45,3 +59,80 @@ class TestCheckpointIO:
     def test_creates_parent_dirs(self, tmp_path):
         path = save_checkpoint(SmallNet(), tmp_path / "deep" / "nested" / "model")
         assert path.exists()
+
+
+class TestCrashSafety:
+    def test_manifest_sidecar_written(self, tmp_path):
+        path = save_checkpoint(SmallNet(), tmp_path / "model")
+        manifest = json.loads(manifest_path(path).read_text())
+        assert manifest["file"] == "model.npz"
+        assert manifest["bytes"] == path.stat().st_size
+        assert len(manifest["sha256"]) == 64
+        assert "layer.weight" in manifest["arrays"]
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        save_checkpoint(SmallNet(), tmp_path / "model")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_truncated_archive_detected(self, tmp_path):
+        path = save_checkpoint(SmallNet(), tmp_path / "model")
+        path.write_bytes(path.read_bytes()[:50])
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(SmallNet(), path)
+
+    def test_bitflip_detected_via_digest(self, tmp_path):
+        path = save_checkpoint(SmallNet(), tmp_path / "model")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointError):
+            read_npz_verified(path)
+
+    def test_legacy_archive_without_manifest_loads(self, tmp_path):
+        source = SmallNet(seed=1)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **source.state_dict())
+        assert verify_checkpoint(path)
+        target = SmallNet(seed=2)
+        load_checkpoint(target, path)
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_latest_valid_skips_corrupt_newest(self, tmp_path):
+        old = write_npz_atomic(tmp_path / "ckpt-001.npz",
+                               {"x": np.zeros(3)})
+        newest = write_npz_atomic(tmp_path / "ckpt-002.npz",
+                                  {"x": np.ones(3)})
+        newest.write_bytes(b"garbage")
+        assert latest_valid_checkpoint(tmp_path, "ckpt-*.npz") == old
+
+    def test_latest_valid_empty_dir(self, tmp_path):
+        assert latest_valid_checkpoint(tmp_path) is None
+        assert latest_valid_checkpoint(tmp_path / "absent") is None
+
+
+class BiggerNet(Module):
+    def __init__(self, seed=0, out=2):
+        super().__init__()
+        self.layer = Linear(3, out, np.random.default_rng(seed))
+        self.extra = Linear(out, 1, np.random.default_rng(seed))
+
+
+class TestStateMismatchErrors:
+    def test_missing_and_unexpected_keys_listed(self, tmp_path):
+        path = save_checkpoint(SmallNet(), tmp_path / "model")
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(BiggerNet(), path)
+        message = str(excinfo.value)
+        assert "missing keys" in message
+        assert "extra.weight" in message
+
+    def test_shape_mismatch_listed(self, tmp_path):
+        path = save_checkpoint(BiggerNet(out=2), tmp_path / "model")
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(BiggerNet(out=4), path)
+        message = str(excinfo.value)
+        assert "shape mismatches" in message
+        assert "layer.weight" in message

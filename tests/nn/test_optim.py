@@ -113,3 +113,62 @@ class TestSchedules:
         assert sched(0) == pytest.approx(1.0)
         assert sched(100) == pytest.approx(0.1)
         assert sched(50) == pytest.approx(0.55)
+
+
+class TestOptimizerStateIO:
+    def test_adam_state_roundtrip_is_bit_identical(self):
+        def run(steps_before_transfer):
+            param = quadratic_param()
+            optimizer = Adam([param], lr=0.1)
+            minimize(optimizer, param, steps_before_transfer)
+            return param, optimizer
+
+        # Uninterrupted: 10 steps straight.
+        straight_param, straight_opt = run(10)
+
+        # Interrupted: 5 steps, state transfer into a fresh optimizer, 5 more.
+        mid_param, mid_opt = run(5)
+        resumed_param = Parameter(mid_param.data.copy())
+        resumed_opt = Adam([resumed_param], lr=0.1)
+        resumed_opt.load_state_dict(mid_opt.state_dict())
+        minimize(resumed_opt, resumed_param, 5)
+
+        np.testing.assert_array_equal(straight_param.data, resumed_param.data)
+        assert resumed_opt.step_count == straight_opt.step_count
+        for slot in ("_m", "_v"):
+            for lhs, rhs in zip(straight_opt.state_dict()[slot],
+                                resumed_opt.state_dict()[slot]):
+                np.testing.assert_array_equal(lhs, rhs)
+
+    def test_sgd_velocity_roundtrip(self):
+        param = quadratic_param()
+        optimizer = SGD([param], lr=0.05, momentum=0.9)
+        minimize(optimizer, param, 3)
+        state = optimizer.state_dict()
+        assert state["step_count"] == 3
+
+        other_param = Parameter(param.data.copy())
+        other = SGD([other_param], lr=0.05, momentum=0.9)
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other._velocity[0],
+                                      optimizer._velocity[0])
+
+    def test_state_dict_returns_copies(self):
+        param = quadratic_param()
+        optimizer = Adam([param], lr=0.1)
+        minimize(optimizer, param, 2)
+        state = optimizer.state_dict()
+        state["_m"][0][...] = 999.0
+        assert not np.array_equal(optimizer._m[0], state["_m"][0])
+
+    def test_load_rejects_wrong_slot_count(self):
+        optimizer = Adam([quadratic_param()], lr=0.1)
+        donor = Adam([quadratic_param(), quadratic_param()], lr=0.1)
+        with pytest.raises(ValueError, match="slots"):
+            optimizer.load_state_dict(donor.state_dict())
+
+    def test_load_rejects_wrong_shapes(self):
+        optimizer = Adam([Parameter(np.zeros(3))], lr=0.1)
+        donor = Adam([Parameter(np.zeros(5))], lr=0.1)
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.load_state_dict(donor.state_dict())

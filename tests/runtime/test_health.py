@@ -1,0 +1,120 @@
+"""Tests for the numerical-health monitor."""
+
+import math
+
+import pytest
+
+from repro.runtime import (
+    HealthConfig,
+    HealthMonitor,
+    InMemorySink,
+    MetricsRegistry,
+    using_registry,
+)
+
+
+class TestHealthConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthConfig(max_consecutive_bad=0)
+        with pytest.raises(ValueError):
+            HealthConfig(lr_backoff=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(lr_backoff=1.5)
+        with pytest.raises(ValueError):
+            HealthConfig(divergence_factor=1.0)
+        with pytest.raises(ValueError):
+            HealthConfig(max_rollbacks=-1)
+
+
+class TestClassification:
+    def test_finite_step_is_ok(self):
+        verdict = HealthMonitor().check(0, 2.5, 1.0)
+        assert verdict.ok and not verdict.rollback
+
+    def test_nan_loss_flagged(self):
+        verdict = HealthMonitor().check(0, float("nan"), 1.0)
+        assert not verdict.ok
+        assert verdict.reason == "non_finite_loss"
+
+    def test_inf_loss_flagged(self):
+        assert not HealthMonitor().check(0, math.inf, 1.0).ok
+
+    def test_nan_grad_flagged(self):
+        verdict = HealthMonitor().check(0, 2.0, float("nan"))
+        assert verdict.reason == "non_finite_grad_norm"
+
+    def test_exploding_grad_flagged(self):
+        monitor = HealthMonitor(HealthConfig(grad_norm_limit=100.0))
+        assert monitor.check(0, 2.0, 1e9).reason == "grad_norm_limit"
+
+    def test_loss_spike_needs_history(self):
+        monitor = HealthMonitor(HealthConfig(divergence_factor=10.0,
+                                             min_history=4))
+        # Too little history: a large early loss passes (and seeds the
+        # window, so later spike detection is relative to it).
+        assert monitor.check(0, 50.0, 1.0).ok
+        monitor.reset_window()
+        for step in range(1, 5):
+            assert monitor.check(step, 2.0, 1.0).ok
+        verdict = monitor.check(5, 2.0 * 100, 1.0)
+        assert verdict.reason == "loss_spike"
+
+    def test_disabled_monitor_approves_everything(self):
+        monitor = HealthMonitor(HealthConfig(enabled=False))
+        assert monitor.check(0, float("nan"), float("inf")).ok
+        assert monitor.bad_steps == 0
+
+
+class TestStreaks:
+    def test_rollback_after_streak(self):
+        monitor = HealthMonitor(HealthConfig(max_consecutive_bad=3))
+        assert not monitor.check(0, float("nan")).rollback
+        assert not monitor.check(1, float("nan")).rollback
+        assert monitor.check(2, float("nan")).rollback
+        assert monitor.rollbacks == 1
+        # The streak counter resets after a rollback request.
+        assert not monitor.check(3, float("nan")).rollback
+
+    def test_good_step_resets_streak(self):
+        monitor = HealthMonitor(HealthConfig(max_consecutive_bad=2))
+        monitor.check(0, float("nan"))
+        monitor.check(1, 2.0)
+        assert not monitor.check(2, float("nan")).rollback
+
+    def test_rollback_exhausted(self):
+        monitor = HealthMonitor(HealthConfig(max_consecutive_bad=1,
+                                             max_rollbacks=2))
+        assert not monitor.rollback_exhausted()
+        monitor.check(0, float("nan"))
+        monitor.check(1, float("nan"))
+        assert not monitor.rollback_exhausted()
+        monitor.check(2, float("nan"))
+        assert monitor.rollback_exhausted()
+
+
+class TestEvents:
+    def test_bad_step_emits_health_event(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        with using_registry(registry):
+            monitor = HealthMonitor(source="pretrain")
+            monitor.check(0, 2.0, 1.0)        # good: no event
+            monitor.check(1, float("nan"), 1.0)
+        events = [e for e in sink.events if e["kind"] == "health"]
+        assert len(events) == 1
+        event = events[0]
+        assert event["source"] == "pretrain"
+        assert event["status"] == "bad_step"
+        assert event["reason"] == "non_finite_loss"
+        assert event["step"] == 1
+        assert registry.counter("pretrain.health.bad_steps").value == 1
+
+    def test_rollback_event_status(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        with using_registry(registry):
+            monitor = HealthMonitor(HealthConfig(max_consecutive_bad=1))
+            monitor.check(0, float("inf"))
+        assert sink.events[-1]["status"] == "rollback"
+        assert registry.counter("train.health.rollbacks").value == 1

@@ -1,0 +1,80 @@
+"""Health-guard behavior of the generic fine-tuning loop.
+
+Uses a tiny synthetic task (no encoder) so the loop's skip/rollback
+mechanics can be driven deterministically: the task's loss can be forced
+to NaN for chosen steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Module, Parameter, Tensor
+from repro.runtime import (
+    HealthConfig,
+    InMemorySink,
+    MetricsRegistry,
+    TrainingDivergedError,
+    using_registry,
+)
+from repro.tasks import FinetuneConfig, finetune
+
+
+class ToyTask(Module):
+    """Minimize ``(w - target)^2``; NaN-able on selected loss calls."""
+
+    def __init__(self, bad_calls=()):
+        super().__init__()
+        self.weight = Parameter(np.array([5.0]))
+        self.bad_calls = set(bad_calls)
+        self.calls = 0
+
+    def loss(self, batch):
+        self.calls += 1
+        value = ((self.weight - 1.0) ** 2).sum()
+        if self.calls in self.bad_calls:
+            value.data = np.array(float("nan"))
+        return value
+
+
+def _run(task, steps, health=None):
+    examples = list(range(8))   # batch_size 8 -> one step per epoch
+    config = FinetuneConfig(epochs=steps, batch_size=8, learning_rate=0.1)
+    return finetune(task, examples, config, health=health)
+
+
+class TestFinetuneHealthGuard:
+    def test_clean_run_unchanged(self):
+        task = ToyTask()
+        history = _run(task, steps=10)
+        assert len(history) == 10
+        assert not any(r.extras.get("skipped") for r in history)
+        assert float(task.weight.data[0]) < 5.0
+
+    def test_nan_step_skipped(self):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        task = ToyTask(bad_calls={3})
+        with using_registry(registry):
+            history = _run(task, steps=6)
+        skipped = [r for r in history if r.extras.get("skipped")]
+        assert len(skipped) == 1 and skipped[0].step == 2
+        events = sink.of_kind("health")
+        assert len(events) == 1
+        assert events[0]["source"] == "finetune"
+        assert events[0]["reason"] == "non_finite_loss"
+
+    def test_rollback_restores_weights_and_backs_off_lr(self):
+        health = HealthConfig(max_consecutive_bad=2, lr_backoff=0.5)
+        task = ToyTask(bad_calls={4, 5})
+        history = _run(task, steps=8, health=health)
+        assert len(history) == 8
+        # After the two-step NaN streak the guard rolled back; the
+        # post-rollback records carry the reduced learning rate.
+        assert history[-1].lr == pytest.approx(0.1 * 0.5)
+        assert np.isfinite(task.weight.data).all()
+
+    def test_unrecoverable_divergence_raises(self):
+        health = HealthConfig(max_consecutive_bad=1, max_rollbacks=1)
+        task = ToyTask(bad_calls=set(range(1, 100)))
+        with pytest.raises(TrainingDivergedError):
+            _run(task, steps=20, health=health)
