@@ -37,7 +37,7 @@ def run_corpus(corpus, tokenizer, config, text_cells_only):
     finetune(imputer, train, FinetuneConfig(epochs=10, batch_size=8,
                                             learning_rate=3e-3))
     metrics = imputer.evaluate(test)
-    predictions = imputer.predict(test)
+    predictions = [p.label for p in imputer.predict(test)]
     golds = [e.answer_text for e in test]
     tables_of = [e.table for e in test]
     return metrics, predictions, golds, tables_of

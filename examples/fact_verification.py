@@ -38,7 +38,7 @@ def main() -> None:
     # Verify a few statements and justify each verdict with saliency.
     label_names = {0: "REFUTED", 1: "ENTAILED"}
     for example in examples[:2]:
-        (prediction,) = classifier.predict([example])
+        prediction = classifier.predict([example])[0].label
         verdict = label_names[prediction]
         gold = label_names[example.label]
         print(f'Statement: "{example.statement}"')

@@ -56,7 +56,7 @@ def evaluate_corpus(name, tables, tokenizer, config):
           f"macro-F1={metrics['macro_f1']:.3f} "
           f"(gold-in-vocabulary coverage={metrics['coverage']:.2f})")
 
-    predictions = imputer.predict(test)
+    predictions = [p.label for p in imputer.predict(test)]
     golds = [e.answer_text for e in test]
     tables_of = [e.table for e in test]
     for slicer_name, slicer in (("numeric", numeric_table_slicer),

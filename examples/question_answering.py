@@ -52,13 +52,14 @@ def main() -> None:
     demos = demos or examples[:3]
     for example in demos:
         (prediction,) = qa.predict([example])
-        row, col = prediction
+        row, col = prediction.label
         gold = {example.table.cell(r, c).text()
                 for r, c in example.answer_coordinates}
         predicted = example.table.cell(row, col).text()
         marker = "✓" if predicted in gold else "✗"
         print(f"  Q: {example.question}")
-        print(f"  A: {predicted}  (cell {prediction}, gold {sorted(gold)}) {marker}\n")
+        print(f"  A: {predicted}  (cell {prediction.label}, "
+              f"gold {sorted(gold)}) {marker}\n")
 
     # Peek inside: what does the model attend to for the last question?
     table, question = demos[-1].table, demos[-1].question

@@ -27,6 +27,7 @@ from .core import (
 )
 from .runtime import TrainRecord, get_registry, profile
 from .tables import Table, TableContext, load_table
+from .tasks import Prediction, TaskPredictor
 
 __version__ = "0.1.0"
 
@@ -35,5 +36,6 @@ __all__ = [
     "create_model", "save_pretrained", "load_pretrained",
     "build_tokenizer_for_tables", "run_imputation_pipeline",
     "TrainRecord", "get_registry", "profile",
+    "Prediction", "TaskPredictor",
     "__version__",
 ]

@@ -8,11 +8,15 @@ Subcommands mirror the hands-on session's stages:
   (§3.3);
 - ``repro behavioral`` run the §2.4 behavioral battery on a model;
 - ``repro profile``    run the Fig. 1 pipeline under the tape profiler and
-  print the per-op cost table.
+  print the per-op cost table;
+- ``repro predict``    answer a JSONL file of requests through the
+  batched/cached inference engine (``repro.serve``);
+- ``repro serve``      the same engine behind a local HTTP loop.
 
-Every command is pure-stdout and deterministic given ``--seed``.  Commands
-that train accept ``--metrics-out PATH`` to capture step-level telemetry
-as a JSONL artifact (see ``repro.runtime``).  ``repro pretrain`` is
+Every command is pure-stdout and deterministic given ``--seed``.
+``encode``, ``pretrain``, ``profile``, ``predict`` and ``serve`` all
+accept ``--metrics-out PATH`` (one shared parent parser) to capture
+telemetry as a JSONL artifact (see ``repro.runtime``).  ``repro pretrain`` is
 fault-tolerant: ``--checkpoint-dir``/``--checkpoint-every`` write periodic
 full-state snapshots and ``--resume PATH`` continues an interrupted run
 bit-identically.  Operator errors (missing paths, corrupt bundles or
@@ -38,13 +42,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every telemetry-capable subcommand so the flag reads the
+    # same everywhere.
+    metrics_parent = argparse.ArgumentParser(add_help=False)
+    metrics_parent.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write telemetry events to this JSONL file")
+
     corpus = sub.add_parser("corpus", help="generate a synthetic table corpus")
     corpus.add_argument("--kind", choices=("wiki", "git"), default="wiki")
     corpus.add_argument("--size", type=int, default=20)
     corpus.add_argument("--seed", type=int, default=0)
     corpus.add_argument("--out", required=True, help="output directory")
 
-    encode = sub.add_parser("encode", help="encode a CSV table (Fig. 2a)")
+    encode = sub.add_parser("encode", help="encode a CSV table (Fig. 2a)",
+                            parents=[metrics_parent])
     encode.add_argument("table", help="path to a CSV file")
     encode.add_argument("--model", default="tapas",
                         help="model name or pretrained bundle directory")
@@ -54,7 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cells to list by attention attribution")
 
     pretrain = sub.add_parser("pretrain",
-                              help="pretrain over a corpus directory of CSVs")
+                              help="pretrain over a corpus directory of CSVs",
+                              parents=[metrics_parent])
     pretrain.add_argument("corpus", help="directory containing *.csv tables")
     pretrain.add_argument("--model", default="turl")
     pretrain.add_argument("--steps", type=int, default=60)
@@ -66,8 +79,6 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--seed", type=int, default=0)
     pretrain.add_argument("--out", required=True,
                           help="bundle output directory")
-    pretrain.add_argument("--metrics-out", default=None,
-                          help="write step telemetry to this JSONL file")
     pretrain.add_argument("--checkpoint-dir", default=None,
                           help="write periodic trainer snapshots here")
     pretrain.add_argument("--checkpoint-every", type=int, default=0,
@@ -81,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     prof = sub.add_parser(
         "profile",
-        help="run the Fig. 1 pipeline under the autograd-tape profiler")
+        help="run the Fig. 1 pipeline under the autograd-tape profiler",
+        parents=[metrics_parent])
     prof.add_argument("corpus", help="directory containing *.csv tables")
     prof.add_argument("--model", default="bert")
     prof.add_argument("--steps", type=int, default=10,
@@ -92,9 +104,6 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--dim", type=int, default=32)
     prof.add_argument("--layers", type=int, default=2)
     prof.add_argument("--seed", type=int, default=0)
-    prof.add_argument("--metrics-out", default=None,
-                      help="write step telemetry + per-op stats to this "
-                           "JSONL file")
 
     behavioral = sub.add_parser(
         "behavioral", help="run the §2.4 behavioral battery on a model")
@@ -102,6 +111,43 @@ def build_parser() -> argparse.ArgumentParser:
     behavioral.add_argument("--model", default="tapas",
                             help="model name or pretrained bundle directory")
     behavioral.add_argument("--seed", type=int, default=0)
+
+    predict = sub.add_parser(
+        "predict",
+        help="answer a JSONL request file through the inference engine",
+        parents=[metrics_parent])
+    predict.add_argument("requests", help="JSONL file; each line is "
+                         '{"task": ..., <task inputs>}')
+    predict.add_argument("corpus", help="directory containing *.csv tables "
+                         "(seeds vocabularies and the retrieval corpus)")
+    predict.add_argument("--model", default="tapas",
+                         help="model name or pretrained bundle directory")
+    predict.add_argument("--out", default=None, metavar="PATH",
+                         help="write responses to this JSONL file "
+                              "(default: stdout)")
+    predict.add_argument("--max-batch", type=int, default=8)
+    predict.add_argument("--max-wait", type=float, default=0.02,
+                         help="micro-batch deadline in seconds")
+    predict.add_argument("--cache-entries", type=int, default=128)
+    predict.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve the inference engine over local HTTP",
+        parents=[metrics_parent])
+    serve.add_argument("corpus", help="directory containing *.csv tables "
+                       "(seeds vocabularies and the retrieval corpus)")
+    serve.add_argument("--model", default="tapas",
+                       help="model name or pretrained bundle directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--max-wait", type=float, default=0.02,
+                       help="micro-batch deadline in seconds")
+    serve.add_argument("--cache-entries", type=int, default=128)
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="exit after this many HTTP requests "
+                            "(default: run forever)")
+    serve.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -183,7 +229,10 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         _fail(f"table file not found: {args.table}")
     table = load_table(args.table, title=args.context)
     model = _resolve_model(args.model, [table], args.seed)
-    encoding = model.encode(table, context=args.context or None)
+    with _metrics_scope(args.metrics_out):
+        encoding = model.encode(table, context=args.context or None)
+        attribution = attention_attribution(model, table,
+                                            context=args.context or None)
 
     print(f"table: {table}")
     print(f"model: {model.model_name} ({model.num_parameters()} parameters)")
@@ -192,9 +241,6 @@ def _cmd_encode(args: argparse.Namespace) -> int:
           f"norm={float(np.linalg.norm(encoding.table_embedding)):.3f}")
     print(f"cell embeddings: {len(encoding.cell_embeddings)}; "
           f"column embeddings: {len(encoding.column_embeddings)}")
-
-    attribution = attention_attribution(model, table,
-                                        context=args.context or None)
     print(f"\ntop-{args.top_cells} cells by [CLS] attention:")
     for (row, column), score in attribution.top_cells(args.top_cells):
         value = table.cell(row, column).text()
@@ -203,14 +249,26 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
 
 def _metrics_scope(path: str | None):
-    """Attach a JSONL sink to the global registry while the block runs."""
-    from contextlib import nullcontext
+    """Attach a JSONL sink to the global registry while the block runs.
+
+    The artifact exists afterwards even when the command emitted no
+    events, so callers can always point tooling at the path.
+    """
+    from contextlib import contextmanager, nullcontext
 
     if path is None:
         return nullcontext()
     from .runtime import JsonlSink, get_registry
 
-    return get_registry().sink_attached(JsonlSink(path))
+    @contextmanager
+    def scope():
+        sink = JsonlSink(path)
+        with get_registry().sink_attached(sink):
+            yield sink
+        if sink.events_written == 0:
+            Path(path).touch()
+
+    return scope()
 
 
 def _build_cli_config(tokenizer, dim: int, layers: int):
@@ -312,12 +370,83 @@ def _cmd_behavioral(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _build_engine(args: argparse.Namespace):
+    """Shared predict/serve bootstrap: corpus → predictors → engine."""
+    from .serve import InferenceEngine, RequestError, ServeConfig, build_predictor
+    from .serve.requests import SERVED_TASKS
+
+    tables = _load_corpus_dir(args.corpus)
+    model = _resolve_model(args.model, tables, args.seed)
+    rng = np.random.default_rng(args.seed)
+    try:
+        config = ServeConfig(max_batch=args.max_batch,
+                             max_wait_seconds=args.max_wait,
+                             cache_entries=args.cache_entries)
+        predictors = {task: build_predictor(task, model, tables, rng)
+                      for task in SERVED_TASKS}
+    except (RequestError, ValueError) as error:
+        _fail(str(error))
+    return InferenceEngine(predictors, config)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .serve import RequestError, build_example
+
+    path = Path(args.requests)
+    if not path.is_file():
+        _fail(f"request file not found: {args.requests}")
+    engine = _build_engine(args)
+    submissions = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            task = payload.get("task")
+            if not isinstance(task, str):
+                raise RequestError("missing required field 'task'")
+            submissions.append((task, build_example(task, payload)))
+        except (json.JSONDecodeError, RequestError) as error:
+            _fail(f"{args.requests}:{number}: {error}")
+    if not submissions:
+        _fail(f"no requests found in {args.requests}")
+    with _metrics_scope(args.metrics_out):
+        responses = engine.process(submissions)
+    lines = [json.dumps(r.to_dict()) for r in responses]
+    if args.out:
+        Path(args.out).write_text("\n".join(lines) + "\n")
+        print(f"answered {len(responses)} requests -> {args.out}")
+    else:
+        for line in lines:
+            print(line)
+    print(f"cache: {engine.cache.hits} hits / {engine.cache.misses} misses",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve_forever
+
+    engine = _build_engine(args)
+    print(f"serving {sorted(engine.predictors)} on "
+          f"http://{args.host}:{args.port} (POST /predict)")
+    with _metrics_scope(args.metrics_out):
+        try:
+            serve_forever(engine, args.host, args.port,
+                          max_requests=args.max_requests)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 _COMMANDS = {
     "corpus": _cmd_corpus,
     "encode": _cmd_encode,
     "pretrain": _cmd_pretrain,
     "profile": _cmd_profile,
     "behavioral": _cmd_behavioral,
+    "predict": _cmd_predict,
+    "serve": _cmd_serve,
 }
 
 

@@ -13,9 +13,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import Callable
+
 from .config import EncoderConfig
 from .structure import dense_mask
-from ..nn import Dropout, Embedding, Encoder, LayerNorm, Module, Tensor, no_grad
+from ..nn import Dropout, Embedding, Encoder, LayerNorm, Module, Tensor
 from ..serialize import (
     BatchedFeatures,
     RowMajorSerializer,
@@ -72,6 +74,10 @@ class TableEncoder(Module):
     uses_row_embeddings = False
     uses_column_embeddings = False
     uses_role_embeddings = False
+
+    # Optional repro.serve.EncodingCache reused across inference calls;
+    # attach with set_encoding_cache.
+    encoding_cache = None
 
     def __init__(self, config: EncoderConfig, tokenizer: WordPieceTokenizer,
                  rng: np.random.Generator,
@@ -166,17 +172,75 @@ class TableEncoder(Module):
     # ------------------------------------------------------------------
     # Inference API (Fig. 2a)
     # ------------------------------------------------------------------
+    def set_encoding_cache(self, cache) -> None:
+        """Attach (or detach with ``None``) a serve-layer encoding cache.
+
+        Once attached, every :meth:`infer_hidden` call — and therefore
+        every task ``predict`` path and :meth:`encode` — reuses hidden
+        states for inputs it has already encoded under the current
+        weights.
+        """
+        self.encoding_cache = cache
+
+    def infer_hidden(
+        self,
+        tables: list[Table],
+        contexts: list[str | None] | None = None,
+        feature_hook: "Callable[[int, TableFeatures, SerializedTable], None] | None" = None,
+    ) -> tuple[Tensor, list[SerializedTable]]:
+        """Batched no-grad hidden states, served from the cache when attached.
+
+        The inference twin of ``self(batch)``: serializes and featurizes
+        each table, runs the transformer under
+        :class:`~repro.nn.inference_mode` (no autograd tape), and returns
+        a right-padded ``(batch, seq, dim)`` tensor plus the serialized
+        tables for span lookup.  With an attached
+        :class:`~repro.serve.EncodingCache`, previously seen inputs skip
+        the encoder forward entirely.
+
+        Parameters
+        ----------
+        feature_hook:
+            Optional per-example mutation of the input features *before*
+            hashing and the forward pass — e.g. the imputer masking the
+            cell to fill.  Called as ``hook(index, features, serialized)``
+            and expected to edit ``features`` in place, so the cache key
+            reflects the mutated input.
+        """
+        if contexts is None:
+            contexts = [None] * len(tables)
+        if self.encoding_cache is None:
+            serialized = [self.serialize(t, c)
+                          for t, c in zip(tables, contexts)]
+            features = [self.features(s, table=t)
+                        for s, t in zip(serialized, tables)]
+        else:
+            # Repeated tables skip re-serialization too — on a cache-hit
+            # workload, tokenization rivals the forward pass in cost.
+            serialized, features = self.encoding_cache.features_for(
+                self, tables, contexts)
+        if feature_hook is not None:
+            for i, (feats, ser) in enumerate(zip(features, serialized)):
+                feature_hook(i, feats, ser)
+        with self.inference():
+            if self.encoding_cache is None:
+                batch = pad_batch(features,
+                                  pad_id=self.tokenizer.vocab.pad_id)
+                data = self.forward(batch).data
+                per_example = [data[i, : len(features[i])]
+                               for i in range(len(features))]
+            else:
+                per_example = self.encoding_cache.hidden_for(self, features)
+        seq_len = max(len(f) for f in features)
+        hidden = np.zeros((len(features), seq_len, per_example[0].shape[-1]))
+        for i, states in enumerate(per_example):
+            hidden[i, : states.shape[0]] = states
+        return Tensor(hidden), serialized
+
     def encode(self, table: Table, context: str | None = None) -> TableEncoding:
         """Encode one table into multi-granularity vectors (no gradients)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                batch, serialized_list = self.batch([table], [context])
-                hidden = self.forward(batch).data[0]
-        finally:
-            if was_training:
-                self.train()
+        hidden_batch, serialized_list = self.infer_hidden([table], [context])
+        hidden = hidden_batch.data[0]
         serialized = serialized_list[0]
 
         cell_embeddings: dict[tuple[int, int], np.ndarray] = {}

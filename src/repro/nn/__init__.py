@@ -32,11 +32,20 @@ from .optim import (
     LinearWarmupSchedule,
     clip_gradients,
 )
-from .tensor import Tensor, get_tape_hook, is_grad_enabled, no_grad, set_tape_hook
+from .tensor import (
+    Tensor,
+    get_tape_hook,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+    no_grad,
+    set_tape_hook,
+)
 from .transformer import Decoder, DecoderLayer, Encoder, EncoderLayer, FeedForward
 
 __all__ = [
-    "Tensor", "no_grad", "is_grad_enabled", "set_tape_hook", "get_tape_hook",
+    "Tensor", "no_grad", "inference_mode", "is_grad_enabled",
+    "is_inference_mode", "set_tape_hook", "get_tape_hook",
     "Module", "ModuleList", "Parameter", "InitMetadata",
     "Linear", "Embedding", "LayerNorm", "Dropout",
     "MultiHeadAttention", "causal_mask", "padding_mask",

@@ -8,12 +8,13 @@ checkpoint code in :mod:`repro.nn.io`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, inference_mode
 
 __all__ = ["Parameter", "Module", "ModuleList", "InitMetadata"]
 
@@ -124,6 +125,24 @@ class Module:
         for module in self.modules():
             object.__setattr__(module, "training", False)
         return self
+
+    @contextmanager
+    def inference(self) -> Iterator["Module"]:
+        """Run a block in serving mode: eval + tape-free fast path.
+
+        Switches the module to eval (dropout off), enters
+        :class:`~repro.nn.tensor.inference_mode` so forward passes build
+        no autograd tape, and restores the previous training mode on
+        exit.  The standard wrapper around every ``predict`` path.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with inference_mode():
+                yield self
+        finally:
+            if was_training:
+                self.train()
 
     # ------------------------------------------------------------------
     # State IO

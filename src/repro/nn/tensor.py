@@ -23,10 +23,11 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled",
-           "set_tape_hook", "get_tape_hook"]
+__all__ = ["Tensor", "no_grad", "inference_mode", "is_grad_enabled",
+           "is_inference_mode", "set_tape_hook", "get_tape_hook"]
 
 _GRAD_ENABLED = True
+_INFERENCE_MODE = False
 
 # Optional profiling hook (see repro.runtime.profiler).  When installed it
 # receives ``on_forward(op, nbytes)`` for every op creation and
@@ -69,9 +70,40 @@ class no_grad:
         _GRAD_ENABLED = self._previous
 
 
+class inference_mode:
+    """Context manager putting the op layer in its serving fast path.
+
+    Strictly stronger than :class:`no_grad`: besides disabling gradient
+    recording, every op result is built through a slim constructor that
+    retains no parents and no backward closure, skips the profiling-hook
+    check, and bypasses ``Tensor.__init__``'s dtype coercion — the tape
+    simply does not exist for the duration of the block.  Numerics are
+    untouched: forward values are bit-identical to grad mode.
+
+    Used by the serving layer (:mod:`repro.serve`) and by
+    :meth:`Module.inference`.
+    """
+
+    def __enter__(self) -> "inference_mode":
+        global _GRAD_ENABLED, _INFERENCE_MODE
+        self._previous = (_GRAD_ENABLED, _INFERENCE_MODE)
+        _GRAD_ENABLED = False
+        _INFERENCE_MODE = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED, _INFERENCE_MODE
+        _GRAD_ENABLED, _INFERENCE_MODE = self._previous
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded on the tape."""
     return _GRAD_ENABLED
+
+
+def is_inference_mode() -> bool:
+    """Return whether the inference fast path is active."""
+    return _INFERENCE_MODE
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -180,6 +212,15 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
+        if _INFERENCE_MODE:
+            out = Tensor.__new__(Tensor)
+            out.data = data
+            out.requires_grad = False
+            out.grad = None
+            out._parents = ()
+            out._backward = None
+            out._op = op
+            return out
         if _TAPE_HOOK is not None:
             _TAPE_HOOK.on_forward(op, data.nbytes)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)

@@ -8,11 +8,11 @@ from .masking import (
     mask_for_mlm,
 )
 from .objectives import masked_accuracy, mer_loss, mlm_loss
-from .trainer import Pretrainer, PretrainConfig, StepRecord, TrainerCheckpoint
+from .trainer import Pretrainer, PretrainConfig, TrainerCheckpoint
 
 __all__ = [
     "IGNORE_INDEX", "MaskedBatch", "mask_for_mlm", "mask_for_mer",
     "combine_masking",
     "mlm_loss", "mer_loss", "masked_accuracy",
-    "PretrainConfig", "Pretrainer", "StepRecord", "TrainerCheckpoint",
+    "PretrainConfig", "Pretrainer", "TrainerCheckpoint",
 ]

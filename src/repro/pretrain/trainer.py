@@ -53,7 +53,7 @@ from ..runtime import (
 )
 from ..tables import Table
 
-__all__ = ["PretrainConfig", "StepRecord", "Pretrainer", "TrainerCheckpoint"]
+__all__ = ["PretrainConfig", "Pretrainer", "TrainerCheckpoint"]
 
 TRAINER_CHECKPOINT_VERSION = 1
 _CHECKPOINT_PREFIX = "ckpt-"
@@ -95,30 +95,6 @@ class PretrainConfig:
             raise ValueError("checkpoint_every must be non-negative")
         if self.keep_checkpoints < 1:
             raise ValueError("keep_checkpoints must be positive")
-
-
-class StepRecord(TrainRecord):
-    """Deprecated alias of :class:`repro.runtime.TrainRecord`.
-
-    Accepts the legacy constructor signature (``mlm_loss``,
-    ``mer_accuracy``, ``learning_rate``, ...) and maps it onto the
-    unified record; the per-objective fields land in ``extras`` and stay
-    readable as attributes.  New code should use ``TrainRecord``.
-    """
-
-    def __init__(self, step: int, loss: float = 0.0, mlm_loss: float = 0.0,
-                 mer_loss: float = 0.0, mlm_accuracy: float = 0.0,
-                 mer_accuracy: float = 0.0, learning_rate: float = 0.0,
-                 grad_norm: float = 0.0, **kwargs) -> None:
-        warnings.warn(
-            "StepRecord is deprecated; use repro.runtime.TrainRecord",
-            DeprecationWarning, stacklevel=2)
-        extras = dict(kwargs.pop("extras", {}))
-        extras.update(mlm_loss=mlm_loss, mer_loss=mer_loss,
-                      mlm_accuracy=mlm_accuracy, mer_accuracy=mer_accuracy)
-        super().__init__(step=step, loss=loss,
-                         lr=kwargs.pop("lr", learning_rate),
-                         grad_norm=grad_norm, extras=extras, **kwargs)
 
 
 @dataclass

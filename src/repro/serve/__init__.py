@@ -1,0 +1,42 @@
+"""repro.serve — the request-oriented inference engine.
+
+Training amortizes the transformer across epochs; serving answers one
+request at a time, so the engine wins its throughput back with three
+mechanisms (each usable on its own):
+
+- :class:`~repro.nn.inference_mode` forwards that allocate no autograd
+  tape (see ``repro.nn``);
+- :class:`DynamicBatcher` — requests accumulate and flush as one padded
+  forward on a size or deadline trigger;
+- :class:`EncodingCache` — a content-addressed LRU of encoder hidden
+  states, so repeated tables skip the transformer entirely.
+
+:class:`InferenceEngine` composes all three behind ``submit``/``poll``;
+``repro serve`` (HTTP) and ``repro predict`` (batch files) are thin
+shells around it.  Throughput and hit-rate telemetry flow through the
+global :class:`~repro.runtime.MetricsRegistry` under ``serve.*``.
+"""
+
+from .batching import BatchPolicy, DynamicBatcher
+from .cache import (EncodingCache, feature_fingerprint,
+                    model_fingerprint, table_fingerprint)
+from .engine import InferenceEngine, PredictRequest, PredictResponse, ServeConfig
+from .requests import (
+    SERVED_TASKS,
+    RequestError,
+    build_example,
+    build_predictor,
+    json_safe_label,
+    parse_table,
+)
+from .server import make_server, serve_forever
+
+__all__ = [
+    "BatchPolicy", "DynamicBatcher",
+    "EncodingCache", "feature_fingerprint", "model_fingerprint",
+    "table_fingerprint",
+    "InferenceEngine", "PredictRequest", "PredictResponse", "ServeConfig",
+    "SERVED_TASKS", "RequestError", "build_example", "build_predictor",
+    "json_safe_label", "parse_table",
+    "make_server", "serve_forever",
+]

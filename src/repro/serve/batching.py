@@ -1,0 +1,87 @@
+"""Dynamic micro-batching: flush on size or deadline.
+
+Requests accumulate in a per-task queue; a batch is released as soon as
+either ``max_batch`` requests are waiting (size flush) or the oldest
+request has waited ``max_wait_seconds`` (deadline flush).  The clock is
+injectable so the deadline path is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["BatchPolicy", "DynamicBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to release a micro-batch.
+
+    ``max_batch`` bounds the padded forward; ``max_wait_seconds`` bounds
+    the queueing latency a lone request can be charged.
+    """
+
+    max_batch: int = 8
+    max_wait_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+
+
+class DynamicBatcher:
+    """A FIFO of pending items with size/deadline flush semantics."""
+
+    def __init__(self, policy: BatchPolicy | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy or BatchPolicy()
+        self.clock = clock
+        self._queue: "deque[tuple[Any, float]]" = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, item: Any) -> float:
+        """Enqueue one item; returns its arrival timestamp."""
+        arrived = self.clock()
+        self._queue.append((item, arrived))
+        return arrived
+
+    def oldest_wait(self) -> float:
+        """Seconds the head of the queue has been waiting (0 if empty)."""
+        if not self._queue:
+            return 0.0
+        return self.clock() - self._queue[0][1]
+
+    def due(self) -> bool:
+        """Whether a batch should be released right now."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.policy.max_batch:
+            return True
+        return self.oldest_wait() >= self.policy.max_wait_seconds
+
+    def next_deadline(self) -> float | None:
+        """Absolute clock time of the pending deadline flush, if any."""
+        if not self._queue:
+            return None
+        return self._queue[0][1] + self.policy.max_wait_seconds
+
+    def pop_batch(self, force: bool = False) -> list[tuple[Any, float]]:
+        """Release up to ``max_batch`` ``(item, arrival)`` pairs.
+
+        Returns an empty list unless the batch is :meth:`due` (or
+        ``force`` is set, which drains regardless — used for shutdown
+        and batch-file processing).
+        """
+        if not (force or self.due()):
+            return []
+        batch: list[tuple[Any, float]] = []
+        while self._queue and len(batch) < self.policy.max_batch:
+            batch.append(self._queue.popleft())
+        return batch

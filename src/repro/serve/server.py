@@ -1,0 +1,109 @@
+"""A minimal stdlib HTTP front-end for the inference engine.
+
+Endpoints:
+
+- ``POST /predict`` — JSON body ``{"task": ..., <task inputs>}`` (or a
+  JSON list of such objects for a client-side batch); answers with the
+  prediction(s) as JSON.
+- ``GET /healthz`` — liveness + queue/cache gauges.
+- ``GET /metrics`` — the registry's full instrument snapshot.
+
+The handler is synchronous: a POST submits its request(s) and drains the
+engine, so micro-batching shows up across the objects of one body (and
+across the encoding cache between bodies).  That keeps the server
+dependency-free and deterministic — the concurrency story of a real
+deployment (worker pools, streaming) is out of scope for the repro.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any
+
+from .engine import InferenceEngine
+from .requests import RequestError, build_example
+from ..runtime import get_registry
+
+__all__ = ["make_server", "serve_forever"]
+
+
+def _handle_predict(engine: InferenceEngine, body: Any) -> Any:
+    """Decode one POST body and answer it through the engine."""
+    single = isinstance(body, dict)
+    items = [body] if single else body
+    if not isinstance(items, list) or not items:
+        raise RequestError("body must be a request object or non-empty list")
+    submissions = []
+    for item in items:
+        if not isinstance(item, dict):
+            raise RequestError("each request must be a JSON object")
+        task = item.get("task")
+        if not isinstance(task, str):
+            raise RequestError("request is missing required field 'task'")
+        submissions.append((task, build_example(task, item)))
+    try:
+        responses = engine.process(submissions)
+    except KeyError as error:
+        raise RequestError(str(error)) from error
+    payloads = [r.to_dict() for r in responses]
+    return payloads[0] if single else payloads
+
+
+def make_server(engine: InferenceEngine, host: str = "127.0.0.1",
+                port: int = 8080) -> HTTPServer:
+    """An :class:`HTTPServer` bound to ``host:port`` serving ``engine``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args: Any) -> None:  # quiet by default
+            pass
+
+        def _reply(self, status: int, payload: Any) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._reply(200, {
+                    "status": "ok",
+                    "tasks": sorted(engine.predictors),
+                    "queue_depth": engine.queue_depth,
+                    "cache_entries": len(engine.cache),
+                    "cache_hits": engine.cache.hits,
+                    "cache_misses": engine.cache.misses,
+                })
+            elif self.path == "/metrics":
+                self._reply(200, get_registry().snapshot())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path}"})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                body = json.loads(self.rfile.read(length) or b"null")
+                self._reply(200, _handle_predict(engine, body))
+            except (json.JSONDecodeError, RequestError) as error:
+                self._reply(400, {"error": str(error)})
+
+    return HTTPServer((host, port), Handler)
+
+
+def serve_forever(engine: InferenceEngine, host: str = "127.0.0.1",
+                  port: int = 8080, max_requests: int | None = None) -> None:
+    """Run the HTTP loop; ``max_requests`` bounds it for tests/demos."""
+    server = make_server(engine, host, port)
+    try:
+        if max_requests is None:
+            server.serve_forever()
+        else:
+            for _ in range(max_requests):
+                server.handle_request()
+    finally:
+        server.server_close()

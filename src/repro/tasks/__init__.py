@@ -1,7 +1,15 @@
 """Downstream task harnesses (Fig. 1, pipeline (2): fine-tune & consume)."""
 
 from .coltype import ColumnTypePredictor, build_label_set
-from .common import FinetuneConfig, finetune, minibatches, pooled_span
+from .common import (
+    FinetuneConfig,
+    Prediction,
+    TaskPredictor,
+    finetune,
+    minibatches,
+    pooled_span,
+    predict_in_batches,
+)
 from .imputation import (
     EntityImputer,
     ValueImputer,
@@ -16,6 +24,7 @@ from .text2sql import SKETCH_AGGREGATES, SketchParser
 
 __all__ = [
     "FinetuneConfig", "finetune", "pooled_span", "minibatches",
+    "Prediction", "TaskPredictor", "predict_in_batches",
     "ValueImputer", "EntityImputer", "build_value_vocabulary",
     "build_value_vocabulary_from_tables",
     "CellSelectionQA",

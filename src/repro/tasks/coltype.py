@@ -9,11 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import pooled_span
+from .common import (
+    Prediction,
+    deprecated_predict_alias,
+    pooled_span,
+    predict_in_batches,
+)
 from ..corpus import ColumnTypeExample
 from ..eval import accuracy, macro_f1
 from ..models import ClassificationHead, TableEncoder
-from ..nn import Module, Tensor, cross_entropy, no_grad
+from ..nn import Module, Tensor, cross_entropy
 from ..pretrain import IGNORE_INDEX
 
 __all__ = ["ColumnTypePredictor", "build_label_set"]
@@ -27,6 +32,8 @@ def build_label_set(examples: list[ColumnTypeExample]) -> list[str]:
 class ColumnTypePredictor(Module):
     """Pooled-column classifier over a closed label set."""
 
+    task_name = "coltype"
+
     def __init__(self, encoder: TableEncoder, labels: list[str],
                  rng: np.random.Generator) -> None:
         if not labels:
@@ -37,10 +44,9 @@ class ColumnTypePredictor(Module):
         self.label_to_id = {l: i for i, l in enumerate(self.labels)}
         self.head = ClassificationHead(encoder.config.dim, len(self.labels), rng)
 
-    def _column_vectors(self, examples: list[ColumnTypeExample]) -> Tensor:
-        tables = [e.table for e in examples]
-        batch, serialized = self.encoder.batch(tables)
-        hidden = self.encoder(batch)
+    @staticmethod
+    def _pool_columns(hidden: Tensor, examples: list[ColumnTypeExample],
+                      serialized: list) -> Tensor:
         pooled = []
         for i, (example, table) in enumerate(zip(examples, serialized)):
             spans = [span for (row, col), span in table.cell_spans.items()
@@ -53,6 +59,12 @@ class ColumnTypePredictor(Module):
                 pooled.append(hidden[i, 0])
         return Tensor.stack(pooled)
 
+    def _column_vectors(self, examples: list[ColumnTypeExample]) -> Tensor:
+        tables = [e.table for e in examples]
+        batch, serialized = self.encoder.batch(tables)
+        hidden = self.encoder(batch)
+        return self._pool_columns(hidden, examples, serialized)
+
     def logits(self, examples: list[ColumnTypeExample]) -> Tensor:
         return self.head(self._column_vectors(examples))
 
@@ -64,19 +76,34 @@ class ColumnTypePredictor(Module):
         return cross_entropy(self.logits(examples), targets,
                              ignore_index=IGNORE_INDEX)
 
-    def predict(self, examples: list[ColumnTypeExample]) -> list[str]:
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                indices = self.logits(examples).data.argmax(axis=-1)
-        finally:
-            if was_training:
-                self.train()
-        return [self.labels[int(i)] for i in indices]
+    def _predict_batch(self, examples: list[ColumnTypeExample]
+                       ) -> list[Prediction]:
+        tables = [e.table for e in examples]
+        hidden, serialized = self.encoder.infer_hidden(tables)
+        pooled = self._pool_columns(hidden, examples, serialized)
+        logits = self.head(pooled).data
+        probabilities = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        probabilities /= probabilities.sum(axis=-1, keepdims=True)
+        indices = logits.argmax(axis=-1)
+        return [
+            Prediction(label=self.labels[int(index)],
+                       score=float(probabilities[i, index]))
+            for i, index in enumerate(indices)
+        ]
+
+    def predict(self, examples: list[ColumnTypeExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Predicted semantic column types with softmax confidence."""
+        return predict_in_batches(self, examples, batch_size,
+                                  self._predict_batch)
+
+    def predict_labels(self, examples: list[ColumnTypeExample]) -> list[str]:
+        """Deprecated pre-protocol surface: bare label strings."""
+        deprecated_predict_alias("ColumnTypePredictor.predict_labels")
+        return [p.label for p in self.predict(examples)]
 
     def evaluate(self, examples: list[ColumnTypeExample]) -> dict[str, float]:
-        predictions = self.predict(examples)
+        predictions = [p.label for p in self.predict(examples)]
         golds = [e.label for e in examples]
         return {
             "accuracy": accuracy(predictions, golds),

@@ -1,15 +1,25 @@
-"""Shared fine-tuning machinery: span pooling, minibatching, the loop.
+"""Shared task machinery: the predict protocol, span pooling, the loop.
 
 Fine-tuning (Fig. 1, pipeline (2)) is identical across tasks: minibatch
 examples, compute a task loss on top of encoder representations, Adam-step.
 Task modules implement ``loss(examples) -> Tensor`` and plug into
 :func:`finetune`.
+
+Consumption (Fig. 1, the serve side) is unified the same way: every task
+class implements the :class:`TaskPredictor` protocol —
+``predict(examples, *, batch_size) -> list[Prediction]`` — which is the
+single contract :mod:`repro.serve` dispatches through.  The shared
+:class:`Prediction` record carries the task-specific label (a cell
+coordinate, a class id, a value string, a table id, a SQL sketch), a
+confidence score, and free-form extras.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -23,7 +33,64 @@ from ..runtime import (
     emit_train_record,
 )
 
-__all__ = ["FinetuneConfig", "finetune", "pooled_span", "minibatches"]
+__all__ = [
+    "Prediction", "TaskPredictor", "predict_in_batches",
+    "FinetuneConfig", "finetune", "pooled_span", "minibatches",
+]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One task answer: label, confidence, optional extras.
+
+    ``label`` is task-shaped — ``(row, column)`` for cell-selection QA,
+    an ``int`` class for NLI, a value string for imputation, a label
+    string for column typing, a table id for retrieval, a
+    :class:`~repro.sql.SelectQuery` (or ``None``) for text-to-SQL.
+    """
+
+    label: Any
+    score: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class TaskPredictor(Protocol):
+    """The unified inference contract every task class implements.
+
+    ``predict`` accepts that task's example type, runs in eval mode with
+    no autograd tape, chunks work into ``batch_size`` micro-batches, and
+    returns one :class:`Prediction` per example, in order.
+    """
+
+    task_name: str
+
+    def predict(self, examples: list, *,
+                batch_size: int = 16) -> list["Prediction"]:
+        ...
+
+
+def predict_in_batches(module, examples: list, batch_size: int,
+                       predict_batch: Callable[[list], list[Prediction]]
+                       ) -> list[Prediction]:
+    """Standard ``predict`` driver: inference scope + fixed-size chunks."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    predictions: list[Prediction] = []
+    if not examples:
+        return predictions
+    with module.inference():
+        for start in range(0, len(examples), batch_size):
+            predictions.extend(predict_batch(examples[start:start + batch_size]))
+    return predictions
+
+
+def deprecated_predict_alias(old_name: str) -> None:
+    """Warn that a pre-protocol inference method was called."""
+    warnings.warn(
+        f"{old_name} is deprecated; use predict(examples) -> list[Prediction] "
+        "and read .label from each prediction",
+        DeprecationWarning, stacklevel=3)
 
 # How many healthy steps between refreshes of the in-memory rollback
 # snapshot the health guard falls back to after a bad-step streak.

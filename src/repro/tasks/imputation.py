@@ -17,11 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import pooled_span
+from .common import (
+    Prediction,
+    deprecated_predict_alias,
+    pooled_span,
+    predict_in_batches,
+)
 from ..corpus import ImputationExample
 from ..eval import accuracy, macro_f1
 from ..models import ClassificationHead, TableEncoder, Turl
-from ..nn import Module, Tensor, cross_entropy, no_grad
+from ..nn import Module, Tensor, cross_entropy
 from ..pretrain import IGNORE_INDEX
 
 __all__ = ["ValueImputer", "EntityImputer", "build_value_vocabulary",
@@ -88,9 +93,35 @@ class _ImputerBase(Module):
         hidden = self.encoder(batch)
         return hidden, spans
 
+    def _infer_pooled(self, examples: list[ImputationExample]) -> Tensor:
+        """Pooled blank-span vectors via the cache-aware inference path.
+
+        The ``[MASK]`` substitution happens through ``infer_hidden``'s
+        feature hook so the cache key covers the masked span — repeated
+        queries against the same (table, cell) hit, different cells of
+        the same table do not collide.
+        """
+        tables = [e.table for e in examples]
+        mask_id = self.encoder.tokenizer.vocab.mask_id
+
+        def mask_blank(i, features, serialized):
+            example = examples[i]
+            start, end = serialized.cell_spans.get(
+                (example.row, example.column), (0, 0))
+            features.token_ids[start:end] = mask_id
+
+        hidden, serialized = self.encoder.infer_hidden(
+            tables, feature_hook=mask_blank)
+        spans = [s.cell_spans.get((e.row, e.column), (0, 0))
+                 for e, s in zip(examples, serialized)]
+        return Tensor.stack(
+            [pooled_span(hidden, i, span) for i, span in enumerate(spans)])
+
 
 class ValueImputer(_ImputerBase):
     """Classify the blanked cell over a closed value vocabulary."""
+
+    task_name = "imputation"
 
     def __init__(self, encoder: TableEncoder, value_vocabulary: list[str],
                  rng: np.random.Generator) -> None:
@@ -116,21 +147,32 @@ class ValueImputer(_ImputerBase):
         return cross_entropy(self.logits(examples), targets,
                              ignore_index=IGNORE_INDEX)
 
-    def predict(self, examples: list[ImputationExample]) -> list[str]:
-        """Predicted value strings."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                indices = self.logits(examples).data.argmax(axis=-1)
-        finally:
-            if was_training:
-                self.train()
-        return [self.values[int(i)] for i in indices]
+    def _predict_batch(self, examples: list[ImputationExample]
+                       ) -> list[Prediction]:
+        logits = self.head(self._infer_pooled(examples)).data
+        probabilities = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        probabilities /= probabilities.sum(axis=-1, keepdims=True)
+        indices = logits.argmax(axis=-1)
+        return [
+            Prediction(label=self.values[int(index)],
+                       score=float(probabilities[i, index]))
+            for i, index in enumerate(indices)
+        ]
+
+    def predict(self, examples: list[ImputationExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Predicted value strings with their softmax confidence."""
+        return predict_in_batches(self, examples, batch_size,
+                                  self._predict_batch)
+
+    def predict_labels(self, examples: list[ImputationExample]) -> list[str]:
+        """Deprecated pre-protocol surface: bare value strings."""
+        deprecated_predict_alias("ValueImputer.predict_labels")
+        return [p.label for p in self.predict(examples)]
 
     def evaluate(self, examples: list[ImputationExample]) -> dict[str, float]:
         """Accuracy and macro-F1 over gold values (hands-on §3.4 metric)."""
-        predictions = self.predict(examples)
+        predictions = [p.label for p in self.predict(examples)]
         golds = [e.answer_text for e in examples]
         return {
             "accuracy": accuracy(predictions, golds),
@@ -142,6 +184,8 @@ class ValueImputer(_ImputerBase):
 
 class EntityImputer(_ImputerBase):
     """Recover the blanked cell's entity with TURL's MER head."""
+
+    task_name = "entity_imputation"
 
     def __init__(self, encoder: Turl) -> None:
         if not isinstance(encoder, Turl):
@@ -163,23 +207,35 @@ class EntityImputer(_ImputerBase):
         return cross_entropy(self._entity_logits(examples), targets,
                              ignore_index=IGNORE_INDEX)
 
-    def predict(self, examples: list[ImputationExample]) -> list[int | None]:
-        """Predicted KB entity ids (None when the no-entity slot wins)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                slots = self._entity_logits(examples).data.argmax(axis=-1)
-        finally:
-            if was_training:
-                self.train()
-        return [int(s) - 1 if int(s) > 0 else None for s in slots]
+    def _predict_batch(self, examples: list[ImputationExample]
+                       ) -> list[Prediction]:
+        logits = self.encoder.mer_head(self._infer_pooled(examples)).data
+        probabilities = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        probabilities /= probabilities.sum(axis=-1, keepdims=True)
+        slots = logits.argmax(axis=-1)
+        return [
+            Prediction(label=int(slot) - 1 if int(slot) > 0 else None,
+                       score=float(probabilities[i, slot]))
+            for i, slot in enumerate(slots)
+        ]
+
+    def predict(self, examples: list[ImputationExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Predicted KB entity ids (``label=None`` for the no-entity slot)."""
+        return predict_in_batches(self, examples, batch_size,
+                                  self._predict_batch)
+
+    def predict_labels(self, examples: list[ImputationExample]
+                       ) -> list[int | None]:
+        """Deprecated pre-protocol surface: bare entity ids."""
+        deprecated_predict_alias("EntityImputer.predict_labels")
+        return [p.label for p in self.predict(examples)]
 
     def evaluate(self, examples: list[ImputationExample]) -> dict[str, float]:
         scored = [e for e in examples if e.answer_entity_id is not None]
         if not scored:
             return {"accuracy": 0.0, "macro_f1": 0.0}
-        predictions = self.predict(scored)
+        predictions = [p.label for p in self.predict(scored)]
         golds = [e.answer_entity_id for e in scored]
         return {
             "accuracy": accuracy(predictions, golds),

@@ -8,16 +8,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from .common import Prediction, deprecated_predict_alias, predict_in_batches
 from ..corpus import NLIExample
 from ..eval import accuracy, precision_recall_f1
 from ..models import ClassificationHead, TableEncoder
-from ..nn import Module, Tensor, cross_entropy, no_grad
+from ..nn import Module, Tensor, cross_entropy
 
 __all__ = ["NliClassifier"]
 
 
 class NliClassifier(Module):
     """Binary entailment classifier over (statement, table) pairs."""
+
+    task_name = "nli"
 
     def __init__(self, encoder: TableEncoder, rng: np.random.Generator) -> None:
         super().__init__()
@@ -35,19 +38,33 @@ class NliClassifier(Module):
         targets = np.array([e.label for e in examples], dtype=np.int64)
         return cross_entropy(self.logits(examples), targets)
 
-    def predict(self, examples: list[NLIExample]) -> list[int]:
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                predictions = self.logits(examples).data.argmax(axis=-1)
-        finally:
-            if was_training:
-                self.train()
-        return [int(p) for p in predictions]
+    def _predict_batch(self, examples: list[NLIExample]) -> list[Prediction]:
+        tables = [e.table for e in examples]
+        statements = [e.statement for e in examples]
+        hidden, _ = self.encoder.infer_hidden(tables, statements)
+        logits = self.head(hidden[:, 0]).data
+        probabilities = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        probabilities /= probabilities.sum(axis=-1, keepdims=True)
+        labels = logits.argmax(axis=-1)
+        return [
+            Prediction(label=int(label), score=float(probabilities[i, label]),
+                       extras={"probabilities": probabilities[i].tolist()})
+            for i, label in enumerate(labels)
+        ]
+
+    def predict(self, examples: list[NLIExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Entail(1)/refute(0) verdict with its softmax confidence."""
+        return predict_in_batches(self, examples, batch_size,
+                                  self._predict_batch)
+
+    def predict_labels(self, examples: list[NLIExample]) -> list[int]:
+        """Deprecated pre-protocol surface: bare 0/1 labels."""
+        deprecated_predict_alias("NliClassifier.predict_labels")
+        return [p.label for p in self.predict(examples)]
 
     def evaluate(self, examples: list[NLIExample]) -> dict[str, float]:
-        predictions = self.predict(examples)
+        predictions = [p.label for p in self.predict(examples)]
         golds = [e.label for e in examples]
         precision, recall, f1 = precision_recall_f1(predictions, golds)
         return {

@@ -10,15 +10,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from .common import Prediction, deprecated_predict_alias, predict_in_batches
 from ..corpus import QAExample
 from ..models import CellSelectionHead, TableEncoder, Tapas
-from ..nn import Module, Tensor, no_grad
+from ..nn import Module, Tensor
 
 __all__ = ["CellSelectionQA"]
 
 
 class CellSelectionQA(Module):
     """Encoder + cell-selection head fine-tuned on QA examples."""
+
+    task_name = "qa"
 
     def __init__(self, encoder: TableEncoder, rng: np.random.Generator) -> None:
         super().__init__()
@@ -60,31 +63,44 @@ class CellSelectionQA(Module):
         return per_token.sum() * (1.0 / total_weight)
 
     # ------------------------------------------------------------------
-    def predict(self, examples: list[QAExample]) -> list[tuple[int, int] | None]:
-        """Top-scoring cell per example (None if no cells serialized)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                scores, serialized = self._forward(examples)
-        finally:
-            if was_training:
-                self.train()
-        predictions: list[tuple[int, int] | None] = []
+    # Inference (TaskPredictor protocol)
+    # ------------------------------------------------------------------
+    def _predict_batch(self, examples: list[QAExample]) -> list[Prediction]:
+        tables = [e.table for e in examples]
+        questions = [e.question for e in examples]
+        hidden, serialized = self.encoder.infer_hidden(tables, questions)
+        scores = self.head.token_scores(hidden)
+        predictions: list[Prediction] = []
         for i, table in enumerate(serialized):
             best, best_score = None, -np.inf
+            cells = 0
             for coord, (start, end) in table.cell_spans.items():
                 if end <= start:
                     continue
+                cells += 1
                 score = float(scores.data[i, start:end].mean())
                 if score > best_score:
                     best, best_score = coord, score
-            predictions.append(best)
+            predictions.append(Prediction(
+                label=best, score=0.0 if best is None else best_score,
+                extras={"cells_scored": cells}))
         return predictions
+
+    def predict(self, examples: list[QAExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Top-scoring cell per example (``label=None`` without cells)."""
+        return predict_in_batches(self, examples, batch_size,
+                                  self._predict_batch)
+
+    def predict_labels(self, examples: list[QAExample]
+                       ) -> list[tuple[int, int] | None]:
+        """Deprecated pre-protocol surface: bare coordinates."""
+        deprecated_predict_alias("CellSelectionQA.predict_labels")
+        return [p.label for p in self.predict(examples)]
 
     def evaluate(self, examples: list[QAExample]) -> dict[str, float]:
         """Cell hit rate and denotation-value hit rate."""
-        predictions = self.predict(examples)
+        predictions = [p.label for p in self.predict(examples)]
         cell_hits = value_hits = 0
         for example, predicted in zip(examples, predictions):
             if predicted is None:

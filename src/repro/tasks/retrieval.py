@@ -14,10 +14,11 @@ from collections import Counter
 
 import numpy as np
 
+from .common import Prediction, predict_in_batches
 from ..corpus import RetrievalExample
 from ..eval import hits_at_k, mean_reciprocal_rank
 from ..models import TableEncoder
-from ..nn import Module, Tensor, in_batch_contrastive_loss, no_grad
+from ..nn import Module, Tensor, in_batch_contrastive_loss
 from ..tables import Table
 from ..text import word_tokenize
 
@@ -28,6 +29,8 @@ _EMPTY_TABLE = Table([], [])
 
 class BiEncoderRetriever(Module):
     """Shared-encoder dense retriever over a fixed table corpus."""
+
+    task_name = "retrieval"
 
     def __init__(self, encoder: TableEncoder,
                  corpus: list[Table] | None = None) -> None:
@@ -64,32 +67,56 @@ class BiEncoderRetriever(Module):
 
     # ------------------------------------------------------------------
     def index(self, tables: list[Table]) -> tuple[np.ndarray, list[str]]:
-        """Embed a corpus; returns (normalized matrix, aligned table ids)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                vectors = self._table_cls(tables).data
-        finally:
-            if was_training:
-                self.train()
+        """Embed a corpus; returns (normalized matrix, aligned table ids).
+
+        Runs through the cache-aware inference path, so re-indexing an
+        unchanged corpus is free once an encoding cache is attached.
+        """
+        hidden, _ = self.encoder.infer_hidden(tables)
+        vectors = hidden.data[:, 0]
         norms = np.linalg.norm(vectors, axis=-1, keepdims=True) + 1e-9
         return vectors / norms, [t.table_id for t in tables]
+
+    def _query_vectors(self, queries: list[str]) -> np.ndarray:
+        hidden, _ = self.encoder.infer_hidden(
+            [_EMPTY_TABLE] * len(queries), queries)
+        vectors = hidden.data[:, 0]
+        return vectors / (np.linalg.norm(vectors, axis=-1, keepdims=True)
+                          + 1e-9)
 
     def rank(self, query: str, index: tuple[np.ndarray, list[str]]) -> list[str]:
         """Corpus table ids sorted by descending cosine similarity."""
         matrix, ids = index
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                vector = self._query_cls([query]).data[0]
-        finally:
-            if was_training:
-                self.train()
-        vector = vector / (np.linalg.norm(vector) + 1e-9)
-        scores = matrix @ vector
+        scores = matrix @ self._query_vectors([query])[0]
         return [ids[i] for i in np.argsort(-scores)]
+
+    # ------------------------------------------------------------------
+    # Inference (TaskPredictor protocol)
+    # ------------------------------------------------------------------
+    def predict(self, examples: list[RetrievalExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Best-matching bound-corpus table per query.
+
+        Requires :meth:`bind_corpus`; ``label`` is the top table id and
+        ``extras["ranking"]`` carries the top-5 ids in order.
+        """
+        if not self._tables_by_id:
+            raise ValueError("bind_corpus() must be called before predict")
+        index = self.index(list(self._tables_by_id.values()))
+        matrix, ids = index
+
+        def rank_batch(chunk: list[RetrievalExample]) -> list[Prediction]:
+            vectors = self._query_vectors([e.query for e in chunk])
+            scores = vectors @ matrix.T
+            predictions = []
+            for row in scores:
+                order = np.argsort(-row)
+                predictions.append(Prediction(
+                    label=ids[int(order[0])], score=float(row[order[0]]),
+                    extras={"ranking": [ids[int(i)] for i in order[:5]]}))
+            return predictions
+
+        return predict_in_batches(self, examples, batch_size, rank_batch)
 
     def evaluate(self, examples: list[RetrievalExample],
                  tables: list[Table]) -> dict[str, float]:

@@ -17,11 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import pooled_span
+from .common import (
+    Prediction,
+    deprecated_predict_alias,
+    pooled_span,
+    predict_in_batches,
+)
 from ..corpus import Text2SqlExample
 from ..eval import denotation_accuracy
 from ..models import ClassificationHead, TableEncoder
-from ..nn import Linear, Module, Tensor, cross_entropy, no_grad
+from ..nn import Linear, Module, Tensor, cross_entropy
 from ..sql import Aggregate, Comparator, Condition, ExecutionError, SelectQuery, execute
 
 __all__ = ["SketchParser", "SKETCH_AGGREGATES"]
@@ -31,6 +36,8 @@ SKETCH_AGGREGATES = (Aggregate.NONE, Aggregate.COUNT, Aggregate.MIN, Aggregate.M
 
 class SketchParser(Module):
     """Pointer-network-style sketch filler on top of a table encoder."""
+
+    task_name = "text2sql"
 
     def __init__(self, encoder: TableEncoder, rng: np.random.Generator) -> None:
         super().__init__()
@@ -123,58 +130,75 @@ class SketchParser(Module):
         return total * (1.0 / len(losses))
 
     # ------------------------------------------------------------------
-    def predict(self, examples: list[Text2SqlExample]) -> list[SelectQuery | None]:
-        """Predicted sketches (None when the table has no named headers)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with no_grad():
-                hidden, serialized = self._encode(examples)
-                predictions: list[SelectQuery | None] = []
-                for i, (example, table) in enumerate(zip(examples, serialized)):
-                    headers = self._header_spans(table)
-                    if not headers:
-                        predictions.append(None)
-                        continue
-                    columns = [c for c, _ in headers]
-                    spans = [span for _, span in headers]
+    # Inference (TaskPredictor protocol)
+    # ------------------------------------------------------------------
+    def _predict_batch(self, examples: list[Text2SqlExample]
+                       ) -> list[Prediction]:
+        tables = [e.table for e in examples]
+        questions = [e.question for e in examples]
+        hidden, serialized = self.encoder.infer_hidden(tables, questions)
+        predictions: list[Prediction] = []
+        for i, (example, table) in enumerate(zip(examples, serialized)):
+            headers = self._header_spans(table)
+            if not headers:
+                predictions.append(Prediction(label=None))
+                continue
+            columns = [c for c, _ in headers]
+            spans = [span for _, span in headers]
 
-                    agg_index = int(self.aggregate_head(hidden[i, 0]
-                                                        .reshape(1, -1)).data.argmax())
-                    aggregate = SKETCH_AGGREGATES[agg_index]
-                    select_logits = self._span_logits(hidden, i, spans,
-                                                      self.select_scorer).data
-                    select_col = columns[int(select_logits.argmax())]
+            agg_index = int(self.aggregate_head(hidden[i, 0]
+                                                .reshape(1, -1)).data.argmax())
+            aggregate = SKETCH_AGGREGATES[agg_index]
+            select_logits = self._span_logits(hidden, i, spans,
+                                              self.select_scorer).data
+            select_probs = np.exp(select_logits - select_logits.max())
+            select_probs /= select_probs.sum()
+            select_index = int(select_logits.argmax())
+            select_col = columns[select_index]
 
-                    conditions: tuple[Condition, ...] = ()
-                    has_cond = int(self.has_condition_head(
-                        hidden[i, 0].reshape(1, -1)).data.argmax())
-                    if has_cond:
-                        cond_logits = self._span_logits(hidden, i, spans,
-                                                        self.condition_scorer).data
-                        cond_col = columns[int(cond_logits.argmax())]
-                        value_cells = sorted(
-                            (row, span) for (row, col), span
-                            in table.cell_spans.items() if col == cond_col)
-                        if value_cells:
-                            value_logits = self._span_logits(
-                                hidden, i, [span for _, span in value_cells],
-                                self.value_scorer).data
-                            row = value_cells[int(value_logits.argmax())][0]
-                            value = example.table.cell(row, cond_col).text()
-                            conditions = (Condition(
-                                example.table.header[cond_col],
-                                Comparator.EQ, value),)
-                    predictions.append(SelectQuery(
-                        example.table.header[select_col], aggregate, conditions))
-        finally:
-            if was_training:
-                self.train()
+            conditions: tuple[Condition, ...] = ()
+            has_cond = int(self.has_condition_head(
+                hidden[i, 0].reshape(1, -1)).data.argmax())
+            if has_cond:
+                cond_logits = self._span_logits(hidden, i, spans,
+                                                self.condition_scorer).data
+                cond_col = columns[int(cond_logits.argmax())]
+                value_cells = sorted(
+                    (row, span) for (row, col), span
+                    in table.cell_spans.items() if col == cond_col)
+                if value_cells:
+                    value_logits = self._span_logits(
+                        hidden, i, [span for _, span in value_cells],
+                        self.value_scorer).data
+                    row = value_cells[int(value_logits.argmax())][0]
+                    value = example.table.cell(row, cond_col).text()
+                    conditions = (Condition(
+                        example.table.header[cond_col],
+                        Comparator.EQ, value),)
+            predictions.append(Prediction(
+                label=SelectQuery(example.table.header[select_col],
+                                  aggregate, conditions),
+                score=float(select_probs[select_index])))
         return predictions
+
+    def predict(self, examples: list[Text2SqlExample], *,
+                batch_size: int = 16) -> list[Prediction]:
+        """Predicted sketches (``label=None`` without named headers).
+
+        ``score`` is the select-column softmax confidence.
+        """
+        return predict_in_batches(self, examples, batch_size,
+                                  self._predict_batch)
+
+    def predict_labels(self, examples: list[Text2SqlExample]
+                       ) -> list[SelectQuery | None]:
+        """Deprecated pre-protocol surface: bare sketches."""
+        deprecated_predict_alias("SketchParser.predict_labels")
+        return [p.label for p in self.predict(examples)]
 
     def evaluate(self, examples: list[Text2SqlExample]) -> dict[str, float]:
         """Sketch exact-match and executed denotation accuracy."""
-        predictions = self.predict(examples)
+        predictions = [p.label for p in self.predict(examples)]
         exact = 0
         predicted_denotations, gold_denotations = [], []
         for example, predicted in zip(examples, predictions):

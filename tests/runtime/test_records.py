@@ -1,4 +1,4 @@
-"""Tests for the unified TrainRecord and the StepRecord migration path."""
+"""Tests for the unified TrainRecord."""
 
 import pytest
 
@@ -57,18 +57,17 @@ class TestTrainRecord:
         assert TrainRecord(step=0, loss=1.0) != TrainRecord(step=0, loss=2.0)
 
 
-class TestStepRecordAlias:
-    def test_is_deprecated_trainrecord(self):
-        from repro.pretrain import StepRecord
+class TestPackageExports:
+    def test_step_record_alias_removed(self):
+        import repro.pretrain
 
-        with pytest.deprecated_call():
-            record = StepRecord(step=2, loss=3.0, mlm_loss=2.5, mer_loss=0.5,
-                                mlm_accuracy=0.25, mer_accuracy=0.125,
-                                learning_rate=1e-3, grad_norm=0.9)
-        assert isinstance(record, TrainRecord)
-        assert record.loss == 3.0
-        assert record.lr == 1e-3
-        assert record.learning_rate == 1e-3
-        assert record.mlm_loss == 2.5
-        assert record.mer_accuracy == 0.125
-        assert record.grad_norm == 0.9
+        assert not hasattr(repro.pretrain, "StepRecord")
+        with pytest.raises(ImportError):
+            from repro.pretrain import StepRecord  # noqa: F401
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.TrainRecord is TrainRecord
+        from repro.tasks import Prediction
+        assert repro.Prediction is Prediction

@@ -1,0 +1,36 @@
+"""Shared fixtures for serving tests: a tiny corpus and encoder."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig, TableBert
+from repro.text import train_tokenizer
+
+
+@pytest.fixture(scope="session")
+def serve_tables():
+    return generate_wiki_corpus(KnowledgeBase(seed=0), 8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def serve_tokenizer(serve_tables):
+    texts = []
+    for table in serve_tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        texts.extend(cell.text() for _, _, cell in table.iter_cells())
+    return train_tokenizer(texts, vocab_size=600)
+
+
+@pytest.fixture(scope="session")
+def serve_config(serve_tokenizer):
+    return EncoderConfig(
+        vocab_size=len(serve_tokenizer.vocab), dim=16, num_heads=2,
+        num_layers=1, hidden_dim=32, max_position=160, num_entities=64,
+    )
+
+
+@pytest.fixture
+def encoder(serve_config, serve_tokenizer):
+    return TableBert(serve_config, serve_tokenizer, np.random.default_rng(0))

@@ -1,0 +1,101 @@
+"""DynamicBatcher flush semantics under a controllable fake clock."""
+
+import pytest
+
+from repro.serve import BatchPolicy, DynamicBatcher
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_seconds=-1.0)
+
+
+class TestDeadlineFlush:
+    def test_not_due_before_deadline(self, clock):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8,
+                                             max_wait_seconds=0.5),
+                                 clock=clock)
+        batcher.push("a")
+        clock.advance(0.49)
+        assert not batcher.due()
+        assert batcher.pop_batch() == []
+
+    def test_due_at_deadline(self, clock):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8,
+                                             max_wait_seconds=0.5),
+                                 clock=clock)
+        batcher.push("a")
+        clock.advance(0.5)
+        assert batcher.due()
+        [(item, arrived)] = batcher.pop_batch()
+        assert item == "a"
+        assert arrived == 0.0
+        assert len(batcher) == 0
+
+    def test_deadline_tracks_oldest(self, clock):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8,
+                                             max_wait_seconds=0.5),
+                                 clock=clock)
+        batcher.push("old")
+        clock.advance(0.3)
+        batcher.push("young")
+        assert batcher.next_deadline() == pytest.approx(0.5)
+        assert batcher.oldest_wait() == pytest.approx(0.3)
+        clock.advance(0.2)
+        # Deadline flush carries the whole queue, not just the old item.
+        assert [item for item, _ in batcher.pop_batch()] == ["old", "young"]
+
+
+class TestSizeFlush:
+    def test_full_batch_releases_immediately(self, clock):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=3,
+                                             max_wait_seconds=10.0),
+                                 clock=clock)
+        for item in "abc":
+            batcher.push(item)
+        assert batcher.due()
+        assert [item for item, _ in batcher.pop_batch()] == ["a", "b", "c"]
+
+    def test_remainder_waits(self, clock):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=2,
+                                             max_wait_seconds=10.0),
+                                 clock=clock)
+        for item in "abc":
+            batcher.push(item)
+        assert [item for item, _ in batcher.pop_batch()] == ["a", "b"]
+        # "c" alone is below max_batch and under its deadline.
+        assert not batcher.due()
+        assert len(batcher) == 1
+
+    def test_force_drains_regardless(self, clock):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8,
+                                             max_wait_seconds=10.0),
+                                 clock=clock)
+        batcher.push("a")
+        assert [item for item, _ in batcher.pop_batch(force=True)] == ["a"]
+
+    def test_empty_queue(self, clock):
+        batcher = DynamicBatcher(clock=clock)
+        assert not batcher.due()
+        assert batcher.oldest_wait() == 0.0
+        assert batcher.next_deadline() is None
+        assert batcher.pop_batch(force=True) == []

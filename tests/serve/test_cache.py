@@ -1,0 +1,148 @@
+"""EncodingCache: hits, LRU eviction, fingerprint invalidation, dedup."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import MetricsRegistry, using_registry
+from repro.serve import (EncodingCache, feature_fingerprint,
+                         model_fingerprint, table_fingerprint)
+from repro.tables import Table
+
+
+def _features(encoder, table, context=None):
+    serialized = encoder.serialize(table, context)
+    return encoder.features(serialized, table=table)
+
+
+class TestFingerprints:
+    def test_feature_fingerprint_is_content_addressed(self, encoder,
+                                                      serve_tables):
+        a = feature_fingerprint(_features(encoder, serve_tables[0]))
+        b = feature_fingerprint(_features(encoder, serve_tables[0]))
+        c = feature_fingerprint(_features(encoder, serve_tables[1]))
+        assert a == b
+        assert a != c
+
+    def test_context_changes_fingerprint(self, encoder, serve_tables):
+        plain = feature_fingerprint(_features(encoder, serve_tables[0]))
+        with_q = feature_fingerprint(
+            _features(encoder, serve_tables[0], "what is this?"))
+        assert plain != with_q
+
+    def test_table_fingerprint_ignores_table_id(self, serve_tables):
+        table = serve_tables[0]
+        twin = Table(table.header, table.rows, table.context, "other-id")
+        assert table_fingerprint(table) == table_fingerprint(twin)
+        assert table_fingerprint(table) != table_fingerprint(
+            table, "a question")
+        assert table_fingerprint(table) != table_fingerprint(serve_tables[1])
+
+    def test_model_fingerprint_tracks_weights(self, encoder):
+        before = model_fingerprint(encoder)
+        assert before == model_fingerprint(encoder)
+        name, param = next(iter(encoder.named_parameters()))
+        param.data = param.data + 1e-3
+        assert model_fingerprint(encoder) != before
+
+
+class TestLookupStore:
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError):
+            EncodingCache(max_entries=0)
+
+    def test_lru_eviction_order(self):
+        cache = EncodingCache(max_entries=2)
+        one, two, three = (("m", k) for k in "abc")
+        cache.store(one, np.zeros(1))
+        cache.store(two, np.zeros(1))
+        cache.lookup(one)                     # refresh: two is now LRU
+        cache.store(three, np.zeros(1))
+        assert cache.lookup(two) is None
+        assert cache.lookup(one) is not None
+        assert cache.lookup(three) is not None
+        assert cache.evictions == 1
+
+
+class TestHiddenFor:
+    def test_hit_skips_encoder_forward(self, encoder, serve_tables):
+        cache = EncodingCache()
+        features = [_features(encoder, serve_tables[0])]
+        with encoder.inference():
+            first = cache.hidden_for(encoder, features)
+            calls = {"n": 0}
+            original = encoder.forward
+
+            def counting(batch):
+                calls["n"] += 1
+                return original(batch)
+
+            encoder.forward = counting
+            second = cache.hidden_for(encoder, features)
+        assert calls["n"] == 0
+        assert cache.hits == 1 and cache.misses == 1
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_weight_update_invalidates(self, encoder, serve_tables):
+        cache = EncodingCache()
+        features = [_features(encoder, serve_tables[0])]
+        with encoder.inference():
+            cache.hidden_for(encoder, features)
+            name, param = next(iter(encoder.named_parameters()))
+            param.data = param.data + 1e-3
+            cache.hidden_for(encoder, features)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_within_batch_dedup(self, encoder, serve_tables):
+        cache = EncodingCache()
+        features = [_features(encoder, serve_tables[0]) for _ in range(3)]
+        features.append(_features(encoder, serve_tables[1]))
+        with encoder.inference():
+            out = cache.hidden_for(encoder, features)
+        # 3 identical requests cost one forward row: 2 in-flight hits.
+        assert cache.misses == 2 and cache.hits == 2
+        np.testing.assert_array_equal(out[0], out[1])
+        np.testing.assert_array_equal(out[0], out[2])
+        assert out[0].shape != out[3].shape or not np.array_equal(out[0],
+                                                                  out[3])
+
+    def test_features_memo_skips_serialization(self, encoder, serve_tables):
+        cache = EncodingCache()
+        tables = [serve_tables[0], serve_tables[0]]
+        first_ser, first_feats = cache.features_for(encoder, tables,
+                                                    [None, None])
+        calls = {"n": 0}
+        original = encoder.serialize
+
+        def counting(table, context=None):
+            calls["n"] += 1
+            return original(table, context)
+
+        encoder.serialize = counting
+        second_ser, second_feats = cache.features_for(encoder, tables,
+                                                      [None, None])
+        encoder.serialize = original
+        assert calls["n"] == 0
+        assert second_ser[0] is first_ser[0]
+        np.testing.assert_array_equal(first_feats[0].token_ids,
+                                      second_feats[0].token_ids)
+
+    def test_features_memo_returns_mutable_copies(self, encoder,
+                                                  serve_tables):
+        cache = EncodingCache()
+        (_, [feats]) = cache.features_for(encoder, serve_tables[:1], [None])
+        pristine = feats.token_ids.copy()
+        feats.token_ids[:] = -1     # a feature_hook mutating in place
+        (_, [again]) = cache.features_for(encoder, serve_tables[:1], [None])
+        np.testing.assert_array_equal(again.token_ids, pristine)
+
+    def test_counters_reach_registry(self, encoder, serve_tables):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            cache = EncodingCache()
+            features = [_features(encoder, serve_tables[0])]
+            with encoder.inference():
+                cache.hidden_for(encoder, features)
+                cache.hidden_for(encoder, features)
+        snapshot = {s["name"]: s for s in registry.snapshot()}
+        assert snapshot["serve.cache.hits"]["value"] == 1
+        assert snapshot["serve.cache.misses"]["value"] == 1

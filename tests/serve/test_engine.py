@@ -1,0 +1,152 @@
+"""InferenceEngine: dispatch, deadlines, telemetry, request decoding."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import NLIExample
+from repro.runtime import InMemorySink, MetricsRegistry, using_registry
+from repro.serve import (
+    InferenceEngine,
+    RequestError,
+    ServeConfig,
+    build_example,
+    build_predictor,
+    json_safe_label,
+    parse_table,
+)
+from repro.serve.requests import SERVED_TASKS
+from repro.sql import Aggregate, SelectQuery
+from repro.tasks import NliClassifier
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def nli(encoder):
+    return NliClassifier(encoder, np.random.default_rng(0))
+
+
+def _example(tables, i=0, statement="a statement"):
+    return NLIExample(tables[i], statement, 0)
+
+
+class TestDispatch:
+    def test_submit_unknown_task(self, nli):
+        engine = InferenceEngine({"nli": nli})
+        with pytest.raises(KeyError):
+            engine.submit("qa", object())
+
+    def test_poll_answers_due_batches_only(self, nli, serve_tables):
+        clock = FakeClock()
+        engine = InferenceEngine(
+            {"nli": nli}, ServeConfig(max_batch=2, max_wait_seconds=0.5),
+            clock=clock)
+        engine.submit("nli", _example(serve_tables))
+        assert engine.poll() == []                  # under deadline, under size
+        clock.advance(0.5)
+        responses = engine.poll()                   # deadline flush
+        assert len(responses) == 1
+        assert responses[0].latency_seconds == pytest.approx(0.5)
+        assert engine.queue_depth == 0
+
+    def test_size_flush_before_deadline(self, nli, serve_tables):
+        clock = FakeClock()
+        engine = InferenceEngine(
+            {"nli": nli}, ServeConfig(max_batch=2, max_wait_seconds=100.0),
+            clock=clock)
+        engine.submit("nli", _example(serve_tables, 0))
+        engine.submit("nli", _example(serve_tables, 1))
+        responses = engine.poll()
+        assert [r.batch_size for r in responses] == [2, 2]
+
+    def test_process_preserves_submission_order(self, nli, serve_tables):
+        engine = InferenceEngine({"nli": nli}, ServeConfig(max_batch=4))
+        submissions = [("nli", _example(serve_tables, i % 3))
+                       for i in range(6)]
+        responses = engine.process(submissions)
+        assert [r.request_id for r in responses] == list(range(6))
+        assert all(r.task == "nli" for r in responses)
+
+    def test_repeated_tables_hit_cache(self, nli, serve_tables):
+        engine = InferenceEngine({"nli": nli}, ServeConfig(max_batch=4))
+        example = _example(serve_tables)
+        first = engine.process([("nli", example)])
+        second = engine.process([("nli", example)])
+        assert engine.cache.hits >= 1
+        assert first[0].prediction.label == second[0].prediction.label
+        assert first[0].prediction.score == pytest.approx(
+            second[0].prediction.score)
+
+
+class TestTelemetry:
+    def test_counters_histograms_traces(self, nli, serve_tables):
+        registry = MetricsRegistry()
+        sink = registry.add_sink(InMemorySink())
+        with using_registry(registry):
+            engine = InferenceEngine({"nli": nli}, ServeConfig(max_batch=2))
+            engine.process([("nli", _example(serve_tables, i))
+                            for i in range(3)])
+        snapshot = {s["name"]: s for s in registry.snapshot()
+                    if s.get("metric")}
+        assert snapshot["serve.requests"]["value"] == 3
+        assert snapshot["serve.batches"]["value"] == 2
+        assert snapshot["serve.batch_size"]["count"] == 2
+        assert snapshot["serve.batch_size"]["max"] == 2
+        assert snapshot["serve.queue_depth"]["count"] == 3
+        assert snapshot["serve.latency_seconds"]["count"] == 3
+        traces = sink.of_kind("serve_request")
+        assert len(traces) == 3
+        assert {t["id"] for t in traces} == {0, 1, 2}
+        assert all(t["task"] == "nli" for t in traces)
+
+
+class TestRequestDecoding:
+    def test_parse_inline_table(self):
+        table = parse_table({"header": ["a", "b"], "rows": [["1", "2"]],
+                             "title": "t"})
+        assert table.header == ["a", "b"]
+        assert table.context.title == "t"
+
+    def test_parse_table_errors(self, tmp_path):
+        with pytest.raises(RequestError):
+            parse_table(42)
+        with pytest.raises(RequestError):
+            parse_table({"header": ["a"]})
+        with pytest.raises(RequestError):
+            parse_table(str(tmp_path / "missing.csv"))
+        with pytest.raises(RequestError):
+            parse_table({"header": ["a"], "rows": [["1", "2"]]})
+
+    def test_build_example_validates(self):
+        table = {"header": ["a"], "rows": [["1"]]}
+        with pytest.raises(RequestError):
+            build_example("qa", {"table": table})          # no question
+        with pytest.raises(RequestError):
+            build_example("imputation", {"table": table, "row": 5,
+                                         "column": 0})     # out of range
+        with pytest.raises(RequestError):
+            build_example("nope", {"table": table})
+        example = build_example("nli", {"table": table, "statement": "s"})
+        assert example.statement == "s"
+
+    def test_build_predictor_covers_served_tasks(self, encoder, serve_tables):
+        rng = np.random.default_rng(0)
+        for task in SERVED_TASKS:
+            predictor = build_predictor(task, encoder, serve_tables, rng)
+            assert predictor.task_name in (task, "imputation")
+
+    def test_json_safe_label(self):
+        query = SelectQuery("col", Aggregate.COUNT, ())
+        assert json_safe_label(query) == query.render()
+        assert json_safe_label((1, 2)) == [1, 2]
+        assert json_safe_label(np.int64(3)) == 3
+        assert json_safe_label(None) is None

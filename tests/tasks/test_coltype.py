@@ -37,7 +37,7 @@ class TestColumnTypePredictor:
     def test_predictions_in_label_set(self, bert, examples):
         labels = build_label_set(examples)
         predictor = ColumnTypePredictor(bert, labels, np.random.default_rng(0))
-        assert all(p in labels for p in predictor.predict(examples[:5]))
+        assert all(p.label in labels for p in predictor.predict(examples[:5]))
 
     def test_finetune_reduces_loss(self, bert, examples):
         labels = build_label_set(examples)

@@ -69,8 +69,8 @@ class TestValueImputer:
     def test_predictions_from_vocabulary(self, bert, examples):
         vocab = build_value_vocabulary(examples)
         imputer = ValueImputer(bert, vocab, np.random.default_rng(0))
-        for value in imputer.predict(examples[:5]):
-            assert value in vocab
+        for prediction in imputer.predict(examples[:5]):
+            assert prediction.label in vocab
 
     def test_training_learns_something(self, bert, examples):
         """After fine-tuning, train-set accuracy must beat the majority

@@ -19,7 +19,7 @@ class TestNliClassifier:
 
     def test_predictions_binary(self, bert, examples):
         clf = NliClassifier(bert, np.random.default_rng(0))
-        assert set(clf.predict(examples[:6])) <= {0, 1}
+        assert {p.label for p in clf.predict(examples[:6])} <= {0, 1}
 
     def test_evaluate_keys(self, bert, examples):
         clf = NliClassifier(bert, np.random.default_rng(0))

@@ -27,9 +27,9 @@ class TestCellSelectionQA:
 
     def test_predictions_are_cells(self, tapas, examples):
         qa = CellSelectionQA(tapas, np.random.default_rng(0))
-        for example, coord in zip(examples[:5], qa.predict(examples[:5])):
-            assert coord is not None
-            row, col = coord
+        for example, prediction in zip(examples[:5], qa.predict(examples[:5])):
+            assert prediction.label is not None
+            row, col = prediction.label
             assert 0 <= row < example.table.num_rows
             assert 0 <= col < example.table.num_columns
 

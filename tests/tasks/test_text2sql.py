@@ -21,15 +21,16 @@ class TestSketchParser:
 
     def test_predictions_are_queries(self, tapas, examples):
         parser = SketchParser(tapas, np.random.default_rng(0))
-        for example, predicted in zip(examples[:5], parser.predict(examples[:5])):
+        for example, p in zip(examples[:5], parser.predict(examples[:5])):
+            predicted = p.label
             assert isinstance(predicted, SelectQuery)
             assert predicted.select_column in example.table.header
             assert len(predicted.conditions) <= 1
 
     def test_predicted_conditions_use_table_values(self, tapas, examples):
         parser = SketchParser(tapas, np.random.default_rng(0))
-        for example, predicted in zip(examples[:8], parser.predict(examples[:8])):
-            for condition in predicted.conditions:
+        for example, p in zip(examples[:8], parser.predict(examples[:8])):
+            for condition in p.label.conditions:
                 column = example.table.column_index(condition.column)
                 values = {cell.text() for cell in example.table.column_values(column)}
                 assert str(condition.value) in values
