@@ -1,0 +1,7 @@
+"""``python -m repro`` — same entry point as the ``repro`` console script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,51 @@
+"""repro.analysis — static analysis over models, tapes and source.
+
+Three layers, all offline:
+
+- **Shape inference** (:mod:`.shapes`, :mod:`.infer`, :mod:`.checker`) —
+  symbolic :class:`ShapeSpec` flow through every nn layer and model
+  family; ``repro check`` proves serialization → embedding → attention →
+  head wiring per ``(model, task, serializer)`` triple with *zero*
+  forward passes.
+- **Tape sanitizer** (:mod:`.tape`) — post-hoc autograd-graph checks:
+  dead parameters, untouched ops, float64 creep, NaN-prone fan-out.
+- **Lint** (:mod:`.lint`) — AST rules for repo invariants
+  (``repro lint``).
+
+:mod:`.gradcheck` adds finite-difference spot checks
+(``repro check --numeric``).
+"""
+
+from .checker import (
+    CHECKED_TASKS,
+    CheckResult,
+    check_all,
+    check_model,
+    check_pair,
+    numeric_spot_check,
+)
+from .gradcheck import check_gradient, numeric_gradient
+from .infer import check_attention_mask, infer_decoder, infer_shapes, register_handler
+from .lint import LintFinding, RULES, lint_file, lint_source, run_lint
+from .shapes import Dim, ShapeError, ShapeSpec, broadcast_shapes, dims_equal
+from .tape import (
+    Finding,
+    OpCounter,
+    TapeReport,
+    TapeTracer,
+    reachable_from,
+    sanitize_tape,
+    trace_tape,
+)
+
+__all__ = [
+    "Dim", "ShapeSpec", "ShapeError", "dims_equal", "broadcast_shapes",
+    "infer_shapes", "infer_decoder", "register_handler",
+    "check_attention_mask",
+    "CheckResult", "check_pair", "check_all", "check_model",
+    "numeric_spot_check", "CHECKED_TASKS",
+    "Finding", "TapeReport", "OpCounter", "TapeTracer",
+    "trace_tape", "sanitize_tape", "reachable_from",
+    "LintFinding", "RULES", "run_lint", "lint_file", "lint_source",
+    "numeric_gradient", "check_gradient",
+]

@@ -1,0 +1,424 @@
+"""Static model × task × serialization compatibility checking.
+
+This is the `repro check` engine: it instantiates a model family and a
+task head (constructors only build leaf parameters — no autograd ops are
+recorded) and then *plays the forward pass symbolically* with
+:func:`~repro.analysis.infer.infer_shapes`:
+
+serialization → embedding channels → structural attention masks →
+encoder stack(s) → task head,
+
+proving at each edge that trailing axes, embedding id ranges, mask
+broadcasts and head fan-ins line up with the :class:`EncoderConfig`.  A
+failure surfaces as the dotted path of the first incompatible edge
+(``embed.role_embedding: ids may reach 3 but the table holds only 2
+rows``) without a single array flowing through the network — tests
+assert zero tape ops via :class:`~repro.analysis.tape.OpCounter`.
+
+Symbolic dims: ``B`` (batch), ``T`` (sequence), ``T_dec`` (decoder
+steps), ``n_rows`` / ``n_cols`` (per-table span counts feeding the
+pointer heads of text-to-SQL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .infer import check_attention_mask, infer_shapes, register_handler
+from .shapes import Dim, ShapeError, ShapeSpec
+from ..models import (
+    MODEL_CLASSES,
+    Mate,
+    TaBert,
+    Tabbie,
+    TableEncoder,
+    Tapas,
+    Tapex,
+    Turl,
+)
+from ..nn import Encoder, Module
+from ..serialize import SERIALIZERS, TokenRole
+from ..tables import Table, TableContext
+from ..text import WordPieceTokenizer
+
+__all__ = [
+    "CheckResult", "check_pair", "check_all", "check_model",
+    "build_check_fixture", "numeric_spot_check", "CHECKED_TASKS",
+]
+
+#: Task heads the checker wires on top of every encoder family.
+CHECKED_TASKS = ("qa", "nli", "imputation", "coltype", "retrieval", "text2sql")
+
+
+# ----------------------------------------------------------------------
+# Model-family walkers (registered into the infer dispatch)
+# ----------------------------------------------------------------------
+def _mask_spec(batch: Dim, heads: Dim, seq: Dim) -> ShapeSpec:
+    return ShapeSpec((batch, heads, seq, seq), dtype="bool")
+
+
+def _infer_stack(stack: Encoder, hidden: ShapeSpec, mask: ShapeSpec,
+                 path: tuple[str, ...]) -> ShapeSpec:
+    """Walk an encoder stack, proving the mask broadcast at every layer."""
+    for i, layer in enumerate(stack.layers):
+        check_attention_mask(layer.attention, hidden, mask,
+                             path + ("layers", str(i), "attention"))
+    return infer_shapes(stack, hidden, path)
+
+
+def _infer_embed(model: TableEncoder, ids: ShapeSpec,
+                 path: tuple[str, ...]) -> ShapeSpec:
+    """Symbolic twin of ``TableEncoder.embed``: sum the enabled channels."""
+    config = model.config
+    base = path + ("embed",)
+    batch_seq = ids.shape
+
+    total = infer_shapes(model.token_embedding, ids,
+                         base + ("token_embedding",))
+    # Positions run 0..T-1 with T capped by the serializer budget.
+    positions = ShapeSpec(batch_seq, dtype="int",
+                          max_value=model.serializer.max_tokens - 1)
+    channels = [infer_shapes(model.position_embedding, positions,
+                             base + ("position_embedding",))]
+    if model.uses_row_embeddings:
+        rows = ShapeSpec(batch_seq, dtype="int", max_value=config.max_rows)
+        channels.append(infer_shapes(model.row_embedding, rows,
+                                     base + ("row_embedding",)))
+    if model.uses_column_embeddings:
+        cols = ShapeSpec(batch_seq, dtype="int", max_value=config.max_columns)
+        channels.append(infer_shapes(model.column_embedding, cols,
+                                     base + ("column_embedding",)))
+    if model.uses_role_embeddings:
+        roles = ShapeSpec(batch_seq, dtype="int",
+                          max_value=max(int(role) for role in TokenRole))
+        channels.append(infer_shapes(model.role_embedding, roles,
+                                     base + ("role_embedding",)))
+    if isinstance(model, Turl):
+        # Turl.embed clamps raw ids with np.minimum(..., num_entities).
+        entities = ShapeSpec(batch_seq, dtype="int",
+                             max_value=config.num_entities)
+        channels.append(infer_shapes(model.entity_embedding, entities,
+                                     base + ("entity_embedding",)))
+    if config.numeric_features:
+        numeric = ShapeSpec(batch_seq + (3,), dtype="float")
+        channels.append(infer_shapes(model.numeric_projection, numeric,
+                                     base + ("numeric_projection",)))
+    for i, channel in enumerate(channels):
+        if channel.shape != total.shape:
+            raise ShapeError(
+                f"embedding channel produces {channel} but the token "
+                f"channel produces {total}", base)
+        total = channel.with_shape(total.shape)
+    normed = infer_shapes(model.embedding_norm, total,
+                          base + ("embedding_norm",))
+    return infer_shapes(model.embedding_dropout, normed,
+                        base + ("embedding_dropout",))
+
+
+@register_handler(TableEncoder)
+def _infer_table_encoder(model: TableEncoder, spec: ShapeSpec,
+                         path: tuple[str, ...]) -> ShapeSpec:
+    """Shape rule for every encoder family: token-id spec in, hidden out."""
+    spec.require_dtype("int", path)
+    spec.require_ndim(2, path)
+    if model.serializer.max_tokens > model.config.max_position:
+        raise ShapeError(
+            f"serializer budget {model.serializer.max_tokens} exceeds "
+            f"max_position {model.config.max_position}",
+            path + ("serialization",))
+    batch, seq = spec.shape
+    hidden = _infer_embed(model, spec, path)
+
+    config = model.config
+    if isinstance(model, Tabbie):
+        row_view = _infer_stack(model.encoder, hidden,
+                                _mask_spec(batch, 1, seq),
+                                path + ("encoder",))
+        column_view = _infer_stack(model.column_encoder, hidden,
+                                   _mask_spec(batch, 1, seq),
+                                   path + ("column_encoder",))
+        if row_view.shape != column_view.shape:
+            raise ShapeError(
+                f"row view {row_view} and column view {column_view} "
+                f"disagree and cannot be averaged", path)
+        return row_view
+    if isinstance(model, TaBert):
+        hidden = _infer_stack(model.encoder, hidden,
+                              _mask_spec(batch, 1, seq), path + ("encoder",))
+        return _infer_stack(model.vertical_encoder, hidden,
+                            _mask_spec(batch, 1, seq),
+                            path + ("vertical_encoder",))
+    # MATE builds one mask slice per head; everything else broadcasts one.
+    heads: Dim = config.num_heads if isinstance(model, Mate) else 1
+    return _infer_stack(model.encoder, hidden, _mask_spec(batch, heads, seq),
+                        path + ("encoder",))
+
+
+@register_handler(Tapex)
+def _infer_tapex(model: Tapex, spec, path: tuple[str, ...]) -> ShapeSpec:
+    """Encoder-decoder rule: ``(encoder_ids, decoder_ids)`` specs in."""
+    if isinstance(spec, ShapeSpec):
+        ids, decoder_ids = spec, ShapeSpec((spec.shape[0], "T_dec"),
+                                           dtype="int",
+                                           max_value=model.config.vocab_size - 1)
+    else:
+        ids, decoder_ids = spec
+    memory = infer_shapes(model.encoder, ids, path + ("encoder",))
+    decoder_ids.require_dtype("int", path + ("decoder",))
+    target = infer_shapes(model.encoder.token_embedding, decoder_ids,
+                          path + ("decoder", "token_embedding"))
+    # Target positions are clamped to max_answer_tokens before lookup.
+    positions = ShapeSpec(decoder_ids.shape, dtype="int",
+                          max_value=model.max_answer_tokens)
+    position_channel = infer_shapes(model.target_position_embedding, positions,
+                                    path + ("decoder",
+                                            "target_position_embedding"))
+    if position_channel.shape != target.shape:
+        raise ShapeError(
+            f"target position channel {position_channel} does not match "
+            f"token channel {target}", path + ("decoder",))
+    hidden = infer_shapes(model.decoder, (target, memory),
+                          path + ("decoder",))
+    return infer_shapes(model.output_projection, hidden,
+                        path + ("output_projection",))
+
+
+# ----------------------------------------------------------------------
+# Task-head wiring
+# ----------------------------------------------------------------------
+def _check_task_head(task_name: str, task: Module, hidden: ShapeSpec,
+                     stages: list[tuple[str, str]]) -> None:
+    """Prove the task head consumes the encoder output; record its stages."""
+    batch = hidden.shape[0]
+    dim = hidden.shape[-1]
+    pooled = hidden.with_shape((batch, dim))
+    if task_name == "qa":
+        scores = infer_shapes(task.head, hidden, ("head",))
+        stages.append(("head.token_scores", str(scores)))
+    elif task_name in ("nli", "imputation", "coltype"):
+        logits = infer_shapes(task.head, pooled, ("head",))
+        stages.append(("head.logits", str(logits)))
+    elif task_name == "retrieval":
+        # Query and table towers share the encoder; similarity is
+        # (B, dim) @ (dim, B).
+        stages.append(("head.query_cls", str(pooled)))
+        stages.append(("head.table_cls", str(pooled)))
+        stages.append(("head.similarity",
+                       str(pooled.with_shape((batch, batch)))))
+    elif task_name == "text2sql":
+        agg = infer_shapes(task.aggregate_head, pooled, ("aggregate_head",))
+        stages.append(("aggregate_head.logits", str(agg)))
+        cond = infer_shapes(task.has_condition_head, pooled,
+                            ("has_condition_head",))
+        stages.append(("has_condition_head.logits", str(cond)))
+        header = hidden.with_shape(("n_cols", dim))
+        for name in ("select_scorer", "condition_scorer"):
+            scored = infer_shapes(getattr(task, name), header, (name,))
+            stages.append((f"{name}.logits", str(scored)))
+        cells = hidden.with_shape(("n_rows", dim))
+        scored = infer_shapes(task.value_scorer, cells, ("value_scorer",))
+        stages.append(("value_scorer.logits", str(scored)))
+    else:
+        raise ShapeError(f"unknown task {task_name!r}", ("head",))
+
+
+def build_task(task_name: str, encoder: TableEncoder, tables: list[Table],
+               rng: np.random.Generator) -> Module:
+    """Construct the task head ``repro check`` wires onto an encoder."""
+    from ..tasks import (
+        BiEncoderRetriever,
+        CellSelectionQA,
+        ColumnTypePredictor,
+        NliClassifier,
+        SketchParser,
+        ValueImputer,
+    )
+
+    if task_name == "qa":
+        return CellSelectionQA(encoder, rng)
+    if task_name == "nli":
+        return NliClassifier(encoder, rng)
+    if task_name == "imputation":
+        return ValueImputer(encoder, ["alpha", "beta", "gamma"], rng)
+    if task_name == "coltype":
+        return ColumnTypePredictor(encoder, ["name", "year"], rng)
+    if task_name == "retrieval":
+        return BiEncoderRetriever(encoder, corpus=tables)
+    if task_name == "text2sql":
+        return SketchParser(encoder, rng)
+    raise KeyError(f"unknown task {task_name!r}; have {CHECKED_TASKS}")
+
+
+# ----------------------------------------------------------------------
+# Fixture: deterministic tokenizer/config shared by every pair check
+# ----------------------------------------------------------------------
+def _toy_tables() -> list[Table]:
+    return [
+        Table(["name", "year"],
+              [["ada", "1843"], ["grace", "1952"]],
+              context=TableContext(title="pioneers"),
+              table_id="toy-0"),
+        Table(["city", "country"],
+              [["paris", "france"], ["lima", "peru"]],
+              context=TableContext(title="capitals"),
+              table_id="toy-1"),
+    ]
+
+
+def build_check_fixture(num_entities: int = 8
+                        ) -> tuple[list[Table], WordPieceTokenizer, "EncoderConfig"]:
+    """Tables, tokenizer and config backing every static pair check."""
+    from ..core import build_tokenizer_for_tables
+    from ..models import EncoderConfig
+
+    tables = _toy_tables()
+    tokenizer = build_tokenizer_for_tables(tables, vocab_size=400)
+    config = EncoderConfig(vocab_size=len(tokenizer.vocab),
+                           num_entities=num_entities)
+    return tables, tokenizer, config
+
+
+# ----------------------------------------------------------------------
+# Pair checking
+# ----------------------------------------------------------------------
+@dataclass
+class CheckResult:
+    """Outcome of one ``model × task × serializer`` static validation."""
+
+    model: str
+    task: str
+    serializer: str
+    ok: bool
+    stages: list[tuple[str, str]] = field(default_factory=list)
+    error: str | None = None
+
+    def render(self, verbose: bool = False) -> str:
+        head = f"{self.model} x {self.task} [{self.serializer}]"
+        if not self.ok:
+            return f"FAIL {head}\n  first incompatible edge: {self.error}"
+        lines = [f"ok   {head}"]
+        if verbose:
+            lines += [f"  {name:<32} {shape}" for name, shape in self.stages]
+        return "\n".join(lines)
+
+
+def check_model(model: Module, batch: Dim = "B",
+                seq: Dim = "T") -> list[tuple[str, str]]:
+    """Walk one instantiated model symbolically; returns the stage trace."""
+    stages: list[tuple[str, str]] = []
+    ids = ShapeSpec((batch, seq), dtype="int",
+                    max_value=model.config.vocab_size - 1)
+    stages.append(("serialization.token_ids", str(ids)))
+    hidden = infer_shapes(model, ids)
+    label = "decoder.logits" if isinstance(model, Tapex) else "encoder.hidden"
+    stages.append((label, str(hidden)))
+    return stages
+
+
+def check_pair(model_name: str, task_name: str,
+               serializer_name: str = "row_major",
+               seed: int = 0,
+               config: "EncoderConfig | None" = None) -> CheckResult:
+    """Statically validate one model × task wiring; never runs a forward.
+
+    ``config`` overrides the fixture's :class:`EncoderConfig` (its
+    ``vocab_size`` is reconciled with the fixture tokenizer) — tests use
+    this to plant misconfigurations and assert the reported edge.
+    """
+    from dataclasses import replace
+
+    from ..core import create_model
+
+    if model_name not in MODEL_CLASSES:
+        raise KeyError(
+            f"unknown model {model_name!r}; have {sorted(MODEL_CLASSES)}")
+    if task_name not in CHECKED_TASKS:
+        raise KeyError(
+            f"unknown task {task_name!r}; have {CHECKED_TASKS}")
+    if serializer_name not in SERIALIZERS:
+        raise KeyError(
+            f"unknown serializer {serializer_name!r}; "
+            f"have {sorted(SERIALIZERS)}")
+    tables, tokenizer, fixture_config = build_check_fixture()
+    if config is None:
+        config = fixture_config
+    else:
+        config = replace(config, vocab_size=len(tokenizer.vocab))
+    result = CheckResult(model=model_name, task=task_name,
+                         serializer=serializer_name, ok=False)
+    try:
+        serializer = SERIALIZERS[serializer_name](
+            tokenizer, max_tokens=config.max_position)
+        model = create_model(model_name, tokenizer, config=config,
+                             seed=seed, serializer=serializer)
+    except (ValueError, KeyError) as error:
+        result.error = f"construction: {error}"
+        return result
+    rng = np.random.default_rng(seed)
+    encoder = model.encoder if isinstance(model, Tapex) else model
+    try:
+        result.stages = check_model(model)
+        if isinstance(model, Tapex):
+            # Tasks ride on the encoder half; the handler above already
+            # proved the decoder/output wiring.
+            hidden = infer_shapes(
+                encoder, ShapeSpec(("B", "T"), dtype="int",
+                                   max_value=config.vocab_size - 1))
+        else:
+            hidden = ShapeSpec(("B", "T", config.dim))
+        task = build_task(task_name, encoder, tables, rng)
+        _check_task_head(task_name, task, hidden, result.stages)
+    except ShapeError as error:
+        result.error = str(error)
+        return result
+    result.ok = True
+    return result
+
+
+def check_all(models: list[str] | None = None,
+              tasks: list[str] | None = None,
+              serializer_name: str = "row_major",
+              seed: int = 0) -> list[CheckResult]:
+    """Every model family × task pair, in deterministic order."""
+    models = models if models is not None else sorted(MODEL_CLASSES)
+    tasks = tasks if tasks is not None else list(CHECKED_TASKS)
+    return [check_pair(model_name, task_name,
+                       serializer_name=serializer_name, seed=seed)
+            for model_name in models for task_name in tasks]
+
+
+# ----------------------------------------------------------------------
+# Optional numeric spot check (repro check --numeric)
+# ----------------------------------------------------------------------
+def numeric_spot_check(model: Module, seed: int = 0) -> dict[str, float | str]:
+    """Finite-difference check of one sampled layer's analytic gradient.
+
+    Samples a :class:`Linear` or :class:`LayerNorm` from the model (the
+    two parametric per-token maps), runs
+    :func:`~repro.analysis.gradcheck.check_gradient` on a small random
+    input, and returns which layer was checked.  Raises ``AssertionError``
+    if the analytic and numeric gradients disagree.
+    """
+    from .gradcheck import check_gradient
+    from ..nn import LayerNorm, Linear
+
+    named = [(name or type(module).__name__, module)
+             for name, module in _named_modules(model)
+             if isinstance(module, (Linear, LayerNorm))]
+    if not named:
+        raise ValueError("model exposes no Linear/LayerNorm layer to check")
+    rng = np.random.default_rng(seed)
+    name, layer = named[int(rng.integers(len(named)))]
+    width = layer.in_features if isinstance(layer, Linear) else layer.dim
+    x = rng.normal(size=(2, width))
+    check_gradient(lambda t: layer(t), x)
+    return {"layer": name, "width": float(width)}
+
+
+def _named_modules(model: Module, prefix: str = ""):
+    yield prefix, model
+    for name, child in model._modules.items():
+        yield from _named_modules(child,
+                                  f"{prefix}.{name}" if prefix else name)

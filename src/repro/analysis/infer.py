@@ -1,0 +1,299 @@
+"""Symbolic shape inference for every ``repro.nn`` building block.
+
+``infer_shapes(module, spec)`` plays a module's forward pass on a
+:class:`~repro.analysis.shapes.ShapeSpec` instead of data: no arrays are
+allocated, no autograd ops are recorded, and every contract the real
+forward would enforce dynamically (trailing-axis sizes, embedding id
+ranges, head divisibility, residual broadcasts) is checked symbolically.
+Handlers are registered per module type and resolved through the MRO, so
+a subclass inherits its parent's rule unless it registers its own —
+model families register theirs in :mod:`repro.analysis.checker`.
+
+Errors are :class:`~repro.analysis.shapes.ShapeError` carrying the dotted
+path of the first incompatible edge (``encoder.layers.1.attention.query``),
+which is exactly what ``repro check`` reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .shapes import Dim, ShapeError, ShapeSpec, broadcast_shapes, dims_equal, render_shape
+from ..nn import (
+    Decoder,
+    DecoderLayer,
+    Dropout,
+    Embedding,
+    Encoder,
+    EncoderLayer,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+)
+from ..models.heads import (
+    CellSelectionHead,
+    ClassificationHead,
+    EntityRecoveryHead,
+    MlmHead,
+)
+
+__all__ = [
+    "infer_shapes", "register_handler", "check_attention_mask",
+    "infer_decoder", "SpecLike",
+]
+
+#: Decoder blocks take ``(target_spec, memory_spec)``; everything else one spec.
+SpecLike = Union[ShapeSpec, tuple[ShapeSpec, ShapeSpec]]
+
+_HANDLERS: dict[type, Callable[[Module, SpecLike, tuple[str, ...]], ShapeSpec]] = {}
+
+
+def register_handler(module_type: type) -> Callable[[Callable], Callable]:
+    """Class decorator-style registration of a shape rule for a module type."""
+    def wrap(fn: Callable[[Module, SpecLike, tuple[str, ...]], ShapeSpec]) -> Callable:
+        _HANDLERS[module_type] = fn
+        return fn
+    return wrap
+
+
+def infer_shapes(module: Module, spec: SpecLike,
+                 path: tuple[str, ...] = ()) -> ShapeSpec:
+    """Symbolically run ``module.forward`` on ``spec``; returns the output spec.
+
+    Resolution walks the module's MRO so subclasses fall back to the
+    nearest registered ancestor rule.  Raises :class:`ShapeError` (with
+    the offending dotted path) on the first provable incompatibility, or
+    when no rule is registered for the module type.
+    """
+    for cls in type(module).__mro__:
+        handler = _HANDLERS.get(cls)
+        if handler is not None:
+            return handler(module, spec, path)
+    raise ShapeError(
+        f"no shape-inference rule registered for {type(module).__name__}",
+        path)
+
+
+def _single(spec: SpecLike, path: tuple[str, ...]) -> ShapeSpec:
+    if not isinstance(spec, ShapeSpec):
+        raise ShapeError(
+            "expected a single input spec (decoder blocks take a "
+            "(target, memory) pair)", path)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Core layers
+# ----------------------------------------------------------------------
+@register_handler(Linear)
+def _infer_linear(module: Linear, spec: SpecLike,
+                  path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    spec.require_dtype("float", path)
+    spec.require_last(module.in_features, path,
+                      what=f"Linear(in={module.in_features}) input")
+    return spec.with_shape(spec.shape[:-1] + (module.out_features,))
+
+
+@register_handler(Embedding)
+def _infer_embedding(module: Embedding, spec: SpecLike,
+                     path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    spec.require_dtype("int", path)
+    if spec.max_value is not None and spec.max_value >= module.num_embeddings:
+        raise ShapeError(
+            f"ids may reach {spec.max_value} but the table holds only "
+            f"{module.num_embeddings} rows", path)
+    return spec.with_shape(spec.shape + (module.dim,))
+
+
+@register_handler(LayerNorm)
+def _infer_layernorm(module: LayerNorm, spec: SpecLike,
+                     path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    spec.require_dtype("float", path)
+    spec.require_last(module.dim, path,
+                      what=f"LayerNorm({module.dim}) input")
+    return spec.with_shape(spec.shape)
+
+
+@register_handler(Dropout)
+def _infer_dropout(module: Dropout, spec: SpecLike,
+                   path: tuple[str, ...]) -> ShapeSpec:
+    return _single(spec, path)
+
+
+# ----------------------------------------------------------------------
+# Transformer blocks
+# ----------------------------------------------------------------------
+@register_handler(FeedForward)
+def _infer_feed_forward(module: FeedForward, spec: SpecLike,
+                        path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    hidden = infer_shapes(module.expand, spec, path + ("expand",))
+    return infer_shapes(module.contract, hidden, path + ("contract",))
+
+
+@register_handler(MultiHeadAttention)
+def _infer_attention(module: MultiHeadAttention, spec: SpecLike,
+                     path: tuple[str, ...]) -> ShapeSpec:
+    if isinstance(spec, tuple):
+        x_spec, memory_spec = spec
+    else:
+        x_spec, memory_spec = spec, spec
+    x_spec.require_ndim(3, path)
+    memory_spec.require_ndim(3, path)
+    x_spec.require_last(module.dim, path,
+                        what=f"attention(dim={module.dim}) query input")
+    memory_spec.require_last(module.dim, path,
+                             what=f"attention(dim={module.dim}) key/value input")
+    if dims_equal(x_spec.shape[0], memory_spec.shape[0]) is False:
+        raise ShapeError(
+            f"query batch {x_spec.shape[0]} != memory batch "
+            f"{memory_spec.shape[0]}", path)
+    # head split: dim must factor into num_heads * head_dim.
+    if module.num_heads * module.head_dim != module.dim:
+        raise ShapeError(
+            f"dim {module.dim} does not split into {module.num_heads} heads",
+            path)
+    infer_shapes(module.query, x_spec, path + ("query",))
+    infer_shapes(module.key, memory_spec, path + ("key",))
+    infer_shapes(module.value, memory_spec, path + ("value",))
+    merged = x_spec.with_shape(x_spec.shape)
+    return infer_shapes(module.output, merged, path + ("output",))
+
+
+def check_attention_mask(module: MultiHeadAttention, x_spec: ShapeSpec,
+                         mask_spec: ShapeSpec, path: tuple[str, ...],
+                         key_len: Dim | None = None) -> None:
+    """Prove a block mask/bias broadcasts over ``(B, heads, T_q, T_k)``."""
+    batch, seq = x_spec.shape[0], x_spec.shape[1]
+    scores = (batch, module.num_heads, seq,
+              seq if key_len is None else key_len)
+    if mask_spec.ndim > 4:
+        raise ShapeError(
+            f"mask rank {mask_spec.ndim} exceeds attention scores rank 4",
+            path)
+    broadcast_shapes(scores, mask_spec.shape, path)
+    # A per-head mask must carry exactly the layer's head count.
+    if mask_spec.ndim == 4:
+        heads = mask_spec.shape[1]
+        if heads != 1 and dims_equal(heads, module.num_heads) is False:
+            raise ShapeError(
+                f"mask provides {heads} head slices but attention runs "
+                f"{module.num_heads} heads", path)
+
+
+def _residual(a: ShapeSpec, b: ShapeSpec, path: tuple[str, ...]) -> ShapeSpec:
+    return a.with_shape(broadcast_shapes(a.shape, b.shape, path))
+
+
+@register_handler(EncoderLayer)
+def _infer_encoder_layer(module: EncoderLayer, spec: SpecLike,
+                         path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    normed = infer_shapes(module.norm_attention, spec, path + ("norm_attention",))
+    attended = infer_shapes(module.attention, normed, path + ("attention",))
+    spec = _residual(spec, attended, path + ("attention",))
+    normed = infer_shapes(module.norm_feed_forward, spec,
+                          path + ("norm_feed_forward",))
+    mlp = infer_shapes(module.feed_forward, normed, path + ("feed_forward",))
+    return _residual(spec, mlp, path + ("feed_forward",))
+
+
+@register_handler(Encoder)
+def _infer_encoder(module: Encoder, spec: SpecLike,
+                   path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    spec.require_ndim(3, path)
+    for i, layer in enumerate(module.layers):
+        spec = infer_shapes(layer, spec, path + ("layers", str(i)))
+    return infer_shapes(module.final_norm, spec, path + ("final_norm",))
+
+
+@register_handler(DecoderLayer)
+def _infer_decoder_layer(module: DecoderLayer, spec: SpecLike,
+                         path: tuple[str, ...]) -> ShapeSpec:
+    if not isinstance(spec, tuple):
+        raise ShapeError("DecoderLayer needs a (target, memory) spec pair",
+                         path)
+    target, memory = spec
+    normed = infer_shapes(module.norm_self, target, path + ("norm_self",))
+    attended = infer_shapes(module.self_attention, normed,
+                            path + ("self_attention",))
+    target = _residual(target, attended, path + ("self_attention",))
+    normed = infer_shapes(module.norm_cross, target, path + ("norm_cross",))
+    crossed = infer_shapes(module.cross_attention, (normed, memory),
+                           path + ("cross_attention",))
+    target = _residual(target, crossed, path + ("cross_attention",))
+    normed = infer_shapes(module.norm_feed_forward, target,
+                          path + ("norm_feed_forward",))
+    mlp = infer_shapes(module.feed_forward, normed, path + ("feed_forward",))
+    return _residual(target, mlp, path + ("feed_forward",))
+
+
+@register_handler(Decoder)
+def _infer_decoder(module: Decoder, spec: SpecLike,
+                   path: tuple[str, ...]) -> ShapeSpec:
+    if not isinstance(spec, tuple):
+        raise ShapeError("Decoder needs a (target, memory) spec pair", path)
+    target, memory = spec
+    target.require_ndim(3, path)
+    memory.require_ndim(3, path)
+    for i, layer in enumerate(module.layers):
+        target = infer_shapes(layer, (target, memory),
+                              path + ("layers", str(i)))
+    return infer_shapes(module.final_norm, target, path + ("final_norm",))
+
+
+def infer_decoder(module: Decoder, target: ShapeSpec, memory: ShapeSpec,
+                  path: tuple[str, ...] = ()) -> ShapeSpec:
+    """Convenience wrapper: ``infer_shapes(decoder, (target, memory))``."""
+    return infer_shapes(module, (target, memory), path)
+
+
+# ----------------------------------------------------------------------
+# Task / pretraining heads
+# ----------------------------------------------------------------------
+@register_handler(MlmHead)
+def _infer_mlm_head(module: MlmHead, spec: SpecLike,
+                    path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    transformed = infer_shapes(module.transform, spec, path + ("transform",))
+    vocab, tied_dim = module.tied_weight.shape
+    transformed.require_last(tied_dim, path + ("tied_weight",),
+                             what="tied-projection input")
+    if module.bias.shape[0] != vocab:
+        raise ShapeError(
+            f"bias covers {module.bias.shape[0]} entries but the tied "
+            f"vocabulary holds {vocab}", path + ("bias",))
+    return transformed.with_shape(transformed.shape[:-1] + (vocab,))
+
+
+@register_handler(EntityRecoveryHead)
+def _infer_entity_head(module: EntityRecoveryHead, spec: SpecLike,
+                       path: tuple[str, ...]) -> ShapeSpec:
+    return _infer_mlm_head(module, spec, path)
+
+
+@register_handler(ClassificationHead)
+def _infer_classification_head(module: ClassificationHead, spec: SpecLike,
+                               path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    hidden = infer_shapes(module.hidden, spec, path + ("hidden",))
+    return infer_shapes(module.output, hidden, path + ("output",))
+
+
+@register_handler(CellSelectionHead)
+def _infer_cell_selection_head(module: CellSelectionHead, spec: SpecLike,
+                               path: tuple[str, ...]) -> ShapeSpec:
+    spec = _single(spec, path)
+    spec.require_ndim(3, path)
+    scored = infer_shapes(module.scorer, spec, path + ("scorer",))
+    if dims_equal(scored.last(), 1) is False:
+        raise ShapeError(
+            f"token scorer must emit one logit per token, got "
+            f"{render_shape(scored.shape)}", path + ("scorer",))
+    return scored.with_shape(scored.shape[:-1])

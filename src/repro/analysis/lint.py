@@ -1,0 +1,203 @@
+"""AST lint pass encoding this repo's invariants (``repro lint``).
+
+Rules — each guards a convention the rest of the codebase relies on:
+
+- **REPRO001** no global-RNG ``np.random.*`` calls: randomness must flow
+  through explicit ``Generator`` objects so seeds stay reproducible.
+- **REPRO002** no bare ndarray arithmetic on ``Tensor.data`` outside
+  ``nn/``: math on ``.data`` bypasses the autograd tape and silently
+  drops gradients.
+- **REPRO003** no mutable default arguments.
+- **REPRO004** serve-path ``.forward(...)`` calls must sit lexically
+  inside an inference context (``inference_mode()`` /
+  ``model.inference()``) so serving never records a tape.
+- **REPRO005** public functions in ``analysis`` / ``serve`` / ``runtime``
+  must carry full parameter and return annotations — these are the
+  packages other tooling introspects.
+
+Rule applicability is decided from *directory parts* of each file's
+path (``nn``, ``serve``, ...), so fixture trees in tests exercise the
+same logic as the real source tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["LintFinding", "run_lint", "lint_file", "lint_source", "RULES"]
+
+RULES: dict[str, str] = {
+    "REPRO001": "np.random.* global-RNG call (pass a Generator instead)",
+    "REPRO002": "ndarray arithmetic on Tensor.data outside nn/",
+    "REPRO003": "mutable default argument",
+    "REPRO004": "serve-path forward() outside an inference context",
+    "REPRO005": "public function missing type annotations",
+}
+
+#: ``np.random.<name>`` calls that are construction, not global state.
+_RNG_FACTORY_NAMES = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox", "SFC64", "MT19937",
+})
+
+_ANNOTATED_PACKAGES = frozenset({"analysis", "serve", "runtime"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _is_np_random_attr(node: ast.AST) -> str | None:
+    """Return the trailing attribute of ``np.random.X`` / ``numpy.random.X``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if (isinstance(value, ast.Attribute) and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in ("np", "numpy")):
+        return node.attr
+    return None
+
+
+def _is_data_access(node: ast.AST) -> bool:
+    """True for ``x.data`` and for subscripts of it (``x.data[i]``)."""
+    if isinstance(node, ast.Subscript):
+        return _is_data_access(node.value)
+    return isinstance(node, ast.Attribute) and node.attr == "data"
+
+
+def _mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set"))
+
+
+def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = (node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+            + ([node.args.vararg] if node.args.vararg else [])
+            + ([node.args.kwarg] if node.args.kwarg else []))
+    for i, arg in enumerate(args):
+        if i == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            return True
+    return node.returns is None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, parts: frozenset[str],
+                 select: frozenset[str] | None) -> None:
+        self.path = path
+        self.in_nn = "nn" in parts
+        self.in_serve = "serve" in parts
+        self.needs_annotations = bool(parts & _ANNOTATED_PACKAGES)
+        self.select = select
+        self.findings: list[LintFinding] = []
+        self._inference_depth = 0
+
+    # ------------------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, detail: str = "") -> None:
+        if self.select is not None and rule not in self.select:
+            return
+        message = RULES[rule] + (f" ({detail})" if detail else "")
+        self.findings.append(LintFinding(
+            self.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0), rule, message))
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        attr = _is_np_random_attr(node.func)
+        if attr is not None and attr not in _RNG_FACTORY_NAMES:
+            self._report("REPRO001", node, f"np.random.{attr}")
+        if (self.in_serve and self._inference_depth == 0
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "forward"):
+            self._report("REPRO004", node)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        inference = any("inference" in ast.unparse(item.context_expr)
+                        for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if inference:
+            self._inference_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if inference:
+            self._inference_depth -= 1
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not self.in_nn and (_is_data_access(node.left)
+                               or _is_data_access(node.right)):
+            self._report("REPRO002", node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self.in_nn and (_is_data_access(node.target)
+                               or _is_data_access(node.value)):
+            self._report("REPRO002", node)
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for default in node.args.defaults + [
+                d for d in node.args.kw_defaults if d is not None]:
+            if _mutable_default(default):
+                self._report("REPRO003", default, node.name)
+        public = not node.name.startswith("_")
+        if self.needs_annotations and public and _missing_annotations(node):
+            self._report("REPRO005", node, node.name)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+def lint_source(source: str, path: str,
+                select: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint one unit of python source; ``path`` decides rule scoping."""
+    parts = frozenset(Path(path).parts[:-1])
+    visitor = _Visitor(path, parts,
+                       frozenset(select) if select is not None else None)
+    visitor.visit(ast.parse(source, filename=path))
+    return visitor.findings
+
+
+def lint_file(path: str | Path,
+              select: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint one file."""
+    path = Path(path)
+    return lint_source(path.read_text(), str(path), select=select)
+
+
+def run_lint(paths: Sequence[str | Path],
+             select: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint files and directory trees; returns findings in path order."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    findings: list[LintFinding] = []
+    for file in files:
+        findings.extend(lint_file(file, select=select))
+    return findings

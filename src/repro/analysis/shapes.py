@@ -1,0 +1,164 @@
+"""Symbolic shapes: the vocabulary of the static checker.
+
+A :class:`ShapeSpec` describes a tensor *before it exists*: each axis is
+either a concrete ``int`` or a symbolic name (``"B"``, ``"T"``,
+``"n_rows"``, ``"n_cols"``), the dtype is a coarse kind (``float`` /
+``int`` / ``bool``), and integer specs optionally carry an inclusive
+``max_value`` bound so embedding-table lookups can be range-checked
+without materializing ids.
+
+Two symbolic dims are equal iff their names match; a symbolic dim
+compared against a concrete size is *unknowable* and never reported as an
+error — the checker only flags what it can prove.  :class:`ShapeError`
+carries the dotted module path to the first incompatible edge, which is
+what ``repro check`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Union
+
+__all__ = [
+    "Dim", "ShapeSpec", "ShapeError",
+    "dims_equal", "broadcast_shapes", "render_shape",
+]
+
+#: One axis of a symbolic shape: a concrete size or a symbol name.
+Dim = Union[int, str]
+
+
+class ShapeError(Exception):
+    """A provable shape/dtype incompatibility at a specific module edge."""
+
+    def __init__(self, message: str, path: tuple[str, ...] = ()) -> None:
+        self.message = message
+        self.path = tuple(path)
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        if not self.path:
+            return self.message
+        return f"{'.'.join(self.path)}: {self.message}"
+
+
+def render_shape(shape: tuple[Dim, ...]) -> str:
+    """Human-readable form, e.g. ``(B, T, 48)``."""
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+def dims_equal(a: Dim, b: Dim) -> bool | None:
+    """Three-valued dim comparison: True, False, or None when unknowable."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b
+    if isinstance(a, str) and isinstance(b, str):
+        return True if a == b else None
+    return None
+
+
+def _broadcast_dim(a: Dim, b: Dim, path: tuple[str, ...]) -> Dim:
+    if a == 1:
+        return b
+    if b == 1:
+        return a
+    verdict = dims_equal(a, b)
+    if verdict is False:
+        raise ShapeError(f"cannot broadcast dim {a} against {b}", path)
+    # Prefer the concrete side when one is symbolic — downstream checks
+    # get more proving power out of a known size.
+    if verdict is None and isinstance(a, int):
+        return a
+    if verdict is None and isinstance(b, int):
+        return b
+    return a
+
+
+def broadcast_shapes(a: tuple[Dim, ...], b: tuple[Dim, ...],
+                     path: tuple[str, ...] = ()) -> tuple[Dim, ...]:
+    """Numpy-style broadcast of two symbolic shapes (right-aligned)."""
+    out: list[Dim] = []
+    for i in range(max(len(a), len(b))):
+        da = a[len(a) - 1 - i] if i < len(a) else 1
+        db = b[len(b) - 1 - i] if i < len(b) else 1
+        out.append(_broadcast_dim(da, db, path))
+    return tuple(reversed(out))
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """A symbolic tensor description flowing through the checker.
+
+    Parameters
+    ----------
+    shape:
+        Per-axis dims; symbols stand for sizes fixed only at runtime.
+    dtype:
+        Coarse kind: ``"float"`` (the default everywhere in this repo),
+        ``"int"`` (ids feeding embeddings), or ``"bool"`` (masks).
+    max_value:
+        For ``int`` specs, an inclusive upper bound on the values — what
+        embedding range checks consume.  ``None`` means unbounded.
+    """
+
+    shape: tuple[Dim, ...]
+    dtype: str = "float"
+    max_value: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("float", "int", "bool"):
+            raise ValueError(f"unknown dtype kind {self.dtype!r}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def last(self) -> Dim:
+        if not self.shape:
+            raise ShapeError("expected at least one axis, got a scalar spec")
+        return self.shape[-1]
+
+    def with_shape(self, shape: tuple[Dim, ...],
+                   dtype: str | None = None) -> "ShapeSpec":
+        """A float spec with new axes (value bounds do not survive ops)."""
+        return ShapeSpec(shape=tuple(shape),
+                         dtype=dtype if dtype is not None else "float")
+
+    def require_last(self, expected: int, path: tuple[str, ...],
+                     what: str = "feature") -> None:
+        """Raise unless the trailing axis provably equals ``expected``."""
+        actual = self.last()
+        if dims_equal(actual, expected) is False:
+            raise ShapeError(
+                f"{what} axis is {actual}, expected {expected} "
+                f"(input {render_shape(self.shape)})", path)
+
+    def require_dtype(self, expected: str, path: tuple[str, ...]) -> None:
+        if self.dtype != expected:
+            raise ShapeError(
+                f"dtype is {self.dtype}, expected {expected} "
+                f"(input {render_shape(self.shape)})", path)
+
+    def require_ndim(self, expected: int, path: tuple[str, ...]) -> None:
+        if self.ndim != expected:
+            raise ShapeError(
+                f"rank is {self.ndim}, expected {expected} "
+                f"(input {render_shape(self.shape)})", path)
+
+    def bind(self, bindings: Mapping[str, int]) -> "ShapeSpec":
+        """Substitute symbols with concrete sizes (missing ones survive)."""
+        bound = tuple(bindings.get(d, d) if isinstance(d, str) else d
+                      for d in self.shape)
+        return replace(self, shape=bound)
+
+    def concrete_shape(self, bindings: Mapping[str, int]) -> tuple[int, ...]:
+        """Fully concrete shape; raises if any symbol stays unbound."""
+        bound = self.bind(bindings).shape
+        unresolved = [d for d in bound if isinstance(d, str)]
+        if unresolved:
+            raise ShapeError(
+                f"unbound symbolic dims {unresolved} in {render_shape(bound)}")
+        return tuple(int(d) for d in bound)
+
+    def __str__(self) -> str:
+        note = f", <= {self.max_value}" if self.max_value is not None else ""
+        return f"{self.dtype}{render_shape(self.shape)}{note}"

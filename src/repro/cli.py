@@ -11,7 +11,10 @@ Subcommands mirror the hands-on session's stages:
   print the per-op cost table;
 - ``repro predict``    answer a JSONL file of requests through the
   batched/cached inference engine (``repro.serve``);
-- ``repro serve``      the same engine behind a local HTTP loop.
+- ``repro serve``      the same engine behind a local HTTP loop;
+- ``repro check``      statically validate model × task × serializer
+  wiring with symbolic shapes — zero forward passes (``repro.analysis``);
+- ``repro lint``       run the repo's AST lint rules over source trees.
 
 Every command is pure-stdout and deterministic given ``--seed``.
 ``encode``, ``pretrain``, ``profile``, ``predict`` and ``serve`` all
@@ -89,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--resume", default=None, metavar="PATH",
                           help="checkpoint file or snapshot directory to "
                                "resume from")
+    pretrain.add_argument("--sanitize", action="store_true",
+                          help="trace one preflight forward and report tape "
+                               "findings (dead parameters, float64 creep, "
+                               "NaN-prone fan-out) before training")
 
     prof = sub.add_parser(
         "profile",
@@ -148,6 +155,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit after this many HTTP requests "
                             "(default: run forever)")
     serve.add_argument("--seed", type=int, default=0)
+
+    check = sub.add_parser(
+        "check",
+        help="statically validate model x task wiring (no forward passes)")
+    check.add_argument("--model", default=None,
+                       help="model family to check (default: every family)")
+    check.add_argument("--task", default=None,
+                       help="task head to check (default: every task)")
+    check.add_argument("--all", action="store_true",
+                       help="check every model x task pair explicitly")
+    check.add_argument("--serializer", default="row_major",
+                       help="serialization strategy to validate against")
+    check.add_argument("--numeric", action="store_true",
+                       help="also finite-difference check one sampled "
+                            "layer per model (runs real forwards)")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--verbose", action="store_true",
+                       help="print the full stage trace for passing pairs")
+
+    lint = sub.add_parser("lint", help="run the repo AST lint rules")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to enable "
+                           "(default: all)")
 
     return parser
 
@@ -309,6 +341,8 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
         restored = trainer.resume(args.resume)
         print(f"resumed from {args.resume} at step {restored}")
     with _metrics_scope(args.metrics_out):
+        if args.sanitize:
+            print(trainer.sanitize_check(tables).render())
         if len(trainer.history) < args.steps:
             history = trainer.train(tables,
                                     checkpoint_dir=args.checkpoint_dir)
@@ -439,6 +473,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import OpCounter, check_all, numeric_spot_check
+    from .models import MODEL_CLASSES
+    from .nn.tensor import set_tape_hook
+    from .serialize import SERIALIZERS
+
+    if args.model is not None and args.model not in MODEL_CLASSES:
+        _fail(f"unknown model {args.model!r}; "
+              f"choose one of {sorted(MODEL_CLASSES)}")
+    if args.serializer not in SERIALIZERS:
+        _fail(f"unknown serializer {args.serializer!r}; "
+              f"choose one of {sorted(SERIALIZERS)}")
+    models = [args.model] if args.model is not None else None
+    tasks = [args.task] if args.task is not None else None
+
+    # The counter proves the validation is static: constructors create
+    # only leaf parameters, so any recorded op means a forward ran.
+    counter = OpCounter()
+    previous = set_tape_hook(counter)
+    try:
+        try:
+            results = check_all(models, tasks,
+                                serializer_name=args.serializer,
+                                seed=args.seed)
+        except KeyError as error:
+            _fail(str(error.args[0]))
+    finally:
+        set_tape_hook(previous)
+
+    for result in results:
+        print(result.render(verbose=args.verbose))
+    failures = [r for r in results if not r.ok]
+    print(f"\nchecked {len(results)} pair(s): "
+          f"{len(results) - len(failures)} ok, {len(failures)} failed "
+          f"({counter.forward_ops} forward ops recorded)")
+    if counter.forward_ops:
+        _fail("static check unexpectedly executed forward ops — "
+              "checker bug, treat results as unsound")
+    if args.numeric:
+        from .analysis.checker import build_check_fixture
+        from .core import create_model
+
+        _, tokenizer, config = build_check_fixture()
+        for name in (models if models is not None else sorted(MODEL_CLASSES)):
+            model = create_model(name, tokenizer, config=config,
+                                 seed=args.seed)
+            try:
+                info = numeric_spot_check(model, seed=args.seed)
+            except AssertionError as error:
+                print(f"numeric FAIL {name}: {error}")
+                return 1
+            print(f"numeric ok   {name}: gradient of {info['layer']} "
+                  "matches finite differences")
+    return 1 if failures else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import RULES, run_lint
+
+    select = None
+    if args.select:
+        select = [rule.strip() for rule in args.select.split(",")
+                  if rule.strip()]
+        unknown = [rule for rule in select if rule not in RULES]
+        if unknown:
+            _fail(f"unknown rule(s) {unknown}; have {sorted(RULES)}")
+    for path in args.paths:
+        if not Path(path).exists():
+            _fail(f"lint path not found: {path}")
+    try:
+        findings = run_lint(args.paths, select=select)
+    except SyntaxError as error:
+        _fail(f"cannot parse {error.filename}:{error.lineno}: {error.msg}")
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} finding(s)")
+        return 1
+    print(f"clean: {', '.join(args.paths)}")
+    return 0
+
+
 _COMMANDS = {
     "corpus": _cmd_corpus,
     "encode": _cmd_encode,
@@ -447,6 +563,8 @@ _COMMANDS = {
     "behavioral": _cmd_behavioral,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "check": _cmd_check,
+    "lint": _cmd_lint,
 }
 
 

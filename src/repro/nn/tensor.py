@@ -31,9 +31,13 @@ _INFERENCE_MODE = False
 
 # Optional profiling hook (see repro.runtime.profiler).  When installed it
 # receives ``on_forward(op, nbytes)`` for every op creation and
-# ``on_backward(op, seconds)`` for every vector-Jacobian product.  The
-# disabled path is a single ``is None`` check per op.
+# ``on_backward(op, seconds)`` for every vector-Jacobian product.  A hook
+# may additionally define ``on_node(tensor)`` to observe every *tracked*
+# result tensor as it joins the tape (see repro.analysis.tape); the bound
+# method is cached here so the disabled path stays a single ``is None``
+# check per op.
 _TAPE_HOOK = None
+_TAPE_ON_NODE = None
 
 
 def set_tape_hook(hook) -> object | None:
@@ -41,9 +45,10 @@ def set_tape_hook(hook) -> object | None:
 
     Pass ``None`` to uninstall.  Used by :func:`repro.runtime.profile`.
     """
-    global _TAPE_HOOK
+    global _TAPE_HOOK, _TAPE_ON_NODE
     previous = _TAPE_HOOK
     _TAPE_HOOK = hook
+    _TAPE_ON_NODE = getattr(hook, "on_node", None)
     return previous
 
 
@@ -226,7 +231,10 @@ class Tensor:
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
+        out = Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
+        if _TAPE_ON_NODE is not None:
+            _TAPE_ON_NODE(out)
+        return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:

@@ -369,6 +369,55 @@ class Pretrainer:
         self.schedule.lr *= self.config.health.lr_backoff
         self.health.reset_window()
 
+    def sanitize_check(self, corpus: list[Table]):
+        """Preflight tape sanitization of one pretraining forward.
+
+        Samples a batch, computes the configured objectives under
+        :func:`~repro.analysis.trace_tape` (no backward, no optimizer
+        step) and runs :func:`~repro.analysis.sanitize_tape` over the
+        loss graph — dead parameters, untouched ops, float64 creep,
+        NaN-prone fan-out.  Findings are emitted through the runtime
+        metrics registry (``kind="sanitize"`` events) and the report is
+        returned for rendering.
+
+        The sampling RNG state is restored afterwards, so an opted-in
+        run draws the identical batch sequence as a run without it.
+        """
+        from ..analysis.tape import sanitize_tape, trace_tape
+
+        if not corpus:
+            raise ValueError("pretraining corpus is empty")
+        state = self.rng.bit_generator.state
+        try:
+            masked = self._masked_batch(self._sample_tables(corpus))
+            with trace_tape() as tracer:
+                hidden = self.model(masked.batch)
+                losses = []
+                if self.config.use_mlm and masked.num_mlm_targets:
+                    losses.append(mlm_loss(self.mlm_head(hidden), masked))
+                if (self.supports_mer and self.config.use_mer
+                        and masked.num_mer_targets):
+                    losses.append(mer_loss(self.model.mer_head(hidden),
+                                           masked))
+                if not losses:
+                    raise ValueError(
+                        "sampled batch produced no pretraining targets; "
+                        "cannot sanitize")
+                total = losses[0]
+                for extra in losses[1:]:
+                    total = total + extra
+        finally:
+            self.rng.bit_generator.state = state
+        named = [(f"model.{name}", p)
+                 for name, p in self.model.named_parameters()]
+        seen = {id(p) for _, p in named}
+        named += [(f"mlm_head.{name}", p)
+                  for name, p in self.mlm_head.named_parameters()
+                  if id(p) not in seen]
+        report = sanitize_tape(total, parameters=named, traced=tracer.nodes)
+        report.emit()
+        return report
+
     def train_step(self, corpus: list[Table]) -> TrainRecord:
         """One optimization step over a sampled batch; returns the record.
 

@@ -29,8 +29,10 @@ from dataclasses import replace
 
 import numpy as np
 
+from ..nn import Module
 from ..runtime import get_registry
-from ..serialize import TableFeatures, pad_batch
+from ..serialize import SerializedTable, TableFeatures, pad_batch
+from ..tables import Table
 
 __all__ = ["EncodingCache", "feature_fingerprint", "model_fingerprint",
            "table_fingerprint"]
@@ -39,7 +41,7 @@ _FEATURE_FIELDS = ("token_ids", "positions", "row_ids", "column_ids",
                    "roles", "entity_ids", "numeric_features")
 
 
-def table_fingerprint(table, context: str | None = None) -> str:
+def table_fingerprint(table: Table, context: str | None = None) -> str:
     """Content hash of one table plus its serialization context string.
 
     Covers everything serialization can see: header, every cell's text
@@ -82,7 +84,7 @@ def feature_fingerprint(features: TableFeatures) -> str:
     return digest.hexdigest()
 
 
-def model_fingerprint(model) -> str:
+def model_fingerprint(model: Module) -> str:
     """Hash of a model's identity: name, config, and every parameter.
 
     Any weight update (fine-tuning, loading a different bundle) changes
@@ -161,8 +163,9 @@ class EncodingCache:
             self._count("evictions")
 
     # ------------------------------------------------------------------
-    def features_for(self, encoder, tables: list,
-                     contexts: list[str | None]) -> tuple[list, list]:
+    def features_for(self, encoder: Module, tables: list[Table],
+                     contexts: list[str | None]
+                     ) -> tuple[list[SerializedTable], list[TableFeatures]]:
         """Serialized tables + input features, memoized by table content.
 
         Serialization re-tokenizes the whole table on every request, and
@@ -196,7 +199,7 @@ class EncodingCache:
             features.append(_copy_features(entry[1]))
         return serialized, features
 
-    def hidden_for(self, encoder, features: list[TableFeatures]
+    def hidden_for(self, encoder: Module, features: list[TableFeatures]
                    ) -> list[np.ndarray]:
         """Per-example hidden states ``(seq_i, dim)``, cached where possible.
 
@@ -226,7 +229,8 @@ class EncodingCache:
             miss_indices = [indices[0] for indices in pending.values()]
             batch = pad_batch([features[i] for i in miss_indices],
                               pad_id=encoder.tokenizer.vocab.pad_id)
-            data = encoder.forward(batch).data
+            with encoder.inference():
+                data = encoder.forward(batch).data
             for j, (key, indices) in enumerate(pending.items()):
                 hidden = data[j, : len(features[indices[0]])].copy()
                 self.store(key, hidden)

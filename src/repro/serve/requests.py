@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from ..nn import Module
 from ..corpus import (
     ColumnTypeExample,
     ImputationExample,
@@ -113,8 +114,8 @@ def build_example(task: str, payload: dict[str, Any]) -> Any:
                        f"{', '.join(SERVED_TASKS)}")
 
 
-def build_predictor(task: str, encoder, tables: list[Table],
-                    rng: np.random.Generator):
+def build_predictor(task: str, encoder: Module, tables: list[Table],
+                    rng: np.random.Generator) -> Module:
     """An untrained-or-bundle predictor head for one served task.
 
     ``tables`` seeds the data-dependent pieces: the imputer's value

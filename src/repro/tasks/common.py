@@ -151,7 +151,8 @@ def _restore_snapshot(parameters, optimizer: Adam,
 
 def finetune(task, examples: list, config: FinetuneConfig | None = None,
              encoder: TableEncoder | None = None,
-             health: HealthConfig | None = None) -> list[TrainRecord]:
+             health: HealthConfig | None = None,
+             sanitize: bool = False) -> list[TrainRecord]:
     """Generic fine-tuning loop; returns the per-step record history.
 
     Parameters
@@ -162,6 +163,12 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
     encoder:
         When ``config.freeze_encoder`` is set, parameters belonging to this
         encoder are excluded from optimization (linear-probe fine-tuning).
+    sanitize:
+        Trace one preflight loss before training and run
+        :func:`~repro.analysis.sanitize_tape` over its graph (dead
+        parameters, untouched ops, float64 creep, NaN-prone fan-out);
+        findings are emitted through the runtime metrics registry as
+        ``kind="sanitize"`` events.  No optimizer state is touched.
     health:
         Configuration of the numerical-health guard (defaults on).  Steps
         with a NaN/Inf loss or gradient never reach ``Adam.step``; a
@@ -195,6 +202,13 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
     good_steps = 0
 
     task.train()
+    if sanitize:
+        from ..analysis.tape import sanitize_tape, trace_tape
+
+        with trace_tape() as tracer:
+            preflight = task.loss(examples[: config.batch_size])
+        sanitize_tape(preflight, parameters=task,
+                      traced=tracer.nodes).emit()
     history: list[TrainRecord] = []
     for epoch in range(config.epochs):
         for batch in minibatches(examples, config.batch_size, rng):

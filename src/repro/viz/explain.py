@@ -84,7 +84,8 @@ def explain_scalar(model: TableEncoder, batch: BatchedFeatures,
         scalar.backward(np.ones_like(scalar.data))
         if embedded.grad is None:
             raise RuntimeError("no gradient reached the embeddings")
-        saliency = np.abs(embedded.grad * embedded.data).sum(axis=-1)
+        inputs = embedded.numpy()
+        saliency = np.abs(embedded.grad * inputs).sum(axis=-1)
     finally:
         model.zero_grad()
         if was_training:

@@ -1,0 +1,26 @@
+"""Shared fixtures for the static-analysis suite."""
+
+import pytest
+
+from repro.analysis.checker import build_check_fixture
+
+
+@pytest.fixture(scope="session")
+def check_fixture():
+    """(tables, tokenizer, config) — the triple ``repro check`` runs on."""
+    return build_check_fixture()
+
+
+@pytest.fixture(scope="session")
+def tables(check_fixture):
+    return check_fixture[0]
+
+
+@pytest.fixture(scope="session")
+def tokenizer(check_fixture):
+    return check_fixture[1]
+
+
+@pytest.fixture(scope="session")
+def config(check_fixture):
+    return check_fixture[2]

@@ -1,0 +1,55 @@
+"""Exit codes and output of ``repro check`` / ``repro lint``."""
+
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+def test_check_single_pair_exits_zero(capsys):
+    assert main(["check", "--model", "tapas", "--task", "qa"]) == 0
+    out = capsys.readouterr().out
+    assert "ok   tapas x qa" in out
+    assert "0 forward ops recorded" in out
+
+
+def test_check_all_exits_zero(capsys):
+    assert main(["check", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "checked 48 pair(s): 48 ok, 0 failed" in out
+
+
+def test_check_rejects_unknown_model(capsys):
+    with pytest.raises(SystemExit):
+        main(["check", "--model", "bort", "--task", "qa"])
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "src" / "repro" / "ok.py"
+    clean.parent.mkdir(parents=True)
+    clean.write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_violation_exits_one(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(textwrap.dedent("""
+        import numpy as np
+        def sample(history=[]):
+            history.append(np.random.rand())
+            return history
+    """))
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out and "REPRO003" in out
+    assert "finding(s)" in out
+
+
+def test_lint_select_narrows_rules(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def sample(history=[]):\n    return history\n")
+    assert main(["lint", str(bad), "--select", "REPRO001"]) == 0
+    assert main(["lint", str(bad), "--select", "REPRO003"]) == 1

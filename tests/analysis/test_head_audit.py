@@ -1,0 +1,88 @@
+"""Sanitizer audit of the six task heads (the issue's satellite fix).
+
+Every head over the plain BERT encoder must wire all of its parameters
+into the loss.  The one *documented* exception family — encoder-owned
+auxiliary heads that a task does not exercise (TAPAS cell selection /
+aggregation under NLI) — must be flagged precisely, and nothing else.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize_tape, trace_tape
+from repro.analysis.checker import CHECKED_TASKS
+from repro.core import create_model
+from repro.corpus.datasets import (
+    build_coltype_dataset,
+    build_imputation_dataset,
+    build_nli_dataset,
+    build_qa_dataset,
+    build_retrieval_dataset,
+    build_text2sql_dataset,
+)
+from repro.tasks import (
+    BiEncoderRetriever,
+    CellSelectionQA,
+    ColumnTypePredictor,
+    NliClassifier,
+    SketchParser,
+    ValueImputer,
+    build_value_vocabulary_from_tables,
+)
+
+
+def _task_and_examples(task_name, encoder, tables, rng):
+    if task_name == "qa":
+        return CellSelectionQA(encoder, rng), build_qa_dataset(tables, rng)
+    if task_name == "nli":
+        return NliClassifier(encoder, rng), build_nli_dataset(tables, rng)
+    if task_name == "imputation":
+        vocabulary = build_value_vocabulary_from_tables(tables)
+        return (ValueImputer(encoder, vocabulary, rng),
+                build_imputation_dataset(tables, rng))
+    if task_name == "coltype":
+        types = ["name", "year", "city", "country"]
+        return (ColumnTypePredictor(encoder, types, rng),
+                build_coltype_dataset(tables))
+    if task_name == "retrieval":
+        return (BiEncoderRetriever(encoder, corpus=tables),
+                build_retrieval_dataset(tables, rng))
+    if task_name == "text2sql":
+        return SketchParser(encoder, rng), build_text2sql_dataset(tables, rng)
+    raise KeyError(task_name)
+
+
+@pytest.mark.parametrize("task_name", CHECKED_TASKS)
+def test_every_head_over_bert_is_fully_wired(task_name, tables, tokenizer,
+                                             config):
+    rng = np.random.default_rng(0)
+    encoder = create_model("bert", tokenizer, config=config, seed=0)
+    task, examples = _task_and_examples(task_name, encoder, tables, rng)
+    assert examples, f"{task_name}: fixture produced no examples"
+    with trace_tape() as tracer:
+        loss = task.loss(examples[:4])
+    report = sanitize_tape(loss, parameters=task, traced=tracer.nodes)
+    assert report.by_kind("dead-parameter") == [], report.render()
+    assert report.by_kind("dtype-promotion") == [], report.render()
+    assert report.by_kind("non-finite") == [], report.render()
+
+
+def test_tapas_under_nli_flags_only_the_unused_aux_heads(tables, tokenizer,
+                                                         config):
+    rng = np.random.default_rng(0)
+    tapas = create_model("tapas", tokenizer, config=config, seed=0)
+    task = NliClassifier(tapas, rng)
+    examples = build_nli_dataset(tables, rng)
+    with trace_tape() as tracer:
+        loss = task.loss(examples[:4])
+    report = sanitize_tape(loss, parameters=task, traced=tracer.nodes)
+    dead = {finding.subject for finding in report.by_kind("dead-parameter")}
+    # NLI never calls the QA heads TAPAS carries — exactly those are dead.
+    assert dead == {
+        "encoder.cell_selection.scorer.weight",
+        "encoder.cell_selection.scorer.bias",
+        "encoder.aggregation.hidden.weight",
+        "encoder.aggregation.hidden.bias",
+        "encoder.aggregation.output.weight",
+        "encoder.aggregation.output.bias",
+    }

@@ -1,0 +1,116 @@
+"""Layer-level inference agrees with real forwards; errors carry paths."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ShapeError, ShapeSpec, infer_decoder, infer_shapes
+from repro.nn import (
+    Decoder,
+    Embedding,
+    Encoder,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+    Parameter,
+    Tensor,
+)
+from repro.models.heads import CellSelectionHead, ClassificationHead, MlmHead
+
+RNG = np.random.default_rng(0)
+
+
+def _agree(module, spec, real_input, bindings):
+    """Symbolic output, bound to concrete dims, must equal the real shape."""
+    symbolic = infer_shapes(module, spec)
+    real = module(real_input)
+    assert symbolic.concrete_shape(bindings) == real.shape
+    return symbolic
+
+
+def test_linear_agrees_and_range_checks():
+    layer = Linear(8, 5, RNG)
+    _agree(layer, ShapeSpec(("B", 8)), Tensor(RNG.normal(size=(3, 8))),
+           {"B": 3})
+    with pytest.raises(ShapeError, match=r"head\.weight.*axis is 7"):
+        infer_shapes(layer, ShapeSpec(("B", 7)), ("head", "weight"))
+    with pytest.raises(ShapeError, match="dtype is int"):
+        infer_shapes(layer, ShapeSpec(("B", 8), dtype="int"))
+
+
+def test_embedding_agrees_and_bounds_ids():
+    table = Embedding(10, 6, RNG)
+    ids = ShapeSpec(("B", "T"), dtype="int", max_value=9)
+    _agree(table, ids, np.array([[1, 2, 3]]), {"B": 1, "T": 3})
+    overflow = ShapeSpec(("B", "T"), dtype="int", max_value=10)
+    with pytest.raises(ShapeError, match="ids may reach 10.*only 10 rows"):
+        infer_shapes(table, overflow)
+
+
+def test_layernorm_feedforward_agree():
+    norm = LayerNorm(6)
+    _agree(norm, ShapeSpec(("B", "T", 6)),
+           Tensor(RNG.normal(size=(2, 3, 6))), {"B": 2, "T": 3})
+    ffn = FeedForward(6, 12, RNG)
+    _agree(ffn, ShapeSpec(("B", "T", 6)),
+           Tensor(RNG.normal(size=(2, 3, 6))), {"B": 2, "T": 3})
+    with pytest.raises(ShapeError, match=r"expand"):
+        infer_shapes(ffn, ShapeSpec(("B", "T", 7)))
+
+
+def test_attention_self_and_cross():
+    attention = MultiHeadAttention(8, 2, RNG)
+    x = ShapeSpec(("B", "T", 8))
+    _agree(attention, x, Tensor(RNG.normal(size=(2, 4, 8))), {"B": 2, "T": 4})
+    memory = ShapeSpec(("B", "S", 8))
+    out = infer_shapes(attention, (x, memory))
+    assert out.shape == ("B", "T", 8)
+    with pytest.raises(ShapeError, match="query batch 2 != memory batch 3"):
+        infer_shapes(attention, (ShapeSpec((2, "T", 8)),
+                                 ShapeSpec((3, "S", 8))))
+
+
+def test_encoder_stack_agrees():
+    encoder = Encoder(dim=8, num_heads=2, hidden_dim=16, num_layers=2, rng=RNG)
+    _agree(encoder, ShapeSpec(("B", "T", 8)),
+           Tensor(RNG.normal(size=(2, 5, 8))), {"B": 2, "T": 5})
+    with pytest.raises(ShapeError, match=r"layers\.0"):
+        infer_shapes(encoder, ShapeSpec(("B", "T", 9)))
+
+
+def test_decoder_agrees_with_real_forward():
+    decoder = Decoder(dim=8, num_heads=2, hidden_dim=16, num_layers=2, rng=RNG)
+    target = ShapeSpec(("B", "T_dec", 8))
+    memory = ShapeSpec(("B", "T", 8))
+    symbolic = infer_decoder(decoder, target, memory)
+    real = decoder(Tensor(RNG.normal(size=(2, 3, 8))),
+                   Tensor(RNG.normal(size=(2, 6, 8))))
+    assert symbolic.concrete_shape({"B": 2, "T_dec": 3}) == real.shape
+    with pytest.raises(ShapeError, match="target, memory"):
+        infer_shapes(decoder, target)
+
+
+def test_heads_agree():
+    mlm = MlmHead(8, Parameter(RNG.normal(size=(30, 8))), RNG)
+    symbolic = infer_shapes(mlm, ShapeSpec(("B", "T", 8)))
+    real = mlm(Tensor(RNG.normal(size=(2, 4, 8))))
+    assert symbolic.concrete_shape({"B": 2, "T": 4}) == real.shape
+
+    classify = ClassificationHead(8, 3, RNG)
+    symbolic = infer_shapes(classify, ShapeSpec(("B", 8)))
+    assert symbolic.concrete_shape({"B": 2}) == classify(
+        Tensor(RNG.normal(size=(2, 8)))).shape
+
+    select = CellSelectionHead(8, RNG)
+    symbolic = infer_shapes(select, ShapeSpec(("B", "T", 8)))
+    assert symbolic.concrete_shape({"B": 2, "T": 4}) == select.token_scores(
+        Tensor(RNG.normal(size=(2, 4, 8)))).shape
+
+
+def test_unregistered_module_reports_type():
+    class Mystery(Module):
+        pass
+
+    with pytest.raises(ShapeError, match="no shape-inference rule.*Mystery"):
+        infer_shapes(Mystery(), ShapeSpec(("B", 8)))

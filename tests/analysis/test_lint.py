@@ -1,0 +1,128 @@
+"""Lint rules fire on fixture snippets and stay silent on src/."""
+
+import textwrap
+
+from repro.analysis import RULES, lint_source, run_lint
+
+
+def _findings(source, path="src/repro/example.py", select=None):
+    return lint_source(textwrap.dedent(source), path, select=select)
+
+
+def _rules(findings):
+    return [finding.rule for finding in findings]
+
+
+def test_repro001_global_rng_call_fires():
+    findings = _findings("""
+        import numpy as np
+        x = np.random.rand(3)
+    """)
+    assert _rules(findings) == ["REPRO001"]
+
+
+def test_repro001_factory_calls_are_allowed():
+    assert _findings("""
+        import numpy as np
+        rng = np.random.default_rng(0)
+        ss = np.random.SeedSequence(7)
+    """) == []
+
+
+def test_repro002_raw_data_arithmetic_outside_nn_fires():
+    findings = _findings("""
+        y = tensor.data * 2
+    """, path="src/repro/tasks/qa.py")
+    assert _rules(findings) == ["REPRO002"]
+    # The same expression inside nn/ is the autograd implementation itself.
+    assert _findings("""
+        y = tensor.data * 2
+    """, path="src/repro/nn/tensor.py") == []
+
+
+def test_repro002_augassign_and_subscript_fire():
+    findings = _findings("""
+        tensor.data[0] += 1
+    """, path="src/repro/tasks/qa.py")
+    assert _rules(findings) == ["REPRO002"]
+
+
+def test_repro003_mutable_default_fires():
+    findings = _findings("""
+        def build(items=[]):
+            return items
+    """)
+    assert _rules(findings) == ["REPRO003"]
+    assert _findings("""
+        def build(items=None):
+            return items
+    """) == []
+
+
+def test_repro004_bare_forward_in_serve_fires():
+    source = """
+        def run(model, batch):
+            return model.forward(batch)
+    """
+    findings = _findings(source, path="src/repro/serve/engine.py")
+    assert "REPRO004" in _rules(findings)
+    # Outside serve/ the rule does not apply.
+    assert "REPRO004" not in _rules(
+        _findings(source, path="src/repro/tasks/qa.py"))
+
+
+def test_repro004_inference_context_suppresses():
+    findings = _findings("""
+        def run(model, batch):
+            with model.inference():
+                return model.forward(batch)
+    """, path="src/repro/serve/engine.py")
+    assert "REPRO004" not in _rules(findings)
+
+
+def test_repro005_missing_annotations_fire_in_analysis():
+    source = """
+        def infer(module, spec):
+            return spec
+    """
+    findings = _findings(source, path="src/repro/analysis/infer.py")
+    assert "REPRO005" in _rules(findings)
+    # Private helpers and out-of-scope packages are exempt.
+    assert _findings("""
+        def _infer(module, spec):
+            return spec
+    """, path="src/repro/analysis/infer.py") == []
+    assert _findings(source, path="src/repro/tasks/qa.py") == []
+
+
+def test_repro005_fully_annotated_passes():
+    assert _findings("""
+        def infer(module: object, spec: int) -> int:
+            return spec
+    """, path="src/repro/analysis/infer.py") == []
+
+
+def test_select_filters_rules():
+    source = """
+        import numpy as np
+        def build(items=[]):
+            return np.random.rand(3)
+    """
+    assert set(_rules(_findings(source))) == {"REPRO001", "REPRO003"}
+    assert _rules(_findings(source, select={"REPRO003"})) == ["REPRO003"]
+
+
+def test_finding_renders_location_and_rule():
+    finding = _findings("x = np.random.rand()")[0]
+    text = str(finding)
+    assert "src/repro/example.py" in text
+    assert "REPRO001" in text
+
+
+def test_every_rule_has_a_description():
+    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 6)}
+    assert all(RULES.values())
+
+
+def test_src_tree_is_clean():
+    assert run_lint(["src"]) == []

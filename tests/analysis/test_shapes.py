@@ -1,0 +1,62 @@
+"""ShapeSpec semantics: symbolic dims, broadcasting, binding."""
+
+import pytest
+
+from repro.analysis import ShapeError, ShapeSpec, broadcast_shapes, dims_equal
+
+
+def test_dims_equal_three_valued():
+    assert dims_equal(3, 3) is True
+    assert dims_equal(3, 4) is False
+    assert dims_equal("B", "B") is True
+    assert dims_equal("B", "T") is None        # could coincide at runtime
+    assert dims_equal("B", 7) is None          # unknowable, never an error
+
+
+def test_broadcast_symbolic_and_concrete():
+    assert broadcast_shapes(("B", 1, "T", "T"), ("B", 4, "T", "T")) == \
+        ("B", 4, "T", "T")
+    assert broadcast_shapes((3,), ("B", "T", 3)) == ("B", "T", 3)
+    # The concrete side wins an unknowable comparison.
+    assert broadcast_shapes(("B", "T"), (2, "T")) == (2, "T")
+
+
+def test_broadcast_provable_mismatch_raises():
+    with pytest.raises(ShapeError, match="cannot broadcast"):
+        broadcast_shapes(("B", 3), ("B", 4))
+
+
+def test_require_last_symbolic_never_errors():
+    spec = ShapeSpec(("B", "T", "D"))
+    spec.require_last(48, (), what="feature")   # unknowable → allowed
+    with pytest.raises(ShapeError, match="feature axis is 32"):
+        ShapeSpec(("B", "T", 32)).require_last(48, (), what="feature")
+
+
+def test_dtype_and_ndim_requirements():
+    ids = ShapeSpec(("B", "T"), dtype="int", max_value=99)
+    with pytest.raises(ShapeError, match="dtype is int"):
+        ids.require_dtype("float", ("embed",))
+    with pytest.raises(ShapeError, match="rank is 2"):
+        ids.require_ndim(3, ())
+    with pytest.raises(ValueError):
+        ShapeSpec((1,), dtype="complex")
+
+
+def test_bind_and_concrete_shape():
+    spec = ShapeSpec(("B", "T", 48))
+    assert spec.bind({"B": 2}).shape == (2, "T", 48)
+    assert spec.concrete_shape({"B": 2, "T": 17}) == (2, 17, 48)
+    with pytest.raises(ShapeError, match="unbound symbolic dims"):
+        spec.concrete_shape({"B": 2})
+
+
+def test_with_shape_drops_value_bound():
+    ids = ShapeSpec(("B", "T"), dtype="int", max_value=99)
+    out = ids.with_shape(("B", "T", 16))
+    assert out.dtype == "float" and out.max_value is None
+
+
+def test_error_renders_dotted_path():
+    error = ShapeError("boom", ("encoder", "layers", "1", "attention"))
+    assert str(error) == "encoder.layers.1.attention: boom"

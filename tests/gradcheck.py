@@ -1,47 +1,5 @@
-"""Finite-difference gradient checking helper shared by nn tests."""
+"""Thin re-export: the checker lives in ``repro.analysis.gradcheck`` now."""
 
-from __future__ import annotations
+from repro.analysis.gradcheck import check_gradient, numeric_gradient
 
-from typing import Callable
-
-import numpy as np
-
-from repro.nn import Tensor
-
-
-def numeric_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
-                     eps: float = 1e-6) -> np.ndarray:
-    """Central finite differences of a scalar-valued function."""
-    grad = np.zeros_like(x, dtype=np.float64)
-    flat = x.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = fn(x)
-        flat[i] = original - eps
-        minus = fn(x)
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
-    return grad
-
-
-def check_gradient(build: Callable[[Tensor], Tensor], x: np.ndarray,
-                   atol: float = 1e-5, rtol: float = 1e-4) -> None:
-    """Assert autograd gradient of ``sum(build(x))`` matches finite differences.
-
-    ``build`` maps a Tensor to a Tensor of any shape; the check sums it to a
-    scalar so one backward pass covers all outputs.
-    """
-    x = np.asarray(x, dtype=np.float64)
-
-    tensor = Tensor(x.copy(), requires_grad=True)
-    out = build(tensor).sum()
-    out.backward()
-    analytic = tensor.grad
-
-    def scalar_fn(arr: np.ndarray) -> float:
-        return float(build(Tensor(arr)).sum().data)
-
-    numeric = numeric_gradient(scalar_fn, x.copy())
-    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+__all__ = ["numeric_gradient", "check_gradient"]

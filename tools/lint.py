@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the repo lint rules.
+
+Equivalent to ``repro lint`` but importable without installing the
+package — CI and pre-commit hooks can run ``python tools/lint.py [paths]``
+from the repository root.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.lint import run_lint  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or ["src"]
+    findings = run_lint(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} finding(s)")
+        return 1
+    print(f"clean: {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
