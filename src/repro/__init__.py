@@ -25,6 +25,7 @@ from .core import (
     run_imputation_pipeline,
     save_pretrained,
 )
+from .parallel import DataParallelEngine, FixedClock, ParallelConfig
 from .runtime import TrainRecord, get_registry, profile
 from .tables import Table, TableContext, load_table
 from .tasks import Prediction, TaskPredictor
@@ -36,6 +37,7 @@ __all__ = [
     "create_model", "save_pretrained", "load_pretrained",
     "build_tokenizer_for_tables", "run_imputation_pipeline",
     "TrainRecord", "get_registry", "profile",
+    "ParallelConfig", "DataParallelEngine", "FixedClock",
     "Prediction", "TaskPredictor",
     "__version__",
 ]

@@ -22,8 +22,12 @@ accept ``--metrics-out PATH`` (one shared parent parser) to capture
 telemetry as a JSONL artifact (see ``repro.runtime``).  ``repro pretrain`` is
 fault-tolerant: ``--checkpoint-dir``/``--checkpoint-every`` write periodic
 full-state snapshots and ``--resume PATH`` continues an interrupted run
-bit-identically.  Operator errors (missing paths, corrupt bundles or
-checkpoints) exit with code 2 and a one-line message.
+bit-identically.  ``--workers N`` shards each step across N forked worker
+processes through :mod:`repro.parallel`; the deterministic fixed-order
+all-reduce keeps checkpoints byte-identical to ``--workers 1`` (add
+``--fixed-clock`` to pin the wall-time fields too).  Operator errors
+(missing paths, corrupt bundles or checkpoints) exit with code 2 and a
+one-line message.
 """
 
 from __future__ import annotations
@@ -96,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="trace one preflight forward and report tape "
                                "findings (dead parameters, float64 creep, "
                                "NaN-prone fan-out) before training")
+    pretrain.add_argument("--workers", type=int, default=1,
+                          help="data-parallel worker processes; any value "
+                               "trains bit-identically to --workers 1")
+    pretrain.add_argument("--shard-size", type=int, default=0,
+                          help="rows per gradient micro-shard "
+                               "(0 = auto: batch split four ways)")
+    pretrain.add_argument("--fixed-clock", action="store_true",
+                          help="use a deterministic step clock so wall-time "
+                               "fields (and checkpoint bytes) are "
+                               "reproducible across runs and machines")
 
     prof = sub.add_parser(
         "profile",
@@ -316,7 +330,10 @@ def _build_cli_config(tokenizer, dim: int, layers: int):
 
 
 def _cmd_pretrain(args: argparse.Namespace) -> int:
+    import time
+
     from .core import build_tokenizer_for_tables, create_model, save_pretrained
+    from .parallel import FixedClock, ParallelConfig
     from .pretrain import Pretrainer, PretrainConfig
 
     tables = _load_corpus_dir(args.corpus)
@@ -327,14 +344,22 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     if args.checkpoint_dir and not checkpoint_every:
         checkpoint_every = 10
     try:
+        # The CLI always trains through the data-parallel engine so the
+        # checkpoint bytes of `--workers 1` and `--workers N` match; the
+        # numeric signature stored in checkpoints only records the shard
+        # decomposition, never the worker count.
+        parallel = ParallelConfig(workers=args.workers,
+                                  shard_size=args.shard_size)
         pretrain_config = PretrainConfig(
             steps=args.steps, batch_size=args.batch_size,
             learning_rate=args.learning_rate, seed=args.seed,
             checkpoint_every=checkpoint_every,
-            keep_checkpoints=args.keep_checkpoints)
+            keep_checkpoints=args.keep_checkpoints,
+            parallel=parallel)
     except ValueError as error:
         _fail(str(error))
-    trainer = Pretrainer(model, pretrain_config)
+    clock = FixedClock() if args.fixed_clock else time.perf_counter
+    trainer = Pretrainer(model, pretrain_config, clock=clock)
     if args.resume is not None:
         if not Path(args.resume).exists():
             _fail(f"checkpoint path not found: {args.resume}")

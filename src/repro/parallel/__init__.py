@@ -1,0 +1,39 @@
+"""Data-parallel training: deterministic multi-process gradient steps.
+
+The engine shards each optimizer step's batch across N forked worker
+processes and combines per-shard gradients with a fixed-order tree
+all-reduce, so the summed gradient — and therefore every checkpoint
+byte — is identical for ``workers=1`` and ``workers=N``.  See
+DESIGN.md ("Deterministic data parallelism") for why the summation
+order must be pinned.
+
+Quickstart::
+
+    from repro.parallel import ParallelConfig
+    from repro.pretrain import Pretrainer, PretrainConfig
+
+    config = PretrainConfig(steps=60,
+                            parallel=ParallelConfig(workers=4))
+    Pretrainer(model, config).train(corpus)   # bit-identical to workers=1
+"""
+
+from .config import DEFAULT_SHARDS, FixedClock, ParallelConfig
+from .engine import DataParallelEngine, EngineStep
+from .plan import (
+    ShardPlan,
+    assign_round_robin,
+    plan_shards,
+    shard_slices,
+    split_waves,
+)
+from .reduce import tree_combine, tree_reduce_grads
+from .workers import WorkerError, WorkerPool
+
+__all__ = [
+    "ParallelConfig", "FixedClock", "DEFAULT_SHARDS",
+    "DataParallelEngine", "EngineStep",
+    "ShardPlan", "plan_shards", "shard_slices", "split_waves",
+    "assign_round_robin",
+    "tree_combine", "tree_reduce_grads",
+    "WorkerError", "WorkerPool",
+]

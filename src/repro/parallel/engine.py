@@ -1,0 +1,175 @@
+"""The data-parallel step engine: shard → compute → fixed-order reduce.
+
+:class:`DataParallelEngine` owns scheduling and reduction; *what* a
+shard computes stays with the caller, passed in as ``compute(payload) ->
+stats``.  The contract:
+
+- ``compute`` runs forward+backward for one shard payload against the
+  live ``parameters`` and returns a JSON-able stats dict; the engine
+  harvests ``p.grad`` afterwards (as a sparse ``{param_index: grad}``
+  dict) and clears it, so consecutive shards never cross-accumulate.
+- Per-shard losses must already carry their global normalization (e.g.
+  ``n_shard_targets / n_total_targets`` scaling), so the engine's job is
+  a plain unweighted sum — performed by the fixed-order reduction tree
+  in :mod:`repro.parallel.reduce`, which is what makes the combined
+  gradient bit-identical for every worker count and completion order.
+- ``workers=1`` runs shards in-process in shard order (no fork, no
+  pickling); ``workers>1`` forks a :class:`~repro.parallel.workers.WorkerPool`
+  lazily on the first step and syncs parameter arrays to it each step.
+
+Telemetry lands in the process registry: ``parallel.shard_ms`` (one
+observation per shard), ``parallel.reduce_ms`` (per step) and
+``parallel.imbalance`` (per step; ``max/mean - 1`` over shard times, 0.0
+means perfectly balanced).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .config import ParallelConfig
+from .plan import assign_round_robin, split_waves
+from .reduce import tree_reduce_grads
+from .workers import WorkerPool
+from ..runtime import get_registry
+
+__all__ = ["DataParallelEngine", "EngineStep"]
+
+
+@dataclass
+class EngineStep:
+    """What one engine step produced, ordered by shard index."""
+
+    grads: dict[int, np.ndarray]
+    stats: list[dict]
+    shard_seconds: list[float]
+    reduce_seconds: float
+
+    @property
+    def imbalance(self) -> float:
+        """``max/mean - 1`` over shard compute times (0 = balanced)."""
+        if len(self.shard_seconds) < 2:
+            return 0.0
+        mean = sum(self.shard_seconds) / len(self.shard_seconds)
+        if mean <= 0.0:
+            return 0.0
+        return max(self.shard_seconds) / mean - 1.0
+
+
+class DataParallelEngine:
+    """Schedules shard computations and reduces their gradients."""
+
+    def __init__(self, parameters: Sequence,
+                 compute: Callable[[Any], dict],
+                 config: ParallelConfig | None = None) -> None:
+        self.parameters = list(parameters)
+        self.compute = compute
+        self.config = config or ParallelConfig()
+        self._pool: WorkerPool | None = None
+
+    # -- shard execution ------------------------------------------------
+    def _run_shard(self, payload: Any) -> tuple[dict[int, np.ndarray], dict]:
+        """Compute one shard against the live parameters; harvest grads."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+        stats = self.compute(payload)
+        grads = {index: parameter.grad
+                 for index, parameter in enumerate(self.parameters)
+                 if parameter.grad is not None}
+        for parameter in self.parameters:
+            parameter.zero_grad()
+        return grads, stats
+
+    def _sync(self, arrays: list[np.ndarray]) -> None:
+        """Overwrite parameter storage in place (worker-side per step)."""
+        for parameter, value in zip(self.parameters, arrays):
+            parameter.data[...] = value
+
+    # -- the step -------------------------------------------------------
+    def step(self, payloads: Sequence[Any]) -> EngineStep:
+        """Run every shard payload, return the tree-combined gradients.
+
+        The result is bit-identical for any ``workers`` setting because
+        shard decomposition happened upstream, per-shard numerics run on
+        identical parameter bytes (fork + per-step sync), and the reduce
+        orders contributions by shard index — never by completion.
+        """
+        if not payloads:
+            raise ValueError("engine step needs at least one shard payload")
+        num_shards = len(payloads)
+        waves = split_waves(num_shards, self.config.accumulate)
+
+        raw: list[tuple[int, dict, dict, float]] = []
+        if self.config.workers == 1:
+            for wave in waves:
+                for shard_index in wave:
+                    started = time.perf_counter()
+                    grads, stats = self._run_shard(payloads[shard_index])
+                    elapsed = time.perf_counter() - started
+                    raw.append((shard_index, grads, stats, elapsed))
+        else:
+            pool = self._ensure_pool()
+            params = [parameter.data for parameter in self.parameters]
+            synced: set[int] = set()
+            for wave in waves:
+                assignment = assign_round_robin(wave, self.config.workers)
+                for worker, shard_ids in sorted(assignment.items()):
+                    pool.send(worker,
+                              None if worker in synced else params,
+                              [(i, payloads[i]) for i in shard_ids])
+                    synced.add(worker)
+                raw.extend(pool.collect(sorted(assignment)))
+
+        started = time.perf_counter()
+        combined = tree_reduce_grads(
+            ((shard_index, grads) for shard_index, grads, _, _ in raw),
+            num_shards)
+        reduce_seconds = time.perf_counter() - started
+
+        by_index = {shard_index: (stats, elapsed)
+                    for shard_index, _, stats, elapsed in raw}
+        result = EngineStep(
+            grads=combined,
+            stats=[by_index[i][0] for i in range(num_shards)],
+            shard_seconds=[by_index[i][1] for i in range(num_shards)],
+            reduce_seconds=reduce_seconds,
+        )
+        self._observe(result)
+        return result
+
+    def load_grads(self, grads: dict[int, np.ndarray]) -> None:
+        """Install combined gradients; untouched parameters keep ``None``."""
+        for index, parameter in enumerate(self.parameters):
+            parameter.grad = grads.get(index)
+
+    def _observe(self, result: EngineStep) -> None:
+        registry = get_registry()
+        shard_ms = registry.histogram("parallel.shard_ms")
+        for seconds in result.shard_seconds:
+            shard_ms.observe(seconds * 1e3)
+        registry.histogram("parallel.reduce_ms").observe(
+            result.reduce_seconds * 1e3)
+        registry.histogram("parallel.imbalance").observe(result.imbalance)
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.config.workers,
+                                    self._run_shard, self._sync)
+        return self._pool
+
+    def close(self) -> None:
+        """Stop worker processes; safe to call twice or never start."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "DataParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

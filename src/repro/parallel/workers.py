@@ -1,0 +1,159 @@
+"""The OS-process worker pool behind the data-parallel engine.
+
+Workers are forked (``multiprocessing.get_context("fork")``), so they
+inherit the model, optimizer parameters and corpus by address-space copy
+— no model pickling.  Per step the parent sends each participating
+worker one message per wave over its private pipe:
+
+    ("step", params_or_None, [(shard_index, payload), ...])
+
+``params`` (the current parameter arrays) rides along only on the first
+message a worker sees in a step; the worker writes them into its
+inherited parameter objects before computing, so forked copies never
+drift from the parent.  The reply is either
+
+    ("ok", [(shard_index, grads_dict, stats, seconds), ...])
+
+or ``("error", traceback_text)``, which the parent re-raises as
+:class:`WorkerError` — a failed shard can never be silently dropped
+(the fixed-order reduce would refuse the incomplete set anyway).
+
+Determinism note: nothing here orders the gradient sum.  Workers may
+finish in any order; the parent hands everything to
+:func:`~repro.parallel.reduce.tree_reduce_grads`, which sorts by shard
+index before folding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["WorkerError", "WorkerPool"]
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the remote traceback text."""
+
+
+def _worker_main(connection,
+                 run_shard: Callable[[Any], tuple[dict, dict]],
+                 sync: Callable[[list[np.ndarray]], None]) -> None:
+    """Child loop: sync parameters, compute assigned shards, reply."""
+    try:
+        while True:
+            message = connection.recv()
+            if message[0] == "stop":
+                break
+            _, params, assigned = message
+            try:
+                if params is not None:
+                    sync(params)
+                results = []
+                for shard_index, payload in assigned:
+                    started = time.perf_counter()
+                    grads, stats = run_shard(payload)
+                    elapsed = time.perf_counter() - started
+                    results.append((shard_index, grads, stats, elapsed))
+                connection.send(("ok", results))
+            except BaseException:
+                connection.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        connection.close()
+
+
+class WorkerPool:
+    """N forked processes, one duplex pipe each, lazy start."""
+
+    def __init__(self, workers: int,
+                 run_shard: Callable[[Any], tuple[dict, dict]],
+                 sync: Callable[[list[np.ndarray]], None]) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self._run_shard = run_shard
+        self._sync = sync
+        self._processes: list = []
+        self._connections: list = []
+
+    @property
+    def started(self) -> bool:
+        return bool(self._processes)
+
+    def start(self) -> None:
+        """Fork the workers.  Requires the 'fork' start method (POSIX):
+        spawn/forkserver would re-import rather than inherit the live
+        model, and this engine's contract is inherit-by-fork."""
+        if self.started:
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover — non-POSIX only
+            raise WorkerError(
+                "data-parallel workers need the 'fork' start method; "
+                "use workers=1 on this platform") from error
+        for _ in range(self.workers):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_end, self._run_shard, self._sync),
+                daemon=True)
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            self._connections.append(parent_end)
+
+    def send(self, worker: int, params: list[np.ndarray] | None,
+             assigned: list[tuple[int, Any]]) -> None:
+        """Dispatch one wave's shards (plus optional parameter sync)."""
+        self.start()
+        self._connections[worker].send(("step", params, assigned))
+
+    def collect(self, workers: list[int]) -> list[tuple[int, dict, dict, float]]:
+        """Gather replies from ``workers``; raises on any shard failure."""
+        results: list[tuple[int, dict, dict, float]] = []
+        failures: list[str] = []
+        for worker in workers:
+            try:
+                status, payload = self._connections[worker].recv()
+            except (EOFError, OSError):
+                failures.append(f"worker {worker} died without replying "
+                                f"(exitcode={self._processes[worker].exitcode})")
+                continue
+            if status == "error":
+                failures.append(f"worker {worker} raised:\n{payload}")
+            else:
+                results.extend(payload)
+        if failures:
+            raise WorkerError("; ".join(failures))
+        return results
+
+    def close(self) -> None:
+        """Stop and join every worker; idempotent, never raises."""
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover — stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for connection in self._connections:
+            connection.close()
+        self._processes = []
+        self._connections = []
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

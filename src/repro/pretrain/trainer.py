@@ -29,14 +29,18 @@ import json
 import time
 import warnings
 from dataclasses import asdict, dataclass, field
+from dataclasses import replace as dataclass_replace
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
-from .masking import combine_masking, mask_for_mer, mask_for_mlm
+from .masking import IGNORE_INDEX, MaskedBatch, combine_masking, \
+    mask_for_mer, mask_for_mlm
 from .objectives import masked_accuracy, mer_loss, mlm_loss
 from ..models import MlmHead, TableEncoder
 from ..nn import Adam, LinearWarmupSchedule, clip_gradients
+from ..parallel import DataParallelEngine, ParallelConfig, shard_slices
 from ..nn.io import (
     CheckpointError,
     latest_valid_checkpoint,
@@ -63,7 +67,7 @@ _CHECKPOINT_PREFIX = "ckpt-"
 _RESUME_CRITICAL_FIELDS = (
     "steps", "batch_size", "learning_rate", "warmup_fraction",
     "mask_probability", "mer_mask_probability", "whole_cell_masking",
-    "use_mlm", "use_mer", "grad_clip", "seed",
+    "use_mlm", "use_mer", "grad_clip", "seed", "parallel",
 )
 
 
@@ -85,6 +89,7 @@ class PretrainConfig:
     checkpoint_every: int = 0     # snapshot cadence in steps; 0 disables
     keep_checkpoints: int = 3     # on-disk snapshot retention (last K)
     health: HealthConfig = field(default_factory=HealthConfig)
+    parallel: ParallelConfig | None = None   # None = legacy fused path
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.batch_size < 1:
@@ -195,12 +200,63 @@ class TrainerCheckpoint:
         )
 
 
+@dataclass(frozen=True)
+class _ShardPayload:
+    """One micro-shard of a masked batch plus its loss normalization.
+
+    The weights are ``n_shard_targets / n_total_targets`` per objective,
+    computed in the parent, so summing the (weighted) shard losses and
+    gradients with the fixed-order tree reduce reproduces the fused
+    mean-over-targets objective.  Module-level so fork/pipe transport
+    can pickle it.
+    """
+
+    masked: MaskedBatch
+    mlm_weight: float
+    mer_weight: float
+
+
+def _slice_masked(masked: MaskedBatch, rows: slice) -> MaskedBatch:
+    """Row-slice a masked batch (padding/seq_len untouched).
+
+    Keeping the padded sequence length means a shard's forward runs the
+    same per-row arithmetic as any other decomposition of the same
+    batch, and the slices are views — no copies cross into worker pipes
+    beyond pickling itself.
+    """
+    batch = masked.batch
+    sliced = dataclass_replace(
+        batch,
+        token_ids=batch.token_ids[rows],
+        positions=batch.positions[rows],
+        row_ids=batch.row_ids[rows],
+        column_ids=batch.column_ids[rows],
+        roles=batch.roles[rows],
+        entity_ids=batch.entity_ids[rows],
+        numeric_features=batch.numeric_features[rows],
+        lengths=batch.lengths[rows],
+    )
+    return MaskedBatch(batch=sliced,
+                       mlm_targets=masked.mlm_targets[rows],
+                       mer_targets=masked.mer_targets[rows])
+
+
 class Pretrainer:
     """Runs MLM (+MER where supported) pretraining over a table corpus."""
 
-    def __init__(self, model: TableEncoder, config: PretrainConfig | None = None) -> None:
+    def __init__(self, model: TableEncoder,
+                 config: PretrainConfig | None = None, *,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         self.model = model
         self.config = config or PretrainConfig()
+        self.clock = clock
+        if (self.config.parallel is not None
+                and getattr(model.config, "dropout", 0.0)):
+            raise ValueError(
+                "data-parallel pretraining requires dropout=0.0: a "
+                "stochastic forward would consume per-module RNG in "
+                "schedule-dependent order and break the bit-identity "
+                "guarantee across worker counts")
         self.rng = np.random.default_rng(self.config.seed)
 
         if hasattr(model, "mlm_head"):
@@ -225,6 +281,10 @@ class Pretrainer:
         self.history: list[TrainRecord] = []
         self.health = HealthMonitor(self.config.health, source="pretrain")
         self._last_good: TrainerCheckpoint | None = None
+        self._engine: DataParallelEngine | None = None
+        self._shard_size = (
+            self.config.parallel.resolve_shard_size(self.config.batch_size)
+            if self.config.parallel is not None else None)
 
     # ------------------------------------------------------------------
     # Checkpoint capture / restore
@@ -310,6 +370,15 @@ class Pretrainer:
     def _config_dict(self) -> dict:
         config = asdict(self.config)
         config["health"] = asdict(self.config.health)
+        # Persist only the numeric projection of parallelism: the shard
+        # decomposition decides gradient bits, the worker count does not.
+        # This keeps a workers=4 checkpoint byte-identical to a workers=1
+        # one, and lets serial->parallel->serial resumes pass the
+        # compatibility check.
+        parallel = self.config.parallel
+        config["parallel"] = (
+            parallel.numeric_signature(self.config.batch_size)
+            if parallel is not None else None)
         return config
 
     def _check_config_compatible(self, saved: dict) -> None:
@@ -418,6 +487,100 @@ class Pretrainer:
         report.emit()
         return report
 
+    # ------------------------------------------------------------------
+    # Data-parallel step path (config.parallel is set)
+    # ------------------------------------------------------------------
+    def _ensure_engine(self) -> DataParallelEngine:
+        if self._engine is None:
+            self._engine = DataParallelEngine(
+                self.optimizer.parameters, self._shard_compute,
+                self.config.parallel)
+        return self._engine
+
+    def close(self) -> None:
+        """Release worker processes; a later step re-forks them lazily."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def _shard_compute(self, payload: _ShardPayload) -> dict:
+        """Forward+backward one micro-shard (runs in-process or forked).
+
+        Losses arrive pre-normalized (``payload.*_weight`` is this
+        shard's share of the step's prediction targets), so the engine's
+        unweighted fixed-order sum of shard losses/gradients equals the
+        fused mean-over-targets objective.
+        """
+        masked = payload.masked
+        stats = {"loss": 0.0, "mlm_loss": 0.0, "mer_loss": 0.0,
+                 "mlm_correct": 0, "mlm_count": 0,
+                 "mer_correct": 0, "mer_count": 0}
+        if payload.mlm_weight == 0.0 and payload.mer_weight == 0.0:
+            return stats
+        hidden = self.model(masked.batch)
+        losses = []
+        if payload.mlm_weight > 0.0:
+            logits = self.mlm_head(hidden)
+            loss = mlm_loss(logits, masked) * payload.mlm_weight
+            losses.append(loss)
+            stats["mlm_loss"] = float(loss.data)
+            keep = masked.mlm_targets != IGNORE_INDEX
+            predicted = logits.data.argmax(axis=-1)
+            stats["mlm_correct"] = int(
+                (predicted[keep] == masked.mlm_targets[keep]).sum())
+            stats["mlm_count"] = int(keep.sum())
+        if payload.mer_weight > 0.0:
+            logits = self.model.mer_head(hidden)
+            loss = mer_loss(logits, masked) * payload.mer_weight
+            losses.append(loss)
+            stats["mer_loss"] = float(loss.data)
+            keep = masked.mer_targets != IGNORE_INDEX
+            predicted = logits.data.argmax(axis=-1)
+            stats["mer_correct"] = int(
+                (predicted[keep] == masked.mer_targets[keep]).sum())
+            stats["mer_count"] = int(keep.sum())
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        stats["loss"] = float(total.data)
+        total.backward()
+        return stats
+
+    def _parallel_backward(self, masked: MaskedBatch):
+        """Shard the batch, run the engine, install combined gradients.
+
+        Returns ``(loss, mlm_loss, mer_loss, mlm_acc, mer_acc)`` or
+        ``None`` when the batch produced no prediction targets (the
+        serial path's "no losses" case).  All RNG work already happened
+        in the parent, so worker count cannot perturb the random stream.
+        """
+        use_mer = self.supports_mer and self.config.use_mer
+        total_mlm = masked.num_mlm_targets if self.config.use_mlm else 0
+        total_mer = masked.num_mer_targets if use_mer else 0
+        if not (total_mlm or total_mer):
+            return None
+        payloads = []
+        for rows in shard_slices(masked.batch.batch_size, self._shard_size):
+            shard = _slice_masked(masked, rows)
+            payloads.append(_ShardPayload(
+                masked=shard,
+                mlm_weight=(shard.num_mlm_targets / total_mlm
+                            if total_mlm else 0.0),
+                mer_weight=(shard.num_mer_targets / total_mer
+                            if total_mer else 0.0),
+            ))
+        engine = self._ensure_engine()
+        outcome = engine.step(payloads)
+        engine.load_grads(outcome.grads)
+        totals = {key: sum(s[key] for s in outcome.stats)
+                  for key in outcome.stats[0]}
+        mlm_acc = (totals["mlm_correct"] / totals["mlm_count"]
+                   if totals["mlm_count"] else 0.0)
+        mer_acc = (totals["mer_correct"] / totals["mer_count"]
+                   if totals["mer_count"] else 0.0)
+        return (totals["loss"], totals["mlm_loss"], totals["mer_loss"],
+                mlm_acc, mer_acc)
+
     def train_step(self, corpus: list[Table]) -> TrainRecord:
         """One optimization step over a sampled batch; returns the record.
 
@@ -428,39 +591,48 @@ class Pretrainer:
         appended to :attr:`history`.
         """
         step = len(self.history)
-        started = time.perf_counter()
+        started = self.clock()
         masked = self._masked_batch(self._sample_tables(corpus))
         tokens = int(masked.batch.token_ids.size)
 
         self.optimizer.zero_grad()
-        hidden = self.model(masked.batch)
-
-        losses = []
         mlm_value = mer_value = 0.0
         mlm_acc = mer_acc = 0.0
-        if self.config.use_mlm and masked.num_mlm_targets:
-            logits = self.mlm_head(hidden)
-            loss = mlm_loss(logits, masked)
-            losses.append(loss)
-            mlm_value = float(loss.data)
-            mlm_acc = masked_accuracy(logits, masked.mlm_targets)
-        if self.supports_mer and self.config.use_mer and masked.num_mer_targets:
-            logits = self.model.mer_head(hidden)
-            loss = mer_loss(logits, masked)
-            losses.append(loss)
-            mer_value = float(loss.data)
-            mer_acc = masked_accuracy(logits, masked.mer_targets)
+        total_value = 0.0
+        if self.config.parallel is not None:
+            summary = self._parallel_backward(masked)
+            has_grads = summary is not None
+            if has_grads:
+                total_value, mlm_value, mer_value, mlm_acc, mer_acc = summary
+        else:
+            hidden = self.model(masked.batch)
+            losses = []
+            if self.config.use_mlm and masked.num_mlm_targets:
+                logits = self.mlm_head(hidden)
+                loss = mlm_loss(logits, masked)
+                losses.append(loss)
+                mlm_value = float(loss.data)
+                mlm_acc = masked_accuracy(logits, masked.mlm_targets)
+            if (self.supports_mer and self.config.use_mer
+                    and masked.num_mer_targets):
+                logits = self.model.mer_head(hidden)
+                loss = mer_loss(logits, masked)
+                losses.append(loss)
+                mer_value = float(loss.data)
+                mer_acc = masked_accuracy(logits, masked.mer_targets)
+            has_grads = bool(losses)
+            if has_grads:
+                total = losses[0]
+                for extra in losses[1:]:
+                    total = total + extra
+                total.backward()
+                total_value = float(total.data)
 
         skipped = False
         rolled_back = False
-        if losses:
-            total = losses[0]
-            for extra in losses[1:]:
-                total = total + extra
-            total.backward()
+        if has_grads:
             grad_norm = clip_gradients(self.optimizer.parameters,
                                        self.config.grad_clip)
-            total_value = float(total.data)
             verdict = self.health.check(step, total_value, grad_norm)
             if verdict.ok:
                 self.optimizer.lr = self.schedule(step)
@@ -473,7 +645,6 @@ class Pretrainer:
                     self._rollback()
         else:
             grad_norm = 0.0
-            total_value = 0.0
 
         extras = {"mlm_loss": mlm_value, "mer_loss": mer_value,
                   "mlm_accuracy": mlm_acc, "mer_accuracy": mer_acc}
@@ -481,7 +652,7 @@ class Pretrainer:
             extras["skipped"] = 1.0
         record = TrainRecord(
             step=step, loss=total_value, lr=self.optimizer.lr,
-            grad_norm=grad_norm, wall_time=time.perf_counter() - started,
+            grad_norm=grad_norm, wall_time=self.clock() - started,
             tokens=tokens, extras=extras,
         )
         if not rolled_back:
@@ -531,15 +702,18 @@ class Pretrainer:
         self.model.train()
         if self._last_good is None:
             self._last_good = self.capture()
-        while len(self.history) < self.config.steps:
-            self.train_step(corpus)
-            done = len(self.history)
-            cadence = self.config.checkpoint_every
-            if (cadence and done % cadence == 0
-                    and not self.history[-1].extras.get("skipped")):
-                self._last_good = self.capture()
-                if directory is not None:
-                    self._write_snapshot(directory)
+        try:
+            while len(self.history) < self.config.steps:
+                self.train_step(corpus)
+                done = len(self.history)
+                cadence = self.config.checkpoint_every
+                if (cadence and done % cadence == 0
+                        and not self.history[-1].extras.get("skipped")):
+                    self._last_good = self.capture()
+                    if directory is not None:
+                        self._write_snapshot(directory)
+        finally:
+            self.close()
         if directory is not None:
             self._write_snapshot(directory)
         self.model.eval()

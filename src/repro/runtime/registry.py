@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from .records import TrainRecord
 from .sinks import MetricSink
@@ -60,13 +60,20 @@ class Counter:
 
 
 class Timer:
-    """Accumulates durations; use :meth:`time` as a context manager."""
+    """Accumulates durations; use :meth:`time` as a context manager.
+
+    The time source is injectable (same pattern as
+    ``serve.DynamicBatcher``), so tests measure deterministic fake
+    seconds instead of sleeping.
+    """
 
     __slots__ = ("name", "count", "total_seconds", "min_seconds",
-                 "max_seconds")
+                 "max_seconds", "clock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         self.name = name
+        self.clock = clock
         self.count = 0
         self.total_seconds = 0.0
         self.min_seconds = float("inf")
@@ -80,11 +87,11 @@ class Timer:
 
     @contextmanager
     def time(self) -> Iterator[None]:
-        start = time.perf_counter()
+        start = self.clock()
         try:
             yield
         finally:
-            self.observe(time.perf_counter() - start)
+            self.observe(self.clock() - start)
 
     @property
     def mean_seconds(self) -> float:
@@ -149,10 +156,14 @@ class MetricsRegistry:
             instrument = self._counters[name] = Counter(name)
         return instrument
 
-    def timer(self, name: str) -> Timer:
+    def timer(self, name: str,
+              clock: Callable[[], float] | None = None) -> Timer:
+        """Get-or-create; ``clock`` (first caller wins) overrides the
+        time source for deterministic tests."""
         instrument = self._timers.get(name)
         if instrument is None:
-            instrument = self._timers[name] = Timer(name)
+            instrument = self._timers[name] = (
+                Timer(name) if clock is None else Timer(name, clock))
         return instrument
 
     def histogram(self, name: str) -> Histogram:

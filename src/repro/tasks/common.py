@@ -25,6 +25,7 @@ import numpy as np
 
 from ..nn import Adam, Tensor, clip_gradients
 from ..models import TableEncoder
+from ..parallel import DataParallelEngine, ParallelConfig, shard_slices
 from ..runtime import (
     HealthConfig,
     HealthMonitor,
@@ -36,6 +37,7 @@ from ..runtime import (
 __all__ = [
     "Prediction", "TaskPredictor", "predict_in_batches",
     "FinetuneConfig", "finetune", "pooled_span", "minibatches",
+    "minibatch_indices",
 ]
 
 
@@ -107,6 +109,7 @@ class FinetuneConfig:
     grad_clip: float = 1.0
     seed: int = 0
     freeze_encoder: bool = False
+    parallel: ParallelConfig | None = None   # None = legacy fused path
 
     def __post_init__(self) -> None:
         if self.epochs < 1 or self.batch_size < 1:
@@ -126,14 +129,27 @@ def pooled_span(hidden: Tensor, batch_index: int,
     return hidden[batch_index, start:end].mean(axis=0)
 
 
+def minibatch_indices(count: int, batch_size: int,
+                      rng: np.random.Generator | None = None):
+    """Yield shuffled (if ``rng``) fixed-size index chunks of ``range(count)``.
+
+    The index form is what the data-parallel path ships to workers —
+    forked children index into their inherited example list, so example
+    objects never cross a pipe.  ``minibatches`` builds on this, so both
+    paths consume the RNG identically.
+    """
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        yield [int(i) for i in order[start:start + batch_size]]
+
+
 def minibatches(items: list, batch_size: int,
                 rng: np.random.Generator | None = None):
     """Yield shuffled (if ``rng``) fixed-size chunks of ``items``."""
-    order = np.arange(len(items))
-    if rng is not None:
-        rng.shuffle(order)
-    for start in range(0, len(items), batch_size):
-        yield [items[int(i)] for i in order[start:start + batch_size]]
+    for indices in minibatch_indices(len(items), batch_size, rng):
+        yield [items[i] for i in indices]
 
 
 def _capture_snapshot(parameters, optimizer: Adam) -> tuple[list, dict]:
@@ -152,7 +168,9 @@ def _restore_snapshot(parameters, optimizer: Adam,
 def finetune(task, examples: list, config: FinetuneConfig | None = None,
              encoder: TableEncoder | None = None,
              health: HealthConfig | None = None,
-             sanitize: bool = False) -> list[TrainRecord]:
+             sanitize: bool = False,
+             clock: Callable[[], float] = time.perf_counter
+             ) -> list[TrainRecord]:
     """Generic fine-tuning loop; returns the per-step record history.
 
     Parameters
@@ -177,11 +195,21 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
         diverging past ``max_rollbacks`` raises
         :class:`~repro.runtime.TrainingDivergedError`.
 
+    clock:
+        Injectable time source for ``record.wall_time`` (defaults to
+        ``time.perf_counter``); pass a deterministic clock to make run
+        histories byte-comparable.
+
     Returns
     -------
     One :class:`~repro.runtime.TrainRecord` per optimizer step; the loss
     values previously returned as bare floats live in ``record.loss``,
     and ``record.epoch``/``record.batch_size`` are carried as extras.
+
+    With ``config.parallel`` set, each minibatch is cut into micro-shards
+    whose gradients are computed across worker processes and combined by
+    the fixed-order tree reduce of :mod:`repro.parallel` — results are
+    bit-identical for any worker count.
     """
     config = config or FinetuneConfig()
     if not examples:
@@ -209,39 +237,72 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
             preflight = task.loss(examples[: config.batch_size])
         sanitize_tape(preflight, parameters=task,
                       traced=tracer.nodes).emit()
-    history: list[TrainRecord] = []
-    for epoch in range(config.epochs):
-        for batch in minibatches(examples, config.batch_size, rng):
-            started = time.perf_counter()
-            optimizer.zero_grad()
-            loss = task.loss(batch)
+    engine: DataParallelEngine | None = None
+    shard_size = 0
+    if config.parallel is not None:
+        shard_size = config.parallel.resolve_shard_size(config.batch_size)
+
+        def _shard_loss(payload: tuple[list[int], float]) -> dict:
+            indices, weight = payload
+            loss = task.loss([examples[i] for i in indices]) * weight
+            stats = {"loss": float(loss.data)}
             loss.backward()
-            grad_norm = clip_gradients(parameters, config.grad_clip)
-            extras = {"epoch": epoch, "batch_size": len(batch)}
-            verdict = monitor.check(len(history), float(loss.data), grad_norm)
-            if verdict.ok:
-                optimizer.step()
-                good_steps += 1
-                if good_steps % _SNAPSHOT_EVERY == 0:
-                    snapshot = _capture_snapshot(parameters, optimizer)
-            else:
-                extras["skipped"] = 1.0
+            return stats
+
+        engine = DataParallelEngine(parameters, _shard_loss, config.parallel)
+
+    history: list[TrainRecord] = []
+    try:
+        for epoch in range(config.epochs):
+            for batch_indices in minibatch_indices(
+                    len(examples), config.batch_size, rng):
+                started = clock()
                 optimizer.zero_grad()
-                if verdict.rollback:
-                    if monitor.rollback_exhausted():
-                        raise TrainingDivergedError(
-                            f"fine-tuning diverged: {monitor.bad_steps} bad "
-                            f"steps and {monitor.rollbacks} rollbacks")
-                    _restore_snapshot(parameters, optimizer, snapshot)
-                    optimizer.lr *= monitor.config.lr_backoff
-                    monitor.reset_window()
-            record = TrainRecord(
-                step=len(history), loss=float(loss.data), lr=optimizer.lr,
-                grad_norm=grad_norm,
-                wall_time=time.perf_counter() - started,
-                extras=extras,
-            )
-            history.append(record)
-            emit_train_record(record, source="finetune")
+                if engine is None:
+                    loss = task.loss([examples[i] for i in batch_indices])
+                    loss.backward()
+                    loss_value = float(loss.data)
+                else:
+                    # Per-shard losses carry their n_shard/n_batch share
+                    # so the unweighted fixed-order reduce reproduces
+                    # the fused mean-over-batch objective.
+                    payloads = [
+                        (batch_indices[rows],
+                         len(batch_indices[rows]) / len(batch_indices))
+                        for rows in shard_slices(len(batch_indices),
+                                                 shard_size)]
+                    outcome = engine.step(payloads)
+                    engine.load_grads(outcome.grads)
+                    loss_value = sum(s["loss"] for s in outcome.stats)
+                grad_norm = clip_gradients(parameters, config.grad_clip)
+                extras = {"epoch": epoch, "batch_size": len(batch_indices)}
+                verdict = monitor.check(len(history), loss_value, grad_norm)
+                if verdict.ok:
+                    optimizer.step()
+                    good_steps += 1
+                    if good_steps % _SNAPSHOT_EVERY == 0:
+                        snapshot = _capture_snapshot(parameters, optimizer)
+                else:
+                    extras["skipped"] = 1.0
+                    optimizer.zero_grad()
+                    if verdict.rollback:
+                        if monitor.rollback_exhausted():
+                            raise TrainingDivergedError(
+                                f"fine-tuning diverged: {monitor.bad_steps} "
+                                f"bad steps and {monitor.rollbacks} rollbacks")
+                        _restore_snapshot(parameters, optimizer, snapshot)
+                        optimizer.lr *= monitor.config.lr_backoff
+                        monitor.reset_window()
+                record = TrainRecord(
+                    step=len(history), loss=loss_value, lr=optimizer.lr,
+                    grad_norm=grad_norm,
+                    wall_time=clock() - started,
+                    extras=extras,
+                )
+                history.append(record)
+                emit_train_record(record, source="finetune")
+    finally:
+        if engine is not None:
+            engine.close()
     task.eval()
     return history

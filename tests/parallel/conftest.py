@@ -1,0 +1,60 @@
+"""Shared fixtures for the data-parallel differential harness.
+
+Everything is seeded and session-scoped: the differential tests compare
+checkpoint *bytes* across worker counts, so each run must start from an
+identical corpus, tokenizer and model initialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.corpus import KnowledgeBase, build_coltype_dataset, \
+    generate_wiki_corpus
+from repro.models import EncoderConfig
+from repro.text import train_tokenizer
+
+
+def corpus_texts(tables):
+    texts = []
+    for table in tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        for _, _, cell in table.iter_cells():
+            texts.append(cell.text())
+    return texts
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+@pytest.fixture(scope="session")
+def wiki_tables(kb):
+    return generate_wiki_corpus(kb, 16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(wiki_tables):
+    return train_tokenizer(corpus_texts(wiki_tables), vocab_size=700)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+        hidden_dim=32, max_position=128, num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture(scope="session")
+def coltype_examples(wiki_tables):
+    return build_coltype_dataset(wiki_tables)[:16]
+
+
+@pytest.fixture
+def make_model(tokenizer, config):
+    def build(name: str, seed: int = 0):
+        return create_model(name, tokenizer, config=config, seed=seed)
+    return build

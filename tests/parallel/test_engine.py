@@ -1,0 +1,226 @@
+"""Unit tests for the engine layers: plan, reduce, workers, scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.models import EncoderConfig
+from repro.nn import Tensor
+from repro.nn.module import Parameter
+from repro.parallel import (
+    DataParallelEngine,
+    ParallelConfig,
+    WorkerError,
+    WorkerPool,
+    assign_round_robin,
+    plan_shards,
+    shard_slices,
+    split_waves,
+    tree_combine,
+    tree_reduce_grads,
+)
+from repro.runtime import MetricsRegistry, using_registry
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(shard_size=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(accumulate=0)
+
+    def test_auto_shard_size_ignores_workers(self):
+        for workers in (1, 2, 3, 4, 7):
+            assert ParallelConfig(workers=workers).resolve_shard_size(8) == 2
+        assert ParallelConfig().resolve_shard_size(3) == 1
+        assert ParallelConfig(shard_size=16).resolve_shard_size(4) == 4
+
+    def test_numeric_signature_excludes_workers(self):
+        one = ParallelConfig(workers=1, shard_size=2)
+        four = ParallelConfig(workers=4, shard_size=2)
+        assert one.numeric_signature(8) == four.numeric_signature(8)
+        assert "workers" not in one.numeric_signature(8)
+
+
+class TestPlan:
+    def test_slices_cover_batch_in_order(self):
+        slices = shard_slices(10, 3)
+        covered = []
+        for piece in slices:
+            covered.extend(range(piece.start, piece.stop))
+        assert covered == list(range(10))
+
+    def test_waves_partition_contiguously(self):
+        waves = split_waves(5, 2)
+        assert waves == ((0, 1, 2), (3, 4))
+        assert split_waves(3, 10) == ((0,), (1,), (2,))
+
+    def test_plan_shards(self):
+        plan = plan_shards(batch_size=7, shard_size=2, accumulate=2)
+        assert plan.num_shards == 4
+        assert plan.waves == ((0, 1), (2, 3))
+
+    def test_round_robin_skips_idle_workers(self):
+        assignment = assign_round_robin([0, 1, 2], workers=4)
+        assert assignment == {0: [0], 1: [1], 2: [2]}
+
+
+class TestReduce:
+    def test_tree_combine_identity_semantics(self):
+        value = np.ones(3)
+        assert tree_combine([]) is None
+        assert tree_combine([None, None]) is None
+        assert tree_combine([None, value, None]) is value
+
+    def test_permutation_invariance_is_bitwise(self):
+        rng = np.random.default_rng(7)
+        grads = [(i, {0: rng.standard_normal(5)
+                      * 10.0 ** float(rng.integers(-3, 3))})
+                 for i in range(6)]
+        expected = tree_reduce_grads(grads, 6)
+        shuffled = list(grads)
+        rng.shuffle(shuffled)
+        actual = tree_reduce_grads(shuffled, 6)
+        assert np.array_equal(expected[0], actual[0])
+
+    def test_missing_and_duplicate_shards_raise(self):
+        with pytest.raises(ValueError, match="missing"):
+            tree_reduce_grads([(0, {0: np.ones(2)})], 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            tree_reduce_grads([(0, {0: np.ones(2)}), (0, {0: np.ones(2)})], 1)
+        with pytest.raises(ValueError, match="out of range"):
+            tree_reduce_grads([(5, {0: np.ones(2)})], 2)
+
+    def test_union_keeps_untouched_params_absent(self):
+        combined = tree_reduce_grads(
+            [(0, {0: np.ones(2)}), (1, {1: np.ones(3)})], 2)
+        assert set(combined) == {0, 1}
+
+
+def build_toy_engine(workers: int, accumulate: int = 1):
+    params = [Parameter(np.arange(6, dtype=np.float64).reshape(2, 3)),
+              Parameter(np.ones(3))]
+
+    def compute(payload):
+        x, weight = payload
+        loss = ((Tensor(x) @ params[0]) * params[1] * weight).sum()
+        loss.backward()
+        return {"loss": float(loss.data)}
+
+    engine = DataParallelEngine(
+        params, compute, ParallelConfig(workers=workers,
+                                        accumulate=accumulate))
+    return engine, params
+
+
+def toy_payloads(count: int = 4):
+    rng = np.random.default_rng(0)
+    return [(rng.standard_normal((2, 2)), 1.0 / count)
+            for _ in range(count)]
+
+
+class TestEngine:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_worker_count_is_pure_scheduling(self, workers):
+        payloads = toy_payloads()
+        with build_toy_engine(1)[0] as serial:
+            expected = serial.step(payloads)
+        with build_toy_engine(workers)[0] as engine:
+            actual = engine.step(payloads)
+        for index in expected.grads:
+            assert np.array_equal(expected.grads[index],
+                                  actual.grads[index])
+        assert [s["loss"] for s in actual.stats] == \
+            [s["loss"] for s in expected.stats]
+
+    def test_accumulate_waves_do_not_change_bits(self):
+        payloads = toy_payloads(5)
+        with build_toy_engine(2)[0] as flat:
+            expected = flat.step(payloads)
+        with build_toy_engine(2, accumulate=3)[0] as waved:
+            actual = waved.step(payloads)
+        for index in expected.grads:
+            assert np.array_equal(expected.grads[index],
+                                  actual.grads[index])
+
+    def test_load_grads_preserves_none_semantics(self):
+        engine, params = build_toy_engine(1)
+        engine.load_grads({0: np.ones((2, 3))})
+        assert params[0].grad is not None
+        assert params[1].grad is None
+
+    def test_metrics_observed(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with build_toy_engine(1)[0] as engine:
+                engine.step(toy_payloads())
+        assert registry.histogram("parallel.shard_ms").count == 4
+        assert registry.histogram("parallel.reduce_ms").count == 1
+        assert registry.histogram("parallel.imbalance").count == 1
+        assert registry.histogram("parallel.imbalance").min_value >= 0.0
+
+    def test_empty_step_raises(self):
+        with build_toy_engine(1)[0] as engine:
+            with pytest.raises(ValueError):
+                engine.step([])
+
+    def test_worker_exception_propagates_with_traceback(self):
+        params = [Parameter(np.ones(2))]
+
+        def explode(payload):
+            raise RuntimeError("shard went boom")
+
+        with DataParallelEngine(params, explode,
+                                ParallelConfig(workers=2)) as engine:
+            with pytest.raises(WorkerError, match="shard went boom"):
+                engine.step([(None,), (None,)])
+
+    def test_close_is_idempotent(self):
+        engine, _ = build_toy_engine(2)
+        engine.step(toy_payloads())
+        engine.close()
+        engine.close()
+        # a fresh pool is forked lazily if stepped again
+        engine.step(toy_payloads())
+        engine.close()
+
+
+class TestWorkerPool:
+    def test_rejects_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0, lambda payload: ({}, {}), lambda arrays: None)
+
+    def test_parameter_sync_reaches_children(self):
+        params = [Parameter(np.zeros(3))]
+
+        def compute(payload):
+            # Children must see the freshly synced parameter bytes.
+            return {}, {"seen": params[0].data.copy()}
+
+        def sync(arrays):
+            params[0].data[...] = arrays[0]
+
+        pool = WorkerPool(1, compute, sync)
+        try:
+            pool.send(0, [np.full(3, 7.0)], [(0, None)])
+            [(index, grads, stats, _)] = pool.collect([0])
+            assert index == 0
+            assert np.array_equal(stats["seen"], np.full(3, 7.0))
+        finally:
+            pool.close()
+
+
+class TestPretrainerGuards:
+    def test_dropout_rejected_under_parallelism(self, tokenizer, kb):
+        from repro.core import create_model
+        from repro.pretrain import Pretrainer, PretrainConfig
+
+        config = EncoderConfig(
+            vocab_size=len(tokenizer.vocab), dim=16, num_heads=2,
+            num_layers=1, hidden_dim=32, max_position=128,
+            num_entities=kb.num_entities, dropout=0.1)
+        model = create_model("bert", tokenizer, config=config, seed=0)
+        with pytest.raises(ValueError, match="dropout"):
+            Pretrainer(model, PretrainConfig(
+                parallel=ParallelConfig(workers=2)))

@@ -1,0 +1,162 @@
+"""Property-based tests for the deterministic all-reduce (hypothesis).
+
+The invariants the data-parallel engine stakes its correctness on:
+
+1. the fixed-order tree reduce is *bitwise* invariant to the order shard
+   gradients arrive in (completion order must not matter);
+2. running the same shard payloads under workers ∈ {1,2,3,4} produces
+   *bitwise* identical combined gradients (worker count is scheduling);
+3. gradient accumulation — k micro-shards with ``n_shard/n_total`` loss
+   scaling, tree-summed — reproduces the one-fused-shard gradient up to
+   float addition reordering (``allclose``; bitwise is impossible here
+   because the fused BLAS reduction uses a different summation tree).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.functional import cross_entropy
+from repro.nn.module import Parameter
+from repro.parallel import (
+    DataParallelEngine,
+    ParallelConfig,
+    shard_slices,
+    tree_combine,
+    tree_reduce_grads,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def shard_gradient_sets(draw, max_shards=7, max_params=4):
+    """A list of (shard_index, {param_index: array}) with sparse presence."""
+    num_shards = draw(st.integers(2, max_shards))
+    num_params = draw(st.integers(1, max_params))
+    shapes = [tuple(draw(st.lists(st.integers(1, 3), min_size=1, max_size=2)))
+              for _ in range(num_params)]
+    shards = []
+    for shard_index in range(num_shards):
+        grads = {}
+        for param_index in range(num_params):
+            if draw(st.booleans()):
+                size = int(np.prod(shapes[param_index]))
+                values = draw(st.lists(finite, min_size=size, max_size=size))
+                grads[param_index] = np.array(
+                    values, dtype=np.float64).reshape(shapes[param_index])
+        shards.append((shard_index, grads))
+    return num_shards, shards
+
+
+@settings(max_examples=60, deadline=None)
+@given(shard_gradient_sets(), st.randoms(use_true_random=False))
+def test_tree_reduce_bitwise_invariant_to_permutation(gradient_set, shuffler):
+    num_shards, shards = gradient_set
+    expected = tree_reduce_grads(shards, num_shards)
+    permuted = list(shards)
+    shuffler.shuffle(permuted)
+    actual = tree_reduce_grads(permuted, num_shards)
+    assert expected.keys() == actual.keys()
+    for param_index in expected:
+        assert np.array_equal(expected[param_index], actual[param_index],
+                              equal_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(finite, min_size=1, max_size=9),
+       st.lists(st.booleans(), min_size=1, max_size=9))
+def test_tree_combine_matches_fixed_left_fold_shape(values, presence):
+    """tree_combine over scalars equals the same tree built by hand."""
+    arrays = [np.array([v]) if keep else None
+              for v, keep in zip(values, presence)]
+    expected = arrays
+    while len(expected) > 1:
+        folded = []
+        for i in range(0, len(expected) - 1, 2):
+            left, right = expected[i], expected[i + 1]
+            if left is None:
+                folded.append(right)
+            elif right is None:
+                folded.append(left)
+            else:
+                folded.append(left + right)
+        if len(expected) % 2:
+            folded.append(expected[-1])
+        expected = folded
+    result = tree_combine(arrays)
+    if expected[0] is None:
+        assert result is None
+    else:
+        assert np.array_equal(result, expected[0])
+
+
+# ----------------------------------------------------------------------
+# Engine-level: worker count is pure scheduling
+# ----------------------------------------------------------------------
+def _engine_grads(payloads, workers: int, seed_data: np.ndarray):
+    params = [Parameter(seed_data.copy()),
+              Parameter(np.linspace(-1.0, 1.0, seed_data.shape[1]))]
+
+    def compute(payload):
+        rows, weight = payload
+        loss = ((Tensor(rows) @ params[0]) * params[1] * weight).sum()
+        loss.backward()
+        return {"loss": float(loss.data)}
+
+    with DataParallelEngine(params, compute,
+                            ParallelConfig(workers=workers)) as engine:
+        return engine.step(payloads).grads
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2 ** 16))
+def test_worker_counts_one_through_four_bit_identical(num_shards, seed):
+    rng = np.random.default_rng(seed)
+    seed_data = rng.standard_normal((3, 4))
+    payloads = [(rng.standard_normal((2, 3)), 1.0 / num_shards)
+                for _ in range(num_shards)]
+    baseline = _engine_grads(payloads, 1, seed_data)
+    for workers in (2, 3, 4):
+        grads = _engine_grads(payloads, workers, seed_data)
+        assert baseline.keys() == grads.keys()
+        for param_index in baseline:
+            assert np.array_equal(baseline[param_index], grads[param_index])
+
+
+# ----------------------------------------------------------------------
+# Gradient accumulation ≈ fused shard
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 12), st.integers(1, 5), st.integers(0, 2 ** 16))
+def test_accumulated_micro_shards_equal_one_fused_shard(
+        batch, shard_size, seed):
+    """k weighted micro-shard gradients tree-sum to the fused gradient.
+
+    The fused loss is a mean over batch targets; each micro-shard scales
+    its own mean loss by n_shard/n_batch, so the unweighted tree sum
+    reconstructs the fused objective up to fp addition order.
+    """
+    rng = np.random.default_rng(seed)
+    classes = 5
+    features = rng.standard_normal((batch, classes))
+    targets = rng.integers(0, classes, size=batch)
+
+    def grad_of(rows: slice, weight: float) -> np.ndarray:
+        w = Parameter(np.eye(classes))
+        logits = Tensor(features[rows]) @ w
+        loss = cross_entropy(logits, targets[rows]) * weight
+        loss.backward()
+        return w.grad.copy()
+
+    fused = grad_of(slice(0, batch), 1.0)
+    shard_grads = []
+    for index, rows in enumerate(shard_slices(batch, shard_size)):
+        count = rows.stop - rows.start
+        shard_grads.append((index, {0: grad_of(rows, count / batch)}))
+    combined = tree_reduce_grads(shard_grads, len(shard_grads))[0]
+    np.testing.assert_allclose(combined, fused, rtol=1e-9, atol=1e-12)

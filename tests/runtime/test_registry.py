@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.parallel import FixedClock
 from repro.runtime import (
     InMemorySink,
     JsonlSink,
@@ -28,13 +29,18 @@ class TestInstruments:
 
     def test_timer_context_manager(self):
         registry = MetricsRegistry()
-        with registry.timer("work").time():
-            time.sleep(0.002)
+        clock = FixedClock(tick=0.5)
+        with registry.timer("work", clock=clock).time():
+            pass
         timer = registry.timer("work")
         assert timer.count == 1
-        assert timer.total_seconds > 0
+        assert timer.total_seconds == 0.5
         assert timer.min_seconds <= timer.max_seconds
         assert timer.mean_seconds == timer.total_seconds
+
+    def test_timer_default_clock_is_wall_time(self):
+        timer = MetricsRegistry().timer("wall")
+        assert timer.clock is time.perf_counter
 
     def test_histogram_summary(self):
         registry = MetricsRegistry()
