@@ -14,6 +14,12 @@ Rules — each guards a convention the rest of the codebase relies on:
 - **REPRO005** public functions in ``analysis`` / ``serve`` / ``runtime``
   must carry full parameter and return annotations — these are the
   packages other tooling introspects.
+- **REPRO006** op math must go through the backend: inside ``nn/`` only
+  the backend seam itself (``backend.py``, ``compile.py``, ``tensor.py``,
+  ``optim.py``) may do raw ``.data`` arithmetic, and the deprecated
+  ``Tensor._make`` constructor may not be called anywhere — both bypass
+  the :mod:`repro.nn.backend` op registry, so compiled replay and any
+  future non-numpy backend would silently disagree with eager mode.
 
 Rule applicability is decided from *directory parts* of each file's
 path (``nn``, ``serve``, ...), so fixture trees in tests exercise the
@@ -35,7 +41,14 @@ RULES: dict[str, str] = {
     "REPRO003": "mutable default argument",
     "REPRO004": "serve-path forward() outside an inference context",
     "REPRO005": "public function missing type annotations",
+    "REPRO006": "op math must go through the backend",
 }
+
+#: nn/ modules that *are* the backend seam — the only places raw
+#: ``.data`` arithmetic is the implementation rather than a bypass.
+_BACKEND_SEAM_FILES = frozenset({
+    "backend.py", "compile.py", "tensor.py", "optim.py",
+})
 
 #: ``np.random.<name>`` calls that are construction, not global state.
 _RNG_FACTORY_NAMES = frozenset({
@@ -104,6 +117,8 @@ class _Visitor(ast.NodeVisitor):
         self.path = path
         self.in_nn = "nn" in parts
         self.in_serve = "serve" in parts
+        name = Path(path).name
+        self.in_backend_seam = name in _BACKEND_SEAM_FILES
         self.needs_annotations = bool(parts & _ANNOTATED_PACKAGES)
         self.select = select
         self.findings: list[LintFinding] = []
@@ -127,6 +142,11 @@ class _Visitor(ast.NodeVisitor):
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr == "forward"):
             self._report("REPRO004", node)
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_make"
+                and not self.in_backend_seam):
+            self._report("REPRO006", node,
+                         "Tensor._make bypasses the backend op registry")
         self.generic_visit(node)
 
     def visit_With(self, node: ast.With) -> None:
@@ -142,15 +162,21 @@ class _Visitor(ast.NodeVisitor):
             self._inference_depth -= 1
 
     def visit_BinOp(self, node: ast.BinOp) -> None:
-        if not self.in_nn and (_is_data_access(node.left)
-                               or _is_data_access(node.right)):
-            self._report("REPRO002", node)
+        if _is_data_access(node.left) or _is_data_access(node.right):
+            if not self.in_nn:
+                self._report("REPRO002", node)
+            elif not self.in_backend_seam:
+                self._report("REPRO006", node,
+                             "raw .data arithmetic inside nn/")
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        if not self.in_nn and (_is_data_access(node.target)
-                               or _is_data_access(node.value)):
-            self._report("REPRO002", node)
+        if _is_data_access(node.target) or _is_data_access(node.value):
+            if not self.in_nn:
+                self._report("REPRO002", node)
+            elif not self.in_backend_seam:
+                self._report("REPRO006", node,
+                             "raw .data arithmetic inside nn/")
         self.generic_visit(node)
 
     def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:

@@ -8,8 +8,10 @@ pass and reports wiring problems that numerics alone hide:
 - **untouched ops** — traced tensors whose value was computed but whose
   output never feeds the loss, so they burn flops and receive no
   gradient;
-- **dtype promotions** — float32 arrays silently widened to float64 by a
-  mixed-precision operand (float64 creep doubles memory traffic);
+- **dtype promotions** — narrow float arrays silently widened to the
+  backend's accumulation dtype (``backend.default_dtype``, float64 on the
+  numpy backend) by a mixed-precision operand; this "float64 creep"
+  doubles memory traffic;
 - **non-finite values** — NaN/Inf already present in the forward values;
 - **fan-out risk** — outputs of numerically touchy ops (``exp``, ``log``,
   ``pow``, ``div``) consumed by many downstream nodes, the classic NaN
@@ -30,6 +32,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ..nn import Module, Tensor
+from ..nn.backend import get_backend
 from ..nn.tensor import set_tape_hook
 from ..runtime import MetricsRegistry, get_registry
 
@@ -209,14 +212,19 @@ def sanitize_tape(
         for parent in node._parents:
             consumers[id(parent)] = consumers.get(id(parent), 0) + 1
 
+    # The creep check is defined against the backend's accumulation
+    # dtype, not a hard-coded float64, so it and the compiled executor
+    # agree on one source of truth (``backend.default_dtype``).
+    wide = np.dtype(get_backend().default_dtype)
     for node in reachable.values():
         data = node.data
-        if data.dtype == np.float64 and any(
-                p.data.dtype == np.float32 for p in node._parents
-                if p.data.dtype.kind == "f"):
+        if data.dtype == wide and any(
+                p.data.dtype.kind == "f"
+                and p.data.dtype.itemsize < wide.itemsize
+                for p in node._parents):
             report.findings.append(Finding(
                 "dtype-promotion", _label(node),
-                "float32 operand silently promoted to float64 "
+                f"narrow float operand silently promoted to {wide.name} "
                 "(doubles memory traffic)"))
         if data.dtype.kind == "f" and not np.all(np.isfinite(data)):
             report.findings.append(Finding(

@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use a deterministic step clock so wall-time "
                                "fields (and checkpoint bytes) are "
                                "reproducible across runs and machines")
+    pretrain.add_argument("--compile", action="store_true",
+                          help="record each step signature once and replay "
+                               "it through the compiled tape executor; "
+                               "bit-identical to the default serial path "
+                               "(incompatible with --workers > 1)")
 
     prof = sub.add_parser(
         "profile",
@@ -150,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--max-wait", type=float, default=0.02,
                          help="micro-batch deadline in seconds")
     predict.add_argument("--cache-entries", type=int, default=128)
+    predict.add_argument("--compile", action="store_true",
+                         help="serve through compiled tape-replay encoders "
+                              "(bit-identical outputs)")
     predict.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
@@ -168,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="exit after this many HTTP requests "
                             "(default: run forever)")
+    serve.add_argument("--compile", action="store_true",
+                       help="serve through compiled tape-replay encoders "
+                            "(bit-identical outputs)")
     serve.add_argument("--seed", type=int, default=0)
 
     check = sub.add_parser(
@@ -343,19 +354,25 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     checkpoint_every = args.checkpoint_every
     if args.checkpoint_dir and not checkpoint_every:
         checkpoint_every = 10
+    if args.compile and args.workers != 1:
+        _fail("--compile trains the fused single-process step and is "
+              "incompatible with --workers > 1")
     try:
-        # The CLI always trains through the data-parallel engine so the
-        # checkpoint bytes of `--workers 1` and `--workers N` match; the
-        # numeric signature stored in checkpoints only records the shard
-        # decomposition, never the worker count.
-        parallel = ParallelConfig(workers=args.workers,
-                                  shard_size=args.shard_size)
+        # Without --compile the CLI always trains through the
+        # data-parallel engine so the checkpoint bytes of `--workers 1`
+        # and `--workers N` match; the numeric signature stored in
+        # checkpoints only records the shard decomposition, never the
+        # worker count.  --compile replays the fused serial step instead
+        # (bit-identical to the serial eager path).
+        parallel = (None if args.compile else
+                    ParallelConfig(workers=args.workers,
+                                   shard_size=args.shard_size))
         pretrain_config = PretrainConfig(
             steps=args.steps, batch_size=args.batch_size,
             learning_rate=args.learning_rate, seed=args.seed,
             checkpoint_every=checkpoint_every,
             keep_checkpoints=args.keep_checkpoints,
-            parallel=parallel)
+            parallel=parallel, compile=args.compile)
     except ValueError as error:
         _fail(str(error))
     clock = FixedClock() if args.fixed_clock else time.perf_counter
@@ -440,7 +457,8 @@ def _build_engine(args: argparse.Namespace):
     try:
         config = ServeConfig(max_batch=args.max_batch,
                              max_wait_seconds=args.max_wait,
-                             cache_entries=args.cache_entries)
+                             cache_entries=args.cache_entries,
+                             compile=getattr(args, "compile", False))
         predictors = {task: build_predictor(task, model, tables, rng)
                       for task in SERVED_TASKS}
     except (RequestError, ValueError) as error:

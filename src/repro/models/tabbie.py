@@ -41,8 +41,14 @@ class Tabbie(TableEncoder):
             rng=rng, dropout=config.dropout,
         )
 
-    def forward(self, batch: BatchedFeatures) -> Tensor:
-        embedded = self.embed(batch)
-        row_view = self.encoder(embedded, mask=horizontal_mask(batch))
-        column_view = self.column_encoder(embedded, mask=vertical_mask(batch))
+    def structure_arrays(self, batch: BatchedFeatures) -> dict[str, np.ndarray]:
+        return {"row_mask": horizontal_mask(batch),
+                "column_mask": vertical_mask(batch)}
+
+    def _forward_impl(self, batch: BatchedFeatures,
+                      arrays: dict[str, np.ndarray]) -> Tensor:
+        embedded = self.embed(batch, arrays)
+        row_view = self.encoder(embedded, mask=arrays["row_mask"])
+        column_view = self.column_encoder(embedded,
+                                          mask=arrays["column_mask"])
         return (row_view + column_view) * 0.5

@@ -58,6 +58,13 @@ class TaBert(TableEncoder):
             return table.subtable(row_indices=range(self.snapshot_rows))
         return select_relevant_rows(table, query, max_rows=self.snapshot_rows)
 
-    def forward(self, batch: BatchedFeatures) -> Tensor:
-        hidden = self.encoder(self.embed(batch), mask=self.attention_mask(batch))
-        return self.vertical_encoder(hidden, mask=vertical_mask(batch))
+    def structure_arrays(self, batch: BatchedFeatures) -> dict[str, np.ndarray]:
+        arrays = super().structure_arrays(batch)
+        arrays["vertical_mask"] = vertical_mask(batch)
+        return arrays
+
+    def _forward_impl(self, batch: BatchedFeatures,
+                      arrays: dict[str, np.ndarray]) -> Tensor:
+        hidden = self.encoder(self.embed(batch, arrays),
+                              mask=arrays["mask"])
+        return self.vertical_encoder(hidden, mask=arrays["vertical_mask"])

@@ -46,15 +46,27 @@ class Turl(TableEncoder):
     def attention_mask(self, batch: BatchedFeatures) -> np.ndarray:
         return visibility_mask(batch)
 
-    def embed(self, batch: BatchedFeatures) -> Tensor:
+    def structure_arrays(self, batch: BatchedFeatures) -> dict[str, np.ndarray]:
+        arrays = super().structure_arrays(batch)
+        # Clamp KB ids into the embedding range *here* rather than in
+        # embed: the clamped array is batch-dependent and must be bound
+        # per replay, not baked into a recorded program.
+        arrays["entity_slots"] = np.minimum(batch.entity_ids,
+                                            self.config.num_entities)
+        return arrays
+
+    def embed(self, batch: BatchedFeatures,
+              arrays: dict[str, np.ndarray] | None = None) -> Tensor:
         """Standard channels plus the entity embedding for linked cells."""
+        slots = (arrays or {}).get("entity_slots")
+        if slots is None:
+            slots = np.minimum(batch.entity_ids, self.config.num_entities)
         total = self.token_embedding(batch.token_ids) \
             + self.position_embedding(batch.positions) \
             + self.row_embedding(batch.row_ids) \
             + self.column_embedding(batch.column_ids) \
             + self.role_embedding(batch.roles) \
-            + self.entity_embedding(np.minimum(batch.entity_ids,
-                                               self.config.num_entities))
+            + self.entity_embedding(slots)
         if self.config.numeric_features:
             total = total + self.numeric_projection(Tensor(batch.numeric_features))
         return self.embedding_dropout(self.embedding_norm(total))

@@ -20,6 +20,7 @@ import math
 
 import numpy as np
 
+from .backend import DEFAULT_DTYPE
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -84,7 +85,7 @@ class MultiHeadAttention(Module):
 
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
         if bias is not None:
-            scores = scores + Tensor(np.asarray(bias, dtype=np.float64))
+            scores = scores + Tensor(np.asarray(bias, dtype=DEFAULT_DTYPE))
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             while mask.ndim < 4:

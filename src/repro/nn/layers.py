@@ -1,9 +1,19 @@
-"""Core neural layers: Linear, Embedding, LayerNorm, Dropout."""
+"""Core neural layers: Linear, Embedding, LayerNorm, Dropout.
+
+Layers compose backend ops through the :class:`Tensor` API only — no raw
+``.data`` arithmetic (lint rule REPRO006) — so each forward works
+identically in eager mode and under tape recording.  The compiled
+executor (:mod:`repro.nn.compile`) fuses the op *patterns* these layers
+emit: ``matmul → add-bias → gelu`` from :class:`Linear` inside a GELU
+MLP, and the ``sub-mean / scale / gain+bias`` chain from
+:class:`LayerNorm` behind a residual add.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from .backend import DEFAULT_DTYPE
 from .module import Module, Parameter
 from .tensor import Tensor
 
@@ -84,5 +94,8 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep) / keep
+        # Cast through the library-wide accumulation dtype rather than
+        # relying on bool/float promotion — the mask is drawn eagerly per
+        # step, which is also why compiled replay rejects dropout > 0.
+        mask = (self._rng.random(x.shape) < keep).astype(DEFAULT_DTYPE) / keep
         return x * Tensor(mask)

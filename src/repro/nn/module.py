@@ -14,6 +14,7 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
+from .backend import DEFAULT_DTYPE
 from .tensor import Tensor, inference_mode
 
 __all__ = ["Parameter", "Module", "ModuleList", "InitMetadata"]
@@ -45,7 +46,8 @@ class Parameter(Tensor):
     """A tensor registered as a trainable parameter of a module."""
 
     def __init__(self, data: np.ndarray) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+        super().__init__(np.asarray(data, dtype=DEFAULT_DTYPE),
+                         requires_grad=True)
 
 
 class Module:
@@ -159,7 +161,7 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={missing}, unexpected={unexpected}")
         for name, param in own.items():
-            incoming = np.asarray(state[name], dtype=np.float64)
+            incoming = np.asarray(state[name], dtype=DEFAULT_DTYPE)
             if incoming.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: saved {incoming.shape}, model {param.shape}"

@@ -1,4 +1,4 @@
-"""Reverse-mode automatic differentiation on top of numpy.
+"""Reverse-mode automatic differentiation on top of the backend op table.
 
 This module is the computational foundation of the library.  It implements a
 small, well-tested :class:`Tensor` type supporting the operations the
@@ -11,20 +11,31 @@ Calling :meth:`Tensor.backward` on a scalar walks the tape in reverse
 topological order and accumulates gradients into every tensor created with
 ``requires_grad=True``.
 
+Since the backend redesign, the arithmetic itself no longer lives here:
+every op dispatches through :mod:`repro.nn.backend`'s :class:`OpDef` table
+(forward kernel + vector-Jacobian product), and this module only does the
+tape bookkeeping around it.  The compiled executor
+(:mod:`repro.nn.compile`) replays the very same op definitions, which is
+what keeps compiled and eager numerics bit-identical.
+
 All gradients are checked against central finite differences in the test
 suite (``tests/nn/test_tensor.py``).
 """
 
 from __future__ import annotations
 
-import math
 import time
+import warnings
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from . import backend as _backend
+from .backend import DEFAULT_DTYPE, _unbroadcast
+
 __all__ = ["Tensor", "no_grad", "inference_mode", "is_grad_enabled",
-           "is_inference_mode", "set_tape_hook", "get_tape_hook"]
+           "is_inference_mode", "set_tape_hook", "get_tape_hook",
+           "set_recorder", "get_recorder"]
 
 _GRAD_ENABLED = True
 _INFERENCE_MODE = False
@@ -38,6 +49,12 @@ _INFERENCE_MODE = False
 # check per op.
 _TAPE_HOOK = None
 _TAPE_ON_NODE = None
+
+# Optional tape recorder (see repro.nn.compile).  When installed it
+# observes every backend-dispatched op — in grad, no-grad and inference
+# mode alike — so one traced step can be captured into a replayable
+# program.  Purely passive: recording never changes what the op returns.
+_RECORDER = None
 
 
 def set_tape_hook(hook) -> object | None:
@@ -55,6 +72,24 @@ def set_tape_hook(hook) -> object | None:
 def get_tape_hook() -> object | None:
     """The currently installed tape hook, if any."""
     return _TAPE_HOOK
+
+
+def set_recorder(recorder) -> object | None:
+    """Install a tape recorder; returns the previously installed one.
+
+    The recorder receives ``record(op_name, inputs, params, out)`` for
+    every backend op as it executes.  Pass ``None`` to uninstall.  Used
+    by :func:`repro.nn.compile.record_program`.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+def get_recorder() -> object | None:
+    """The currently installed tape recorder, if any."""
+    return _RECORDER
 
 
 class no_grad:
@@ -111,25 +146,6 @@ def is_inference_mode() -> bool:
     return _INFERENCE_MODE
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Reduce ``grad`` back to ``shape`` after a broadcast forward op.
-
-    Broadcasting can prepend dimensions and stretch size-1 axes; the adjoint
-    of broadcasting is summation over the broadcast axes.
-    """
-    if grad.shape == shape:
-        return grad
-    # Sum over prepended axes.
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    # Sum over stretched size-1 axes.
-    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
-
-
 class Tensor:
     """A numpy array with reverse-mode autodiff support.
 
@@ -153,7 +169,7 @@ class Tensor:
     ) -> None:
         arr = np.asarray(data)
         if arr.dtype.kind in "iub":
-            arr = arr.astype(np.float64)
+            arr = arr.astype(DEFAULT_DTYPE)
         self.data = arr
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
@@ -210,6 +226,68 @@ class Tensor:
     def _coerce(value: "Tensor | np.ndarray | float | int") -> "Tensor":
         return value if isinstance(value, Tensor) else Tensor(value)
 
+    def _apply(self, name: str, inputs: tuple["Tensor", ...],
+               params: dict | None = None) -> "Tensor":
+        """Dispatch one op through the active backend and tape it.
+
+        Runs the backend ``forward`` kernel, wraps the result in a
+        ``Tensor`` (slim in inference mode), attaches a generic backward
+        closure invoking the backend ``vjp``, and notifies the profiling
+        hook / recorder.  This replaces the per-op ``_make`` closures the
+        pre-backend design used.
+        """
+        if params is None:
+            params = {}
+        b = _backend._BACKEND
+        opdef = _backend._ACTIVE_OPS[name]
+        out_data, ctx = opdef.forward(b, tuple(t.data for t in inputs), params)
+
+        if _INFERENCE_MODE:
+            out = Tensor.__new__(Tensor)
+            out.data = out_data
+            out.requires_grad = False
+            out.grad = None
+            out._parents = ()
+            out._backward = None
+            out._op = name
+            if _RECORDER is not None:
+                _RECORDER.record(name, inputs, params, out)
+            return out
+
+        if _TAPE_HOOK is not None:
+            _TAPE_HOOK.on_forward(name, out_data.nbytes)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in inputs)
+        if not requires:
+            out = Tensor(out_data)
+            if _RECORDER is not None:
+                _RECORDER.record(name, inputs, params, out)
+            return out
+
+        if opdef.accumulating:
+            def backward(grad: np.ndarray) -> None:
+                needs = tuple(p.requires_grad for p in inputs)
+
+                def accumulate(index: int, contribution: np.ndarray) -> None:
+                    if needs[index]:
+                        inputs[index]._accumulate(contribution)
+
+                opdef.vjp(b, grad, ctx, needs, accumulate)
+        else:
+            def backward(grad: np.ndarray) -> None:
+                needs = tuple(p.requires_grad for p in inputs)
+                grads = opdef.vjp(b, grad, ctx, needs)
+                for parent, g in zip(inputs, grads):
+                    if g is not None and parent.requires_grad:
+                        parent._accumulate(g)
+
+        out = Tensor(out_data, requires_grad=True, _parents=inputs,
+                     _backward=backward, _op=name)
+        if _TAPE_ON_NODE is not None:
+            _TAPE_ON_NODE(out)
+        if _RECORDER is not None:
+            _RECORDER.record(name, inputs, params, out)
+        return out
+
     def _make(
         self,
         data: np.ndarray,
@@ -217,6 +295,19 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
+        """Deprecated: build a tape node from a hand-written closure.
+
+        Op math must go through the backend op table (``_apply``) so the
+        compiled executor can capture and replay it; ad-hoc closures are
+        invisible to recording.  Kept for one release for external
+        callers.
+        """
+        warnings.warn(
+            "Tensor._make is deprecated: register an OpDef with the "
+            "backend and dispatch through it instead (see "
+            "repro.nn.backend); hand-written closures cannot be captured "
+            "by repro.nn.compile.",
+            DeprecationWarning, stacklevel=2)
         if _INFERENCE_MODE:
             out = Tensor.__new__(Tensor)
             out.data = data
@@ -231,14 +322,15 @@ class Tensor:
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
-        out = Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
+        out = Tensor(data, requires_grad=True, _parents=parents,
+                     _backward=backward, _op=op)
         if _TAPE_ON_NODE is not None:
             _TAPE_ON_NODE(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
+            self.grad = np.zeros_like(self.data, dtype=DEFAULT_DTYPE)
         self.grad += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -252,9 +344,9 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise ValueError("backward() without a seed requires a scalar tensor")
-            grad = np.ones_like(self.data, dtype=np.float64)
+            grad = np.ones_like(self.data, dtype=DEFAULT_DTYPE)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=DEFAULT_DTYPE)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
@@ -300,25 +392,13 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
-
-        return self._make(out_data, (self, other), backward, "add")
+        return self._apply("add", (self, other))
 
     def __radd__(self, other: "float | np.ndarray") -> "Tensor":
         return self.__add__(other)
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(-grad)
-
-        return self._make(-self.data, (self,), backward, "neg")
+        return self._apply("neg", (self,))
 
     def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         return self.__add__(-self._coerce(other))
@@ -328,32 +408,14 @@ class Tensor:
 
     def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
-
-        return self._make(out_data, (self, other), backward, "mul")
+        return self._apply("mul", (self, other))
 
     def __rmul__(self, other: "float | np.ndarray") -> "Tensor":
         return self.__mul__(other)
 
     def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
-                )
-
-        return self._make(out_data, (self, other), backward, "div")
+        return self._apply("div", (self, other))
 
     def __rtruediv__(self, other: "float | np.ndarray") -> "Tensor":
         return self._coerce(other).__truediv__(self)
@@ -361,98 +423,39 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data**exponent
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return self._make(out_data, (self,), backward, "pow")
+        return self._apply("pow", (self,), {"exponent": exponent})
 
     # ------------------------------------------------------------------
     # Nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data)
-
-        return self._make(out_data, (self,), backward, "exp")
+        return self._apply("exp", (self,))
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
-
-        return self._make(out_data, (self,), backward, "log")
+        return self._apply("log", (self,))
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
-
-        return self._make(out_data, (self,), backward, "tanh")
+        return self._apply("tanh", (self,))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = np.where(mask, self.data, 0.0)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return self._make(out_data, (self,), backward, "relu")
+        return self._apply("relu", (self,))
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation, as in BERT)."""
-        c = math.sqrt(2.0 / math.pi)
-        x = self.data
-        inner = c * (x + 0.044715 * x**3)
-        t = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + t)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                d_inner = c * (1.0 + 3 * 0.044715 * x**2)
-                local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
-                self._accumulate(grad * local)
-
-        return self._make(out_data, (self,), backward, "gelu")
+        return self._apply("gelu", (self,))
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return self._make(out_data, (self,), backward, "sigmoid")
+        return self._apply("sigmoid", (self,))
 
     # ------------------------------------------------------------------
     # Linear algebra
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data @ other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                ga = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(ga, self.shape))
-            if other.requires_grad:
-                gb = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(gb, other.shape))
-
-        return self._make(out_data, (self, other), backward, "matmul")
+        return self._apply("matmul", (self, other))
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         return self.matmul(other)
@@ -461,19 +464,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else axis
-                for ax in sorted(a % self.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
-
-        return self._make(out_data, (self,), backward, "sum")
+        return self._apply("sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -486,19 +477,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            expanded = out_data if keepdims else np.expand_dims(out_data, axis)
-            mask = self.data == expanded
-            # Split gradient equally among ties to keep the check well defined.
-            counts = mask.sum(axis=axis, keepdims=True)
-            g = grad if keepdims else np.expand_dims(grad, axis)
-            self._accumulate(mask * g / counts)
-
-        return self._make(out_data, (self,), backward, "max")
+        return self._apply("max", (self,), {"axis": axis, "keepdims": keepdims})
 
     def var(self, axis: int, keepdims: bool = False) -> "Tensor":
         """Population variance along ``axis`` (as used by layer norm)."""
@@ -512,26 +491,12 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-        original = self.shape
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.reshape(original))
-
-        return self._make(out_data, (self,), backward, "reshape")
+        return self._apply("reshape", (self,), {"shape": shape})
 
     def transpose(self, *axes: int) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out_data = self.data.transpose(axes)
-        inverse = np.argsort(axes)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.transpose(inverse))
-
-        return self._make(out_data, (self,), backward, "transpose")
+        return self._apply("transpose", (self,), {"axes": axes})
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -539,15 +504,7 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data, dtype=np.float64)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
-
-        return self._make(out_data, (self,), backward, "getitem")
+        return self._apply("getitem", (self,), {"index": index})
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows of a 2-D tensor — the embedding-lookup primitive.
@@ -558,43 +515,16 @@ class Tensor:
         if self.ndim != 2:
             raise ValueError("take_rows expects a 2-D tensor (a lookup table)")
         idx = np.asarray(indices, dtype=np.int64)
-        out_data = self.data[idx]
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data, dtype=np.float64)
-                np.add.at(full, idx.reshape(-1), grad.reshape(-1, self.shape[1]))
-                self._accumulate(full)
-
-        return self._make(out_data, (self,), backward, "take_rows")
+        return self._apply("take_rows", (self,), {"indices": idx})
 
     # ------------------------------------------------------------------
     # Composite ops used throughout the transformer stack
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
-        out_data = exp / exp.sum(axis=axis, keepdims=True)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                dot = (grad * out_data).sum(axis=axis, keepdims=True)
-                self._accumulate(out_data * (grad - dot))
-
-        return self._make(out_data, (self,), backward, "softmax")
+        return self._apply("softmax", (self,), {"axis": axis})
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        out_data = shifted - log_z
-        probs = np.exp(out_data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                total = grad.sum(axis=axis, keepdims=True)
-                self._accumulate(grad - probs * total)
-
-        return self._make(out_data, (self,), backward, "log_softmax")
+        return self._apply("log_softmax", (self,), {"axis": axis})
 
     def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
         """Replace entries where ``mask`` is true with ``value``.
@@ -603,13 +533,18 @@ class Tensor:
         negative score before softmax.
         """
         mask = np.asarray(mask, dtype=bool)
-        out_data = np.where(mask, value, self.data)
+        return self._apply("masked_fill", (self,), {"mask": mask, "value": value})
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(np.where(mask, 0.0, grad), self.shape))
+    def cross_entropy(self, targets: np.ndarray,
+                      ignore_index: int | None = None) -> "Tensor":
+        """Mean NLL of a ``(n, classes)`` tensor against integer targets.
 
-        return self._make(out_data, (self,), backward, "masked_fill")
+        One fused backend op replacing the ``log_softmax → getitem → mul
+        → sum → neg`` chain; gradients are bit-identical to that chain.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        return self._apply("cross_entropy", (self,),
+                           {"targets": targets, "ignore_index": ignore_index})
 
     def clip_norm(self, max_norm: float) -> "Tensor":
         """Differentiably rescale so the Frobenius norm is at most ``max_norm``."""
@@ -632,30 +567,11 @@ class Tensor:
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._coerce(t) for t in tensors]
-        out_data = np.concatenate([t.data for t in tensors], axis=axis)
-        sizes = [t.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
-
-        def backward(grad: np.ndarray) -> None:
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                if tensor.requires_grad:
-                    slicer = [slice(None)] * grad.ndim
-                    slicer[axis] = slice(start, stop)
-                    tensor._accumulate(grad[tuple(slicer)])
-
         ref = tensors[0]
-        return ref._make(out_data, tuple(tensors), backward, "concatenate")
+        return ref._apply("concatenate", tuple(tensors), {"axis": axis})
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._coerce(t) for t in tensors]
-        out_data = np.stack([t.data for t in tensors], axis=axis)
-
-        def backward(grad: np.ndarray) -> None:
-            slices = np.moveaxis(grad, axis, 0)
-            for tensor, piece in zip(tensors, slices):
-                if tensor.requires_grad:
-                    tensor._accumulate(piece)
-
         ref = tensors[0]
-        return ref._make(out_data, tuple(tensors), backward, "stack")
+        return ref._apply("stack", tuple(tensors), {"axis": axis})

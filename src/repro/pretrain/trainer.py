@@ -39,7 +39,10 @@ from .masking import IGNORE_INDEX, MaskedBatch, combine_masking, \
     mask_for_mer, mask_for_mlm
 from .objectives import masked_accuracy, mer_loss, mlm_loss
 from ..models import MlmHead, TableEncoder
-from ..nn import Adam, LinearWarmupSchedule, clip_gradients
+from ..models.base import forward_bindings
+from ..nn import Adam, LinearWarmupSchedule, Tensor, clip_gradients
+from ..nn.compile import ProgramCache, TapeExecutor, binding_signature, \
+    record_program
 from ..parallel import DataParallelEngine, ParallelConfig, shard_slices
 from ..nn.io import (
     CheckpointError,
@@ -90,6 +93,7 @@ class PretrainConfig:
     keep_checkpoints: int = 3     # on-disk snapshot retention (last K)
     health: HealthConfig = field(default_factory=HealthConfig)
     parallel: ParallelConfig | None = None   # None = legacy fused path
+    compile: bool = False         # record the step once, replay it after
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.batch_size < 1:
@@ -100,6 +104,11 @@ class PretrainConfig:
             raise ValueError("checkpoint_every must be non-negative")
         if self.keep_checkpoints < 1:
             raise ValueError("keep_checkpoints must be positive")
+        if self.compile and self.parallel is not None:
+            raise ValueError(
+                "compile=True is incompatible with data-parallel "
+                "pretraining: the compiled executor replays one fused "
+                "single-process step; pick one of the two")
 
 
 @dataclass
@@ -257,6 +266,11 @@ class Pretrainer:
                 "stochastic forward would consume per-module RNG in "
                 "schedule-dependent order and break the bit-identity "
                 "guarantee across worker counts")
+        if self.config.compile and getattr(model.config, "dropout", 0.0):
+            raise ValueError(
+                "compiled pretraining requires dropout=0.0: dropout masks "
+                "are drawn eagerly per step and would be baked into the "
+                "recorded program as constants")
         self.rng = np.random.default_rng(self.config.seed)
 
         if hasattr(model, "mlm_head"):
@@ -281,6 +295,7 @@ class Pretrainer:
         self.history: list[TrainRecord] = []
         self.health = HealthMonitor(self.config.health, source="pretrain")
         self._last_good: TrainerCheckpoint | None = None
+        self._programs = ProgramCache() if self.config.compile else None
         self._engine: DataParallelEngine | None = None
         self._shard_size = (
             self.config.parallel.resolve_shard_size(self.config.batch_size)
@@ -379,6 +394,11 @@ class Pretrainer:
         config["parallel"] = (
             parallel.numeric_signature(self.config.batch_size)
             if parallel is not None else None)
+        # Compiled replay is bit-identical to eager execution, so the
+        # flag is not part of a run's numeric identity: dropping it keeps
+        # compiled and eager checkpoints byte-identical and lets runs
+        # resume across the two modes.
+        config.pop("compile", None)
         return config
 
     def _check_config_compatible(self, saved: dict) -> None:
@@ -438,6 +458,108 @@ class Pretrainer:
         self.schedule.lr *= self.config.health.lr_backoff
         self.health.reset_window()
 
+    # ------------------------------------------------------------------
+    # Objective graph (shared by the eager, compiled and sanitize paths)
+    # ------------------------------------------------------------------
+    def _objectives(self, masked: MaskedBatch) -> tuple[bool, bool]:
+        """Which objectives this batch actually trains (targets present)."""
+        use_mlm = bool(self.config.use_mlm and masked.num_mlm_targets)
+        use_mer = bool(self.supports_mer and self.config.use_mer
+                       and masked.num_mer_targets)
+        return use_mlm, use_mer
+
+    def _losses(self, hidden: Tensor, masked: MaskedBatch,
+                use_mlm: bool, use_mer: bool) -> dict[str, Tensor]:
+        """Build the loss graph over ``hidden``.
+
+        Returns the named tensors a compiled replay must surface:
+        per-objective logits and losses plus the summed ``total`` the
+        backward pass seeds.  Op creation order matches the historical
+        inline code exactly, so recorded programs replay bit-identically.
+        """
+        outputs: dict[str, Tensor] = {}
+        losses = []
+        if use_mlm:
+            logits = self.mlm_head(hidden)
+            loss = mlm_loss(logits, masked)
+            losses.append(loss)
+            outputs["mlm_logits"] = logits
+            outputs["mlm_loss"] = loss
+        if use_mer:
+            logits = self.model.mer_head(hidden)
+            loss = mer_loss(logits, masked)
+            losses.append(loss)
+            outputs["mer_logits"] = logits
+            outputs["mer_loss"] = loss
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        outputs["total"] = total
+        return outputs
+
+    def _summarize(self, outs: dict[str, np.ndarray], masked: MaskedBatch,
+                   use_mlm: bool, use_mer: bool) -> tuple:
+        """Step statistics from the (eager or replayed) output arrays."""
+        total_value = float(outs["total"])
+        mlm_value = float(outs["mlm_loss"]) if use_mlm else 0.0
+        mer_value = float(outs["mer_loss"]) if use_mer else 0.0
+        mlm_acc = (masked_accuracy(outs["mlm_logits"], masked.mlm_targets)
+                   if use_mlm else 0.0)
+        mer_acc = (masked_accuracy(outs["mer_logits"], masked.mer_targets)
+                   if use_mer else 0.0)
+        return total_value, mlm_value, mer_value, mlm_acc, mer_acc
+
+    # ------------------------------------------------------------------
+    # Compiled step path (config.compile is set)
+    # ------------------------------------------------------------------
+    def _step_bindings(self, masked: MaskedBatch, use_mlm: bool,
+                       use_mer: bool) -> tuple[dict, dict]:
+        """Structure arrays + named bindings for one step's replay."""
+        arrays = self.model.structure_arrays(masked.batch)
+        bindings = forward_bindings(masked.batch, arrays)
+        if use_mlm:
+            bindings["mlm_targets"] = masked.mlm_targets
+        if use_mer:
+            bindings["mer_targets"] = masked.mer_targets
+        return arrays, bindings
+
+    def _record_step(self, masked: MaskedBatch, arrays: dict, bindings: dict,
+                     use_mlm: bool, use_mer: bool) -> dict[str, Tensor]:
+        """Run one ordinary eager forward under the recorder.
+
+        The recorded program is compiled and cached under the batch's
+        binding signature; the eager output tensors are returned so the
+        recording step doubles as a regular training (or sanitize) step.
+        """
+        program, outputs = record_program(
+            lambda: self._losses(self.model(masked.batch, arrays),
+                                 masked, use_mlm, use_mer),
+            bindings, loss="total")
+        signature = binding_signature(bindings, flags=(use_mlm, use_mer))
+        self._programs.put(signature, TapeExecutor(program))
+        return outputs
+
+    def _compiled_step(self, masked: MaskedBatch, use_mlm: bool,
+                       use_mer: bool) -> dict[str, np.ndarray]:
+        """Forward+backward through the program cache (bit-exact).
+
+        Cache misses (first step of a new padded shape / objective
+        combination) record while training eagerly; hits replay the flat
+        program and its precomputed backward sweep with no Tensor or
+        node construction.
+        """
+        arrays, bindings = self._step_bindings(masked, use_mlm, use_mer)
+        signature = binding_signature(bindings, flags=(use_mlm, use_mer))
+        executor = self._programs.get(signature)
+        if executor is None:
+            outputs = self._record_step(masked, arrays, bindings,
+                                        use_mlm, use_mer)
+            outputs["total"].backward()
+            return {name: t.data for name, t in outputs.items()}
+        outs = executor.run(bindings)
+        executor.backward()
+        return outs
+
     def sanitize_check(self, corpus: list[Table]):
         """Preflight tape sanitization of one pretraining forward.
 
@@ -451,6 +573,10 @@ class Pretrainer:
 
         The sampling RNG state is restored afterwards, so an opted-in
         run draws the identical batch sequence as a run without it.
+        With ``config.compile`` the sanitize forward runs under the tape
+        recorder and seeds the program cache — the first real training
+        step (which re-draws this same batch) replays it instead of
+        paying a second eager step.
         """
         from ..analysis.tape import sanitize_tape, trace_tape
 
@@ -459,22 +585,21 @@ class Pretrainer:
         state = self.rng.bit_generator.state
         try:
             masked = self._masked_batch(self._sample_tables(corpus))
+            use_mlm, use_mer = self._objectives(masked)
+            if not (use_mlm or use_mer):
+                raise ValueError(
+                    "sampled batch produced no pretraining targets; "
+                    "cannot sanitize")
             with trace_tape() as tracer:
-                hidden = self.model(masked.batch)
-                losses = []
-                if self.config.use_mlm and masked.num_mlm_targets:
-                    losses.append(mlm_loss(self.mlm_head(hidden), masked))
-                if (self.supports_mer and self.config.use_mer
-                        and masked.num_mer_targets):
-                    losses.append(mer_loss(self.model.mer_head(hidden),
-                                           masked))
-                if not losses:
-                    raise ValueError(
-                        "sampled batch produced no pretraining targets; "
-                        "cannot sanitize")
-                total = losses[0]
-                for extra in losses[1:]:
-                    total = total + extra
+                if self._programs is not None:
+                    arrays, bindings = self._step_bindings(
+                        masked, use_mlm, use_mer)
+                    outputs = self._record_step(masked, arrays, bindings,
+                                                use_mlm, use_mer)
+                else:
+                    outputs = self._losses(self.model(masked.batch),
+                                           masked, use_mlm, use_mer)
+                total = outputs["total"]
         finally:
             self.rng.bit_generator.state = state
         named = [(f"model.{name}", p)
@@ -605,28 +730,19 @@ class Pretrainer:
             if has_grads:
                 total_value, mlm_value, mer_value, mlm_acc, mer_acc = summary
         else:
-            hidden = self.model(masked.batch)
-            losses = []
-            if self.config.use_mlm and masked.num_mlm_targets:
-                logits = self.mlm_head(hidden)
-                loss = mlm_loss(logits, masked)
-                losses.append(loss)
-                mlm_value = float(loss.data)
-                mlm_acc = masked_accuracy(logits, masked.mlm_targets)
-            if (self.supports_mer and self.config.use_mer
-                    and masked.num_mer_targets):
-                logits = self.model.mer_head(hidden)
-                loss = mer_loss(logits, masked)
-                losses.append(loss)
-                mer_value = float(loss.data)
-                mer_acc = masked_accuracy(logits, masked.mer_targets)
-            has_grads = bool(losses)
+            use_mlm, use_mer = self._objectives(masked)
+            has_grads = use_mlm or use_mer
             if has_grads:
-                total = losses[0]
-                for extra in losses[1:]:
-                    total = total + extra
-                total.backward()
-                total_value = float(total.data)
+                if self._programs is not None:
+                    outs = self._compiled_step(masked, use_mlm, use_mer)
+                else:
+                    outputs = self._losses(self.model(masked.batch),
+                                           masked, use_mlm, use_mer)
+                    outputs["total"].backward()
+                    outs = {name: t.data for name, t in outputs.items()}
+                (total_value, mlm_value, mer_value,
+                 mlm_acc, mer_acc) = self._summarize(outs, masked,
+                                                     use_mlm, use_mer)
 
         skipped = False
         rolled_back = False

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 from typing import Any, Callable
 
 from .batching import BatchPolicy, DynamicBatcher
@@ -39,6 +40,7 @@ class ServeConfig:
     max_wait_seconds: float = 0.02
     cache_entries: int = 128
     metrics_prefix: str = "serve"
+    compile: bool = False      # tape-replay encoders (bit-identical)
 
     def __post_init__(self) -> None:
         if self.cache_entries < 1:
@@ -90,14 +92,22 @@ class InferenceEngine:
         Batching and cache limits.
     clock:
         Injectable monotonic clock (tests drive deadlines with a fake).
+    compile:
+        Overrides ``config.compile`` when given; enables compiled
+        tape-replay (:meth:`TableEncoder.enable_compiled_inference`) on
+        every predictor's encoder — bit-identical outputs, no per-op
+        Python dispatch on cache-warm signatures.
     """
 
     def __init__(self, predictors: dict[str, Any],
                  config: ServeConfig | None = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 compile: bool | None = None) -> None:
         if not predictors:
             raise ValueError("at least one task predictor is required")
         self.config = config or ServeConfig()
+        if compile is not None:
+            self.config = dataclass_replace(self.config, compile=compile)
         self.clock = clock
         self.predictors = dict(predictors)
         self.cache = EncodingCache(
@@ -112,6 +122,9 @@ class InferenceEngine:
             encoder = getattr(predictor, "encoder", None)
             if encoder is not None and hasattr(encoder, "set_encoding_cache"):
                 encoder.set_encoding_cache(self.cache)
+            if self.config.compile and encoder is not None and hasattr(
+                    encoder, "enable_compiled_inference"):
+                encoder.enable_compiled_inference()
 
     # ------------------------------------------------------------------
     @property

@@ -75,7 +75,16 @@ class TaskPredictor(Protocol):
 def predict_in_batches(module, examples: list, batch_size: int,
                        predict_batch: Callable[[list], list[Prediction]]
                        ) -> list[Prediction]:
-    """Standard ``predict`` driver: inference scope + fixed-size chunks."""
+    """Standard ``predict`` driver: inference scope + fixed-size chunks.
+
+    The ``module.inference()`` scope is also what routes encoders with
+    compiled inference enabled
+    (:meth:`~repro.models.TableEncoder.enable_compiled_inference`, see
+    ``InferenceEngine(compile=True)``) through their tape-replay
+    executor: the encoder's forward template only consults its recorded
+    programs while ``is_inference_mode()`` holds, so training-time
+    forwards keep building an autograd tape.
+    """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     predictions: list[Prediction] = []

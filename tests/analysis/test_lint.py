@@ -102,6 +102,36 @@ def test_repro005_fully_annotated_passes():
     """, path="src/repro/analysis/infer.py") == []
 
 
+def test_repro006_data_arithmetic_inside_nn_fires():
+    findings = _findings("""
+        y = tensor.data * 2
+    """, path="src/repro/nn/layers.py")
+    assert _rules(findings) == ["REPRO006"]
+    findings = _findings("""
+        tensor.data[0] += 1
+    """, path="src/repro/nn/attention.py")
+    assert _rules(findings) == ["REPRO006"]
+
+
+def test_repro006_backend_seam_is_exempt():
+    source = """
+        y = tensor.data * 2
+    """
+    for seam in ("backend.py", "compile.py", "tensor.py", "optim.py"):
+        assert _findings(source, path=f"src/repro/nn/{seam}") == []
+
+
+def test_repro006_make_call_fires_everywhere_but_the_seam():
+    source = """
+        y = Tensor._make(data, parents)
+    """
+    assert _rules(_findings(source, path="src/repro/nn/layers.py")) == [
+        "REPRO006"]
+    assert _rules(_findings(source, path="src/repro/tasks/qa.py")) == [
+        "REPRO006"]
+    assert _findings(source, path="src/repro/nn/backend.py") == []
+
+
 def test_select_filters_rules():
     source = """
         import numpy as np
@@ -120,7 +150,7 @@ def test_finding_renders_location_and_rule():
 
 
 def test_every_rule_has_a_description():
-    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 6)}
+    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 7)}
     assert all(RULES.values())
 
 

@@ -1,0 +1,57 @@
+"""Shared fixtures for the compiled-executor equivalence suite.
+
+Mirrors the data-parallel differential harness: everything is seeded and
+session-scoped so eager and compiled runs start from identical corpora,
+tokenizers and model initializations — the tests compare logits, grads
+and checkpoint archives at the byte level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create_model
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig
+from repro.text import train_tokenizer
+
+FAMILIES = ("bert", "tapas", "tabert", "turl", "mate", "tabbie", "tuta")
+
+
+def corpus_texts(tables):
+    texts = []
+    for table in tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        for _, _, cell in table.iter_cells():
+            texts.append(cell.text())
+    return texts
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+@pytest.fixture(scope="session")
+def wiki_tables(kb):
+    return generate_wiki_corpus(kb, 16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(wiki_tables):
+    return train_tokenizer(corpus_texts(wiki_tables), vocab_size=700)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+        hidden_dim=32, max_position=128, num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture
+def make_model(tokenizer, config):
+    def build(name: str, seed: int = 0):
+        return create_model(name, tokenizer, config=config, seed=seed)
+    return build
