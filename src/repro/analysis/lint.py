@@ -20,6 +20,15 @@ Rules — each guards a convention the rest of the codebase relies on:
   ``Tensor._make`` constructor may not be called anywhere — both bypass
   the :mod:`repro.nn.backend` op registry, so compiled replay and any
   future non-numpy backend would silently disagree with eager mode.
+- **REPRO007** no silent exception swallowing: bare ``except:`` is
+  always flagged, and ``except X: pass`` (a handler whose body is only
+  ``pass``/``...``) is flagged unless *every* caught exception is on
+  the shutdown-noise allowlist (``KeyboardInterrupt``, ``EOFError``,
+  ``BrokenPipeError``, ``StopIteration``, ``GeneratorExit``).  Broad
+  classes like ``Exception`` or ``OSError`` silently ``pass``-ed have
+  repeatedly hidden real worker/transport failures — handle them, name
+  a narrower type, or at minimum record why ignoring is correct in the
+  handler body.
 
 Rule applicability is decided from *directory parts* of each file's
 path (``nn``, ``serve``, ...), so fixture trees in tests exercise the
@@ -42,7 +51,15 @@ RULES: dict[str, str] = {
     "REPRO004": "serve-path forward() outside an inference context",
     "REPRO005": "public function missing type annotations",
     "REPRO006": "op math must go through the backend",
+    "REPRO007": "exception silently swallowed (bare except / except-pass)",
 }
+
+#: Exceptions whose silent suppression is legitimate shutdown noise —
+#: ``except <these>: pass`` is allowed; anything broader must handle.
+_SILENCEABLE_EXCEPTIONS = frozenset({
+    "KeyboardInterrupt", "EOFError", "BrokenPipeError", "StopIteration",
+    "GeneratorExit",
+})
 
 #: nn/ modules that *are* the backend seam — the only places raw
 #: ``.data`` arithmetic is the implementation rather than a bypass.
@@ -97,6 +114,34 @@ def _mutable_default(node: ast.AST) -> bool:
         return True
     return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
             and node.func.id in ("list", "dict", "set"))
+
+
+def _body_is_pass(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing (only ``pass``/``...``)."""
+    return all(isinstance(statement, ast.Pass)
+               or (isinstance(statement, ast.Expr)
+                   and isinstance(statement.value, ast.Constant)
+                   and statement.value.value is Ellipsis)
+               for statement in body)
+
+
+def _exception_names(node: ast.expr) -> list[str]:
+    """The caught exception names of an ``except`` clause, flattened.
+
+    ``except (A, B)`` yields both; dotted names yield their last
+    attribute; anything unrecognizable yields nothing (and the caller
+    treats the clause as not allowlisted).
+    """
+    if isinstance(node, ast.Tuple):
+        names: list[str] = []
+        for element in node.elts:
+            names.extend(_exception_names(element))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
 
 
 def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -177,6 +222,18 @@ class _Visitor(ast.NodeVisitor):
             elif not self.in_backend_seam:
                 self._report("REPRO006", node,
                              "raw .data arithmetic inside nn/")
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report("REPRO007", node, "bare except:")
+        elif _body_is_pass(node.body):
+            caught = _exception_names(node.type)
+            silenced = [name for name in caught
+                        if name not in _SILENCEABLE_EXCEPTIONS]
+            if silenced or not caught:
+                self._report("REPRO007", node,
+                             f"except {', '.join(caught) or '?'}: pass")
         self.generic_visit(node)
 
     def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:

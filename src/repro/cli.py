@@ -106,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--shard-size", type=int, default=0,
                           help="rows per gradient micro-shard "
                                "(0 = auto: batch split four ways)")
+    # Hidden operator/testing knobs for the elastic worker supervisor:
+    # --inject-faults stages deterministic worker failures
+    # (KIND@STEP:WORKER[:SECONDS], comma-separated; kinds die/hang/delay)
+    # and --step-deadline bounds how long the supervisor waits for one
+    # dispatched wave before reaping the worker.
+    pretrain.add_argument("--inject-faults", default=None, metavar="PLAN",
+                          help=argparse.SUPPRESS)
+    pretrain.add_argument("--step-deadline", type=float, default=None,
+                          metavar="SECONDS", help=argparse.SUPPRESS)
     pretrain.add_argument("--fixed-clock", action="store_true",
                           help="use a deterministic step clock so wall-time "
                                "fields (and checkpoint bytes) are "
@@ -344,7 +353,7 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     import time
 
     from .core import build_tokenizer_for_tables, create_model, save_pretrained
-    from .parallel import FixedClock, ParallelConfig
+    from .parallel import FixedClock, ParallelConfig, parse_fault_plan
     from .pretrain import Pretrainer, PretrainConfig
 
     tables = _load_corpus_dir(args.corpus)
@@ -357,6 +366,9 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     if args.compile and args.workers != 1:
         _fail("--compile trains the fused single-process step and is "
               "incompatible with --workers > 1")
+    if args.inject_faults and args.compile:
+        _fail("--inject-faults stages failures in worker processes and "
+              "needs --workers > 1, not --compile")
     try:
         # Without --compile the CLI always trains through the
         # data-parallel engine so the checkpoint bytes of `--workers 1`
@@ -364,9 +376,15 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
         # checkpoints only records the shard decomposition, never the
         # worker count.  --compile replays the fused serial step instead
         # (bit-identical to the serial eager path).
+        faults = (parse_fault_plan(args.inject_faults)
+                  if args.inject_faults else None)
+        supervisor = {}
+        if args.step_deadline is not None:
+            supervisor["step_deadline"] = args.step_deadline
         parallel = (None if args.compile else
                     ParallelConfig(workers=args.workers,
-                                   shard_size=args.shard_size))
+                                   shard_size=args.shard_size,
+                                   faults=faults, **supervisor))
         pretrain_config = PretrainConfig(
             steps=args.steps, batch_size=args.batch_size,
             learning_rate=args.learning_rate, seed=args.seed,
@@ -625,9 +643,11 @@ def main(argv: list[str] | None = None) -> int:
         raise
     except Exception as error:
         from .nn import CheckpointError
+        from .parallel import WorkerError
         from .runtime import TrainingDivergedError
 
         if isinstance(error, (CheckpointError, TrainingDivergedError,
+                              WorkerError,
                               FileNotFoundError, NotADirectoryError,
                               IsADirectoryError, PermissionError,
                               json.JSONDecodeError)):

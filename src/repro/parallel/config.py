@@ -16,6 +16,8 @@ import math
 import time
 from dataclasses import dataclass
 
+from .faults import FaultPlan
+
 __all__ = ["ParallelConfig", "FixedClock", "DEFAULT_SHARDS"]
 
 # When shard_size is left at 0 (auto), a batch is cut into this many
@@ -43,11 +45,49 @@ class ParallelConfig:
         into.  Purely a scheduling/memory knob: all shard gradients
         still enter one fixed-order reduction tree, so ``accumulate``
         does not change a single bit of the combined gradient.
+    elastic:
+        Master switch for the worker supervisor.  ``True`` (default)
+        detects dead/hung workers, respawns them with backoff and
+        deterministically re-executes their lost shards; ``False``
+        turns any worker loss into an immediate
+        :class:`~repro.parallel.WorkerFailedError`.
+    heartbeat_interval:
+        Seconds between liveness frames a busy worker emits.  ``0``
+        disables heartbeats (hang detection then rests on the step
+        deadline alone).
+    heartbeat_timeout:
+        Silence (no frame of any kind from a dispatched worker) after
+        which the supervisor declares the process wedged and reaps it.
+    step_deadline:
+        Wall-clock budget for one dispatched wave assignment; a worker
+        that has not replied within it is reaped even if it still
+        heartbeats (slow-degenerate case).  ``0`` disables deadlines.
+    max_respawns:
+        Replacement forks permitted *per worker slot* over a run before
+        the slot is retired and the pool degrades to fewer workers —
+        safe, because worker count is pure scheduling.
+    respawn_backoff:
+        Base of the exponential backoff slept before respawn attempt
+        ``k`` (``respawn_backoff * 2**k`` seconds).
+    faults:
+        Optional deterministic :class:`~repro.parallel.faults.FaultPlan`
+        executed inside the workers — the fault-injection harness.
+
+    Every supervisor knob is scheduling-only: none of them appears in
+    ``numeric_signature`` because a recovered (or degraded) run is
+    byte-identical to a healthy one.
     """
 
     workers: int = 1
     shard_size: int = 0
     accumulate: int = 1
+    elastic: bool = True
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 10.0
+    step_deadline: float = 120.0
+    max_respawns: int = 2
+    respawn_backoff: float = 0.05
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -56,6 +96,19 @@ class ParallelConfig:
             raise ValueError("shard_size must be non-negative (0 = auto)")
         if self.accumulate < 1:
             raise ValueError("accumulate must be positive")
+        if self.heartbeat_interval < 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_interval must be >= 0 and "
+                             "heartbeat_timeout > 0")
+        if self.step_deadline < 0:
+            raise ValueError("step_deadline must be non-negative (0 = off)")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        if self.respawn_backoff < 0:
+            raise ValueError("respawn_backoff must be non-negative")
+        if self.faults is not None and self.workers == 1:
+            raise ValueError(
+                "fault injection needs forked workers (workers > 1): "
+                "the in-process path has no processes to kill")
 
     def resolve_shard_size(self, batch_size: int) -> int:
         """The rows-per-shard actually used for ``batch_size`` batches.

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for the elastic worker supervisor.
+
+A :class:`FaultPlan` is a seeded, fully explicit list of
+:class:`FaultSpec` entries — *which worker slot* misbehaves, *at which
+engine step*, and *how* (``die`` / ``hang`` / ``delay``).  The plan is
+pickled into every forked worker; the worker consults it at the top of
+each step and executes the matching fault **before** computing, so a
+test can make worker 1 vanish at step 5 and assert the supervisor's
+recovery produced checkpoint bytes identical to an unfaulted run.
+
+Determinism rules:
+
+- faults fire on *engine-local* step indices (the supervisor counts
+  steps from 0 each run), never on wall time;
+- a spec matches one ``(step, worker, generation)`` coordinate, and
+  respawned replacements carry ``generation > 0`` — an injected death
+  therefore never re-fires on the replacement and cannot crash-loop a
+  run by construction (unless a spec explicitly targets a later
+  generation);
+- ``FaultPlan.seeded`` derives its specs from a ``SeedSequence`` so two
+  harness runs with the same seed inject the same chaos.
+
+The plan rides in :class:`~repro.parallel.ParallelConfig.faults` and is
+pure scheduling: it is excluded from ``numeric_signature`` like every
+other supervisor knob, because a recovered run is byte-identical to a
+healthy one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "parse_fault_plan"]
+
+#: The failure modes the harness can stage, mirroring the supervisor's
+#: failure matrix: ``die`` exits the process without replying, ``hang``
+#: sleeps past any reasonable step deadline, ``delay`` sleeps briefly
+#: and then completes normally (slow, not failed).
+FaultKind = str
+_KINDS = ("die", "hang", "delay")
+
+#: How long a ``hang`` sleeps when no explicit duration is given — far
+#: past any sane ``step_deadline``, so detection (not the sleep) ends it.
+_DEFAULT_HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One staged fault: ``kind`` at ``(step, worker, generation)``.
+
+    ``seconds`` is the sleep length for ``hang``/``delay`` (ignored by
+    ``die``); ``generation`` selects which incarnation of the worker
+    slot misbehaves — ``0`` is the originally forked worker, respawned
+    replacements count up from there.
+    """
+
+    kind: FaultKind
+    step: int
+    worker: int
+    seconds: float = 0.0
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose one of {_KINDS}")
+        if self.step < 0 or self.worker < 0 or self.generation < 0:
+            raise ValueError("step, worker and generation must be >= 0")
+        if self.seconds < 0.0:
+            raise ValueError("seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of staged faults, indexed by coordinate."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        coordinates = [(s.step, s.worker, s.generation) for s in self.specs]
+        if len(set(coordinates)) != len(coordinates):
+            raise ValueError("fault plan stages two faults at the same "
+                             "(step, worker, generation) coordinate")
+
+    def match(self, step: int, worker: int,
+              generation: int) -> FaultSpec | None:
+        """The staged fault for this coordinate, if any."""
+        for spec in self.specs:
+            if (spec.step == step and spec.worker == worker
+                    and spec.generation == generation):
+                return spec
+        return None
+
+    @classmethod
+    def seeded(cls, seed: int, steps: int, workers: int,
+               n_faults: int = 1, kinds: tuple[FaultKind, ...] = _KINDS,
+               hang_seconds: float = _DEFAULT_HANG_SECONDS) -> "FaultPlan":
+        """A random-but-reproducible plan over a ``steps x workers`` grid.
+
+        Coordinates are drawn without replacement from a seeded
+        generator, so the same seed always stages the same chaos.
+        """
+        if steps < 1 or workers < 1:
+            raise ValueError("steps and workers must be positive")
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        cells = steps * workers
+        count = min(n_faults, cells)
+        chosen = rng.choice(cells, size=count, replace=False)
+        specs = []
+        for cell in sorted(int(c) for c in chosen):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            seconds = (hang_seconds if kind == "hang"
+                       else float(rng.uniform(0.0, 0.05)))
+            specs.append(FaultSpec(kind=kind, step=cell // workers,
+                                   worker=cell % workers, seconds=seconds))
+        return cls(specs=tuple(specs))
+
+
+def execute_fault(spec: FaultSpec) -> None:
+    """Run one staged fault inside a worker process.
+
+    ``die`` uses ``os._exit`` so no reply, no flush and no atexit hook
+    runs — indistinguishable from a SIGKILL'd or OOM-killed worker.
+    ``hang``/``delay`` sleep; the supervisor's step deadline decides
+    which of the two it was.
+    """
+    import os
+
+    if spec.kind == "die":
+        os._exit(13)
+    time.sleep(spec.seconds or _DEFAULT_HANG_SECONDS)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse the CLI's compact fault syntax into a plan.
+
+    The grammar is ``KIND@STEP:WORKER[:SECONDS]``, comma-separated::
+
+        die@5:1              worker 1 exits at step 5
+        hang@3:0             worker 0 wedges at step 3 (detect via deadline)
+        delay@2:2:0.25       worker 2 sleeps 250ms at step 2, then replies
+
+    Raises ``ValueError`` with the offending clause on malformed input.
+    """
+    specs = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        try:
+            kind, _, rest = clause.partition("@")
+            parts = rest.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError("expected KIND@STEP:WORKER[:SECONDS]")
+            step, worker = int(parts[0]), int(parts[1])
+            seconds = float(parts[2]) if len(parts) == 3 else 0.0
+            specs.append(FaultSpec(kind=kind, step=step, worker=worker,
+                                   seconds=seconds))
+        except ValueError as error:
+            raise ValueError(
+                f"bad fault clause {clause!r}: {error}") from error
+    if not specs:
+        raise ValueError("fault plan is empty")
+    return FaultPlan(specs=tuple(specs))

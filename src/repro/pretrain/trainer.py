@@ -43,7 +43,8 @@ from ..models.base import forward_bindings
 from ..nn import Adam, LinearWarmupSchedule, Tensor, clip_gradients
 from ..nn.compile import ProgramCache, TapeExecutor, binding_signature, \
     record_program
-from ..parallel import DataParallelEngine, ParallelConfig, shard_slices
+from ..parallel import DataParallelEngine, ParallelConfig, \
+    WorkerFailedError, shard_slices
 from ..nn.io import (
     CheckpointError,
     latest_valid_checkpoint,
@@ -619,7 +620,7 @@ class Pretrainer:
         if self._engine is None:
             self._engine = DataParallelEngine(
                 self.optimizer.parameters, self._shard_compute,
-                self.config.parallel)
+                self.config.parallel, health=self.health)
         return self._engine
 
     def close(self) -> None:
@@ -695,7 +696,15 @@ class Pretrainer:
                             if total_mer else 0.0),
             ))
         engine = self._ensure_engine()
-        outcome = engine.step(payloads)
+        try:
+            outcome = engine.step(payloads)
+        except (BrokenPipeError, EOFError) as error:
+            # The supervisor absorbs transport failures it can attribute
+            # to a worker; anything that still escapes is surfaced as a
+            # typed operator error instead of a raw pipe traceback.
+            raise WorkerFailedError(
+                -1, len(self.history),
+                f"worker transport failed: {error!r}") from error
         engine.load_grads(outcome.grads)
         totals = {key: sum(s[key] for s in outcome.stats)
                   for key in outcome.stats[0]}

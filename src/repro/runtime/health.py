@@ -111,6 +111,7 @@ class HealthMonitor:
         self.consecutive_bad = 0
         self.bad_steps = 0
         self.rollbacks = 0
+        self.worker_events = 0
 
     # ------------------------------------------------------------------
     def _classify(self, loss: float, grad_norm: float) -> str:
@@ -149,6 +150,33 @@ class HealthMonitor:
     def rollback_exhausted(self) -> bool:
         """Whether another rollback would exceed ``max_rollbacks``."""
         return self.rollbacks > self.config.max_rollbacks
+
+    def worker_event(self, step: int, worker: int, reason: str,
+                     action: str) -> None:
+        """Record a mechanical (not numerical) failure under this monitor.
+
+        The elastic data-parallel supervisor reports worker deaths,
+        respawns and pool degradation here so operators see one unified
+        ``health`` event stream: numerical trouble (NaNs, spikes) and
+        mechanical trouble (lost workers) land in the same JSONL
+        artifact, attributed to the same training step.  Worker events
+        never affect step verdicts — a recovered step is numerically
+        identical to a healthy one, so there is nothing to skip.
+        """
+        self.worker_events += 1
+        if not telemetry_enabled():
+            return
+        registry = get_registry()
+        registry.counter(f"{self.source}.health.worker_events").inc()
+        registry.emit({
+            "kind": "health",
+            "source": self.source,
+            "step": int(step),
+            "status": action,
+            "reason": reason,
+            "worker": int(worker),
+            "worker_events": int(self.worker_events),
+        })
 
     def reset_window(self) -> None:
         """Forget the trailing loss window (after a rollback the replayed

@@ -258,7 +258,8 @@ def finetune(task, examples: list, config: FinetuneConfig | None = None,
             loss.backward()
             return stats
 
-        engine = DataParallelEngine(parameters, _shard_loss, config.parallel)
+        engine = DataParallelEngine(parameters, _shard_loss, config.parallel,
+                                    health=monitor)
 
     history: list[TrainRecord] = []
     try:

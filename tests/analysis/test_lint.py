@@ -132,6 +132,62 @@ def test_repro006_make_call_fires_everywhere_but_the_seam():
     assert _findings(source, path="src/repro/nn/backend.py") == []
 
 
+def test_repro007_bare_except_fires():
+    findings = _findings("""
+        try:
+            work()
+        except:
+            handle()
+    """)
+    assert _rules(findings) == ["REPRO007"]
+
+
+def test_repro007_broad_except_pass_fires():
+    for caught in ("Exception", "OSError", "(ValueError, OSError)",
+                   "socket.error"):
+        findings = _findings(f"""
+            try:
+                work()
+            except {caught}:
+                pass
+        """)
+        assert _rules(findings) == ["REPRO007"], caught
+    # An ellipsis body is the same silent swallow in disguise.
+    findings = _findings("""
+        try:
+            work()
+        except Exception:
+            ...
+    """)
+    assert _rules(findings) == ["REPRO007"]
+
+
+def test_repro007_shutdown_noise_allowlist_passes():
+    assert _findings("""
+        try:
+            work()
+        except (EOFError, KeyboardInterrupt):
+            pass
+    """) == []
+    assert _findings("""
+        try:
+            work()
+        except BrokenPipeError:
+            pass
+    """) == []
+
+
+def test_repro007_handled_broad_except_passes():
+    # A body that does something (even just logging/re-raising) is not
+    # a silent swallow; the rule only polices empty handlers.
+    assert _findings("""
+        try:
+            work()
+        except OSError as error:
+            log(error)
+    """) == []
+
+
 def test_select_filters_rules():
     source = """
         import numpy as np
@@ -150,7 +206,7 @@ def test_finding_renders_location_and_rule():
 
 
 def test_every_rule_has_a_description():
-    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 7)}
+    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 8)}
     assert all(RULES.values())
 
 

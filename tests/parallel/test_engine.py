@@ -203,10 +203,63 @@ class TestWorkerPool:
 
         pool = WorkerPool(1, compute, sync)
         try:
-            pool.send(0, [np.full(3, 7.0)], [(0, None)])
+            pool.send(0, 0, [np.full(3, 7.0)], [(0, None)])
             [(index, grads, stats, _)] = pool.collect([0])
             assert index == 0
             assert np.array_equal(stats["seen"], np.full(3, 7.0))
+        finally:
+            pool.close()
+
+    def test_workers_persist_across_steps(self):
+        def compute(payload):
+            import os
+            return {}, {"pid": os.getpid()}
+
+        pool = WorkerPool(1, compute, lambda arrays: None)
+        try:
+            pids = set()
+            for step in range(3):
+                pool.send(0, step, None, [(0, None)])
+                [(_, _, stats, _)] = pool.collect([0])
+                pids.add(stats["pid"])
+            assert len(pids) == 1, "worker re-forked between steps"
+        finally:
+            pool.close()
+
+    def test_close_escalates_to_sigkill_and_leaves_no_zombies(self):
+        def stubborn(payload):
+            # Ignore SIGTERM, then wedge: only SIGKILL can end this.
+            import signal
+            import time as _time
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            _time.sleep(600)
+            return {}, {}
+
+        pool = WorkerPool(2, stubborn, lambda arrays: None,
+                          stop_grace=0.2, term_grace=0.2)
+        pool.start()
+        processes = [pool.handle(slot).process for slot in pool.live_slots()]
+        pool.send(0, 0, None, [(0, None)])
+        pool.send(1, 0, None, [(1, None)])
+        import time as _time
+        _time.sleep(0.3)  # let both workers enter the stubborn compute
+        pool.close()
+        for process in processes:
+            assert not process.is_alive()
+            assert process.exitcode is not None, "zombie child after close"
+        assert pool.live_slots() == []
+
+    def test_reap_then_respawn_increments_generation(self):
+        pool = WorkerPool(1, lambda payload: ({}, {}), lambda arrays: None)
+        try:
+            pool.start()
+            assert pool.handle(0).generation == 0
+            pool.reap(0)
+            assert pool.live_slots() == []
+            handle = pool.respawn(0)
+            assert handle.generation == 1
+            pool.send(0, 0, None, [(0, None)])
+            assert pool.collect([0])[0][0] == 0
         finally:
             pool.close()
 

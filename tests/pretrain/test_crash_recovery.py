@@ -1,0 +1,147 @@
+"""Real-crash recovery: SIGKILL a live pretrain run mid-checkpoint-write.
+
+The truncation tests in ``test_checkpoint.py`` simulate a crash by
+editing bytes on disk.  These tests stage the real thing: a child
+process runs an actual pretraining loop and SIGKILLs *itself* in the
+middle of the atomic snapshot write (or in the window between the
+archive rename and its manifest), then the parent — a separate process,
+exactly like an operator restarting a dead run — resumes from the
+snapshot directory and completes the run.  That exercises the whole
+crash contract of :mod:`repro.nn.io` end-to-end: no half-written
+archive ever carries the final name, leftover ``.tmp`` debris is
+ignored, and resume falls back to the newest snapshot that verifies.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.nn.io import latest_valid_checkpoint
+from repro.pretrain import Pretrainer, PretrainConfig
+
+pytestmark = pytest.mark.skipif(sys.platform == "win32",
+                                reason="SIGKILL semantics are POSIX")
+
+#: The child runs the same deterministic 6-step run the parent fixtures
+#: describe (seed-0 corpus/tokenizer/model, cadence-3 snapshots) and
+#: kills itself at a staged point of a staged ``np.savez`` call.
+#: argv: snapshot_dir, kill_on_call, mode(mid_write|post_replace)
+_DRIVER = """
+import os, signal, sys
+import numpy as np
+
+import repro.nn.io as io_module
+from repro.corpus import KnowledgeBase, generate_wiki_corpus
+from repro.models import EncoderConfig, TableBert
+from repro.pretrain import Pretrainer, PretrainConfig
+from repro.text import train_tokenizer
+
+snapshot_dir, kill_on_call, mode = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+kb = KnowledgeBase(seed=0)
+tables = generate_wiki_corpus(kb, 16, seed=0)
+texts = []
+for table in tables:
+    texts.append(table.context.text())
+    texts.append(" ".join(table.header))
+    for _, _, cell in table.iter_cells():
+        texts.append(cell.text())
+tokenizer = train_tokenizer(texts, vocab_size=700)
+config = EncoderConfig(
+    vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+    hidden_dim=32, max_position=128, num_entities=kb.num_entities)
+model = TableBert(config, tokenizer, np.random.default_rng(0))
+
+calls = {"savez": 0, "replace": 0}
+real_savez = np.savez
+
+def killing_savez(handle, **arrays):
+    calls["savez"] += 1
+    if mode == "mid_write" and calls["savez"] == kill_on_call:
+        handle.write(b"PK\\x03\\x04 torn half-written archive")
+        handle.flush()
+        os.kill(os.getpid(), signal.SIGKILL)
+    real_savez(handle, **arrays)
+
+real_replace = os.replace
+
+def killing_replace(src, dst):
+    real_replace(src, dst)
+    if str(dst).endswith(".npz"):
+        calls["replace"] += 1
+        if mode == "post_replace" and calls["replace"] == kill_on_call:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+io_module.np.savez = killing_savez
+io_module.os.replace = killing_replace
+
+trainer = Pretrainer(model, PretrainConfig(steps=6, batch_size=2, seed=0,
+                                           checkpoint_every=3))
+trainer.train(tables, checkpoint_dir=snapshot_dir)
+raise SystemExit(3)  # the staged kill never fired
+"""
+
+
+def _run_and_kill(snapshot_dir: Path, kill_on_call: int,
+                  mode: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (repo_src + os.pathsep + existing
+                         if existing else repo_src)
+    return subprocess.run(
+        [sys.executable, "-c", _DRIVER, str(snapshot_dir),
+         str(kill_on_call), mode],
+        env=env, capture_output=True, text=True, timeout=300)
+
+
+def _resume_and_finish(bert, wiki_tables, snapshot_dir: Path,
+                       expected_step: int) -> None:
+    trainer = Pretrainer(bert, PretrainConfig(steps=6, batch_size=2, seed=0,
+                                              checkpoint_every=3))
+    assert trainer.resume(snapshot_dir) == expected_step
+    history = trainer.train(wiki_tables)
+    assert len(history) == 6
+
+
+class TestSigkillDuringAtomicWrite:
+    def test_kill_mid_archive_write_falls_back_to_previous(
+            self, bert, wiki_tables, tmp_path):
+        # savez call 1 writes the step-3 snapshot; call 2 (step 6) is
+        # killed mid-write, leaving a torn .tmp and no new final name.
+        result = _run_and_kill(tmp_path, kill_on_call=2, mode="mid_write")
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        survivors = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert survivors == ["ckpt-00000003.npz"], (
+            "a half-written archive must never carry the final name")
+        assert list(tmp_path.glob("*.tmp")), (
+            "expected the torn .tmp the kill left behind")
+        newest = latest_valid_checkpoint(tmp_path, pattern="ckpt-*.npz")
+        assert newest is not None and newest.name == "ckpt-00000003.npz"
+
+        _resume_and_finish(bert, wiki_tables, tmp_path, expected_step=3)
+
+    def test_kill_between_rename_and_manifest_resumes_newest(
+            self, bert, wiki_tables, tmp_path):
+        # The archive rename landed but the process died before its
+        # manifest: the archive itself is intact, so the zip-structure
+        # check accepts it and resume continues from step 6 (nothing to
+        # replay), not from the older snapshot.
+        result = _run_and_kill(tmp_path, kill_on_call=2, mode="post_replace")
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        newest = tmp_path / "ckpt-00000006.npz"
+        assert newest.exists()
+        assert not newest.with_name(
+            newest.name + ".manifest.json").exists()
+        picked = latest_valid_checkpoint(tmp_path, pattern="ckpt-*.npz")
+        assert picked is not None and picked.name == "ckpt-00000006.npz"
+
+        trainer = Pretrainer(bert, PretrainConfig(
+            steps=6, batch_size=2, seed=0, checkpoint_every=3))
+        assert trainer.resume(tmp_path) == 6
