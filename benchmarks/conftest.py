@@ -25,6 +25,18 @@ from repro.runtime import JsonlSink, get_registry
 from repro.tables import Table, TableContext
 
 
+def pytest_addoption(parser):
+    """``--quick``: CI smoke sizing for the load bench (fewer requests,
+    same gates)."""
+    parser.addoption("--quick", action="store_true", default=False,
+                     help="run load benches at CI smoke scale")
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def bench_metrics_artifact():
     """Capture the whole bench session's telemetry as one JSONL file."""

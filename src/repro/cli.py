@@ -11,7 +11,8 @@ Subcommands mirror the hands-on session's stages:
   print the per-op cost table;
 - ``repro predict``    answer a JSONL file of requests through the
   batched/cached inference engine (``repro.serve``);
-- ``repro serve``      the same engine behind a local HTTP loop;
+- ``repro serve``      the same engine behind a local HTTP loop, optionally
+  replicated (``--replicas``) with admission control and deadlines;
 - ``repro check``      statically validate model × task × serializer
   wiring with symbolic shapes — zero forward passes (``repro.analysis``);
 - ``repro lint``       run the repo's AST lint rules over source trees.
@@ -185,6 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="exit after this many HTTP requests "
                             "(default: run forever)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="forked model replicas behind the front-end "
+                            "(0 = serve in-process)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission queue bound; overflow is shed with "
+                            "a retryable 503")
+    serve.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="per-request deadline in milliseconds "
+                            "(0 = no deadline)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="emit HTTP request lines through the runtime "
+                            "event stream (visible via --metrics-out)")
     serve.add_argument("--compile", action="store_true",
                        help="serve through compiled tape-replay encoders "
                             "(bit-identical outputs)")
@@ -519,18 +532,58 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+class _EventEchoSink:
+    """Stream serving events to stderr as they happen (`serve --verbose`).
+
+    Unlike the table sinks this never buffers: an access-log line that
+    only appears at shutdown is useless for watching a live server.
+    """
+
+    KINDS = frozenset({"http", "frontend"})
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("kind")
+        if kind not in self.KINDS:
+            return
+        detail = " ".join(f"{k}={v}" for k, v in event.items() if k != "kind")
+        print(f"[{kind}] {detail}", file=sys.stderr, flush=True)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import serve_forever
+    from contextlib import nullcontext
+
+    from .parallel import WorkerError
+    from .runtime import get_registry
+    from .serve import ServerConfig, run_server
 
     engine = _build_engine(args)
+    try:
+        config = ServerConfig(host=args.host, port=args.port,
+                              replicas=args.replicas, max_queue=args.max_queue,
+                              deadline_ms=args.deadline_ms,
+                              max_batch=args.max_batch, verbose=args.verbose,
+                              max_requests=args.max_requests)
+    except ValueError as error:
+        _fail(str(error))
+    fleet = (f"{args.replicas} replicas" if args.replicas
+             else "in-process engine")
     print(f"serving {sorted(engine.predictors)} on "
-          f"http://{args.host}:{args.port} (POST /predict)")
-    with _metrics_scope(args.metrics_out):
+          f"http://{args.host}:{args.port} (POST /v1/predict, {fleet})")
+    echo = (get_registry().sink_attached(_EventEchoSink())
+            if args.verbose else nullcontext())
+    with _metrics_scope(args.metrics_out), echo:
         try:
-            serve_forever(engine, args.host, args.port,
-                          max_requests=args.max_requests)
+            run_server(engine, config)
         except KeyboardInterrupt:
             pass
+        except WorkerError as error:
+            _fail(str(error))
     return 0
 
 

@@ -59,16 +59,55 @@ class Counter:
                 "value": self.value}
 
 
+class _Reservoir:
+    """Ring buffer of the most recent observations, for percentiles.
+
+    Serving SLOs are stated in tail latency (p50/p99), which the O(1)
+    count/mean/min/max summaries cannot answer.  A bounded ring of the
+    last ``capacity`` samples keeps memory constant on long runs while
+    the percentile reflects *recent* behaviour — exactly what a load
+    gate or a ``/v1/metrics`` scrape wants.
+    """
+
+    __slots__ = ("capacity", "_samples", "_cursor")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float) -> None:
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) of the window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = int(q / 100.0 * len(ordered) + 0.5)
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
 class Timer:
     """Accumulates durations; use :meth:`time` as a context manager.
 
     The time source is injectable (same pattern as
     ``serve.DynamicBatcher``), so tests measure deterministic fake
-    seconds instead of sleeping.
+    seconds instead of sleeping.  A bounded :class:`_Reservoir` of
+    recent observations backs :meth:`percentile` (tail-latency SLOs).
     """
 
     __slots__ = ("name", "count", "total_seconds", "min_seconds",
-                 "max_seconds", "clock")
+                 "max_seconds", "clock", "_reservoir")
 
     def __init__(self, name: str,
                  clock: Callable[[], float] = time.perf_counter) -> None:
@@ -78,12 +117,18 @@ class Timer:
         self.total_seconds = 0.0
         self.min_seconds = float("inf")
         self.max_seconds = 0.0
+        self._reservoir = _Reservoir()
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total_seconds += seconds
         self.min_seconds = min(self.min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
+        self._reservoir.add(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of recent observations (seconds)."""
+        return self._reservoir.percentile(q)
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -102,16 +147,21 @@ class Timer:
                 "count": self.count, "total_seconds": self.total_seconds,
                 "mean_seconds": self.mean_seconds,
                 "min_seconds": 0.0 if self.count == 0 else self.min_seconds,
-                "max_seconds": self.max_seconds}
+                "max_seconds": self.max_seconds,
+                "p50_seconds": self.percentile(50.0),
+                "p99_seconds": self.percentile(99.0)}
 
 
 class Histogram:
-    """Streaming summary of observed values (count/mean/min/max).
+    """Streaming summary of observed values (count/mean/min/max/p50/p99).
 
-    Keeps O(1) state rather than raw samples so long runs stay cheap.
+    Totals stay O(1); percentiles come from a bounded ring of recent
+    samples (:class:`_Reservoir`), so long runs stay cheap while tail
+    behaviour — queue depth spikes, wave-size skew — remains visible.
     """
 
-    __slots__ = ("name", "count", "total", "min_value", "max_value")
+    __slots__ = ("name", "count", "total", "min_value", "max_value",
+                 "_reservoir")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -119,23 +169,31 @@ class Histogram:
         self.total = 0.0
         self.min_value = float("inf")
         self.max_value = float("-inf")
+        self._reservoir = _Reservoir()
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min_value = min(self.min_value, value)
         self.max_value = max(self.max_value, value)
+        self._reservoir.add(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of recent observations."""
+        return self._reservoir.percentile(q)
 
     def snapshot(self) -> dict[str, Any]:
         empty = self.count == 0
         return {"kind": "metric", "metric": "histogram", "name": self.name,
                 "count": self.count, "mean": self.mean,
                 "min": 0.0 if empty else self.min_value,
-                "max": 0.0 if empty else self.max_value}
+                "max": 0.0 if empty else self.max_value,
+                "p50": self.percentile(50.0),
+                "p99": self.percentile(99.0)}
 
 
 class MetricsRegistry:

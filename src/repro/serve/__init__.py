@@ -11,32 +11,51 @@ mechanisms (each usable on its own):
 - :class:`EncodingCache` — a content-addressed LRU of encoder hidden
   states, so repeated tables skip the transformer entirely.
 
-:class:`InferenceEngine` composes all three behind ``submit``/``poll``;
-``repro serve`` (HTTP) and ``repro predict`` (batch files) are thin
-shells around it.  Throughput and hit-rate telemetry flow through the
-global :class:`~repro.runtime.MetricsRegistry` under ``serve.*``.
+:class:`InferenceEngine` composes all three behind ``submit``/``poll``.
+At scale, :class:`ReplicatedFrontend` puts N forked replicas of the
+engine behind a bounded admission queue with per-request deadlines and
+load shedding, and :func:`run_server` (driven by :class:`ServerConfig`)
+exposes the versioned ``/v1`` HTTP surface on top — ``repro serve`` and
+``repro predict`` are thin shells around these.  Throughput, hit-rate
+and shed/deadline telemetry flow through the global
+:class:`~repro.runtime.MetricsRegistry` under ``serve.*``.
 """
 
 from .batching import BatchPolicy, DynamicBatcher
 from .cache import (EncodingCache, feature_fingerprint,
                     model_fingerprint, table_fingerprint)
 from .engine import InferenceEngine, PredictRequest, PredictResponse, ServeConfig
+from .frontend import (
+    AdmissionQueue,
+    FrontendConfig,
+    ReplicatedFrontend,
+    ServeTicket,
+)
 from .requests import (
     SERVED_TASKS,
     RequestError,
+    affinity_key,
     build_example,
     build_predictor,
     json_safe_label,
     parse_table,
 )
-from .server import make_server, serve_forever
+from .server import (
+    ServerConfig,
+    make_http_server,
+    make_server,
+    run_server,
+    serve_forever,
+)
 
 __all__ = [
     "BatchPolicy", "DynamicBatcher",
     "EncodingCache", "feature_fingerprint", "model_fingerprint",
     "table_fingerprint",
     "InferenceEngine", "PredictRequest", "PredictResponse", "ServeConfig",
-    "SERVED_TASKS", "RequestError", "build_example", "build_predictor",
-    "json_safe_label", "parse_table",
+    "AdmissionQueue", "FrontendConfig", "ReplicatedFrontend", "ServeTicket",
+    "SERVED_TASKS", "RequestError", "affinity_key", "build_example",
+    "build_predictor", "json_safe_label", "parse_table",
+    "ServerConfig", "make_http_server", "run_server",
     "make_server", "serve_forever",
 ]

@@ -17,6 +17,16 @@ weights:
 
 Hit/miss/eviction counts report through the
 :class:`~repro.runtime.MetricsRegistry` under ``serve.cache.*``.
+
+The cache is thread-safe: one reentrant lock guards every entry map and
+counter, so the threaded HTTP front-end (``ThreadingHTTPServer`` handler
+threads sharing one in-process engine) can hammer it concurrently
+without corrupting the LRU order or drifting the hit/miss counters.
+The lock is coarse — it is held across the miss forward in
+:meth:`EncodingCache.hidden_for` — which is the right trade here:
+replicated serving gives each forked worker a private cache (no
+contention), and the single-process paths have exactly one dispatching
+thread doing forwards anyway.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import replace
 
@@ -124,22 +135,33 @@ class EncodingCache:
         self._entries: "OrderedDict[tuple[str, str], np.ndarray]" = OrderedDict()
         self._feature_entries: "OrderedDict[tuple[int, str], tuple]" = \
             OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def nbytes(self) -> int:
         """Total payload bytes currently held."""
-        return sum(array.nbytes for array in self._entries.values())
+        with self._lock:
+            return sum(array.nbytes for array in self._entries.values())
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._feature_entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._feature_entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """A consistent snapshot of size and hit-rate counters."""
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
     # ------------------------------------------------------------------
     def _count(self, what: str, amount: int = 1) -> None:
@@ -148,19 +170,21 @@ class EncodingCache:
 
     def lookup(self, key: tuple[str, str]) -> np.ndarray | None:
         """Fetch an entry and mark it most recently used (no counters)."""
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
 
     def store(self, key: tuple[str, str], value: np.ndarray) -> None:
         """Insert an entry, evicting the LRU tail past ``max_entries``."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._count("evictions")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
 
     # ------------------------------------------------------------------
     def features_for(self, encoder: Module, tables: list[Table],
@@ -178,66 +202,73 @@ class EncodingCache:
         depend only on the encoder's tokenizer and serializer, which the
         per-instance token pins.
         """
-        token = getattr(encoder, "_encoding_cache_token", None)
-        if token is None:
-            token = next(EncodingCache._encoder_tokens)
-            encoder._encoding_cache_token = token
-        serialized, features = [], []
-        for table, context in zip(tables, contexts):
-            key = (token, table_fingerprint(table, context))
-            entry = self._feature_entries.get(key)
-            if entry is None:
-                one_serialized = encoder.serialize(table, context)
-                entry = (one_serialized,
-                         encoder.features(one_serialized, table=table))
-                self._feature_entries[key] = entry
-                while len(self._feature_entries) > self.max_entries:
-                    self._feature_entries.popitem(last=False)
-            else:
-                self._feature_entries.move_to_end(key)
-            serialized.append(entry[0])
-            features.append(_copy_features(entry[1]))
-        return serialized, features
+        with self._lock:
+            token = getattr(encoder, "_encoding_cache_token", None)
+            if token is None:
+                token = next(EncodingCache._encoder_tokens)
+                encoder._encoding_cache_token = token
+            serialized, features = [], []
+            for table, context in zip(tables, contexts):
+                key = (token, table_fingerprint(table, context))
+                entry = self._feature_entries.get(key)
+                if entry is None:
+                    one_serialized = encoder.serialize(table, context)
+                    entry = (one_serialized,
+                             encoder.features(one_serialized, table=table))
+                    self._feature_entries[key] = entry
+                    while len(self._feature_entries) > self.max_entries:
+                        self._feature_entries.popitem(last=False)
+                else:
+                    self._feature_entries.move_to_end(key)
+                serialized.append(entry[0])
+                features.append(_copy_features(entry[1]))
+            return serialized, features
 
     def hidden_for(self, encoder: Module, features: list[TableFeatures]
                    ) -> list[np.ndarray]:
         """Per-example hidden states ``(seq_i, dim)``, cached where possible.
 
-        Misses (deduplicated within the call — a batch repeating one
-        table costs one forward row) run through ``encoder.forward`` as a
-        single padded batch; each fresh result is trimmed to its true
-        length and stored.  Repeats of an in-flight key count as hits:
-        they skip encoder work exactly like a cache hit does.
+        Misses are deduplicated within the call — a batch repeating one
+        table costs one forward — and each distinct miss runs through
+        ``encoder.forward`` as its own batch of one, so the stored hidden
+        states are *canonical*: bitwise independent of batch composition
+        (padded-batch forwards are not padding-invariant; see
+        ``repro.serve.engine``).  Repeats of an in-flight key count as
+        hits: they skip encoder work exactly like a cache hit does.
         """
-        fingerprint = model_fingerprint(encoder)
-        keys = [(fingerprint, feature_fingerprint(f)) for f in features]
-        out: list[np.ndarray | None] = [None] * len(features)
-        pending: "OrderedDict[tuple[str, str], list[int]]" = OrderedDict()
-        hits = misses = 0
-        for i, key in enumerate(keys):
-            cached = self.lookup(key)
-            if cached is not None:
-                out[i] = cached
-                hits += 1
-            elif key in pending:
-                pending[key].append(i)
-                hits += 1
-            else:
-                pending[key] = [i]
-                misses += 1
-        if pending:
-            miss_indices = [indices[0] for indices in pending.values()]
-            batch = pad_batch([features[i] for i in miss_indices],
-                              pad_id=encoder.tokenizer.vocab.pad_id)
-            with encoder.inference():
-                data = encoder.forward(batch).data
-            for j, (key, indices) in enumerate(pending.items()):
-                hidden = data[j, : len(features[indices[0]])].copy()
+        with self._lock:
+            fingerprint = model_fingerprint(encoder)
+            keys = [(fingerprint, feature_fingerprint(f)) for f in features]
+            out: list[np.ndarray | None] = [None] * len(features)
+            pending: "OrderedDict[tuple[str, str], list[int]]" = OrderedDict()
+            hits = misses = 0
+            for i, key in enumerate(keys):
+                cached = self.lookup(key)
+                if cached is not None:
+                    out[i] = cached
+                    hits += 1
+                elif key in pending:
+                    pending[key].append(i)
+                    hits += 1
+                else:
+                    pending[key] = [i]
+                    misses += 1
+            for key, indices in pending.items():
+                # Canonical per-example forward: each miss is encoded
+                # under its own padding only, so the stored bytes are
+                # independent of which other requests shared the wave
+                # (the determinism contract in ``repro.serve.engine``).
+                first = features[indices[0]]
+                batch = pad_batch([first],
+                                  pad_id=encoder.tokenizer.vocab.pad_id)
+                with encoder.inference():
+                    data = encoder.forward(batch).data
+                hidden = data[0, : len(first)].copy()
                 self.store(key, hidden)
                 for i in indices:
                     out[i] = hidden
-        self.hits += hits
-        self.misses += misses
-        self._count("hits", hits)
-        self._count("misses", misses)
-        return out  # type: ignore[return-value]
+            self.hits += hits
+            self.misses += misses
+            self._count("hits", hits)
+            self._count("misses", misses)
+            return out  # type: ignore[return-value]

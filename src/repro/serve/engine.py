@@ -1,12 +1,27 @@
 """The inference engine: per-task micro-batching over cached encoders.
 
-:class:`InferenceEngine` is the request-oriented core both entry points
-(``repro serve`` and ``repro predict``) share.  Requests are submitted
-per task, accumulate in a :class:`~repro.serve.batching.DynamicBatcher`,
-and are answered through the task's :class:`~repro.tasks.TaskPredictor`
-``predict`` in one padded forward per flush.  A single
-:class:`~repro.serve.cache.EncodingCache` is installed on every
-predictor's encoder, so repeated tables skip the transformer entirely.
+:class:`InferenceEngine` is the request-oriented core every entry point
+(``repro serve``, ``repro predict`` and the replicated
+:class:`~repro.serve.frontend.ReplicatedFrontend`) shares.  Requests are
+submitted per task, accumulate in a
+:class:`~repro.serve.batching.DynamicBatcher`, and are answered through
+the task's :class:`~repro.tasks.TaskPredictor` ``predict`` when a flush
+is due.  A single :class:`~repro.serve.cache.EncodingCache` is installed
+on every predictor's encoder, so repeated tables skip the transformer
+entirely.
+
+**Determinism contract.**  Predictions are a pure function of the model
+weights and the request — *never* of batch composition, arrival order,
+or which process answered.  Padded-batch forwards are not bitwise
+padding-invariant (numpy's reductions associate differently as the
+padded length changes), so the engine executes each request's numerics
+individually inside a flushed batch: micro-batching amortizes dispatch
+and keeps the cache's within-wave dedup, while every answer stays
+byte-identical whether the request was served alone, inside a full
+batch, or by any replica of :class:`~repro.serve.frontend` at any fleet
+size.  The padded-batch throughput this trades away is empirically a
+wash on this stack (``bench_serve``: BLAS already saturates one matmul
+and padding wastes flops); the caching + replication wins remain.
 
 Telemetry (all through the global :class:`~repro.runtime.MetricsRegistry`):
 
@@ -190,8 +205,13 @@ class InferenceEngine:
         registry = get_registry()
         prefix = self.config.metrics_prefix
         requests = [request for request, _ in batch]
-        predictions = self.predictors[task].predict(
-            [r.example for r in requests], batch_size=len(requests))
+        # One predict call per request: canonical per-example numerics
+        # (see the module docstring's determinism contract).  Repeats
+        # inside the wave still dedup through the encoding cache — the
+        # first occurrence misses and stores, the rest hit.
+        predictor = self.predictors[task]
+        predictions = [predictor.predict([r.example], batch_size=1)[0]
+                       for r in requests]
         finished = self.clock()
         registry.counter(f"{prefix}.batches").inc()
         registry.histogram(f"{prefix}.batch_size").observe(len(batch))

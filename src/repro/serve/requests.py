@@ -38,8 +38,8 @@ from ..tasks import (
     build_value_vocabulary_from_tables,
 )
 
-__all__ = ["SERVED_TASKS", "RequestError", "parse_table", "build_example",
-           "build_predictor", "json_safe_label"]
+__all__ = ["SERVED_TASKS", "RequestError", "affinity_key", "parse_table",
+           "build_example", "build_predictor", "json_safe_label"]
 
 SERVED_TASKS = ("qa", "nli", "imputation", "coltype", "retrieval", "text2sql")
 
@@ -112,6 +112,25 @@ def build_example(task: str, payload: dict[str, Any]) -> Any:
         return Text2SqlExample(table, str(_require(payload, "question")), None)
     raise RequestError(f"unknown task {task!r}; served tasks: "
                        f"{', '.join(SERVED_TASKS)}")
+
+
+def affinity_key(task: str, example: Any) -> str:
+    """The replica-routing key for one decoded request.
+
+    Table-bearing requests key on the *table's* content hash (context
+    excluded), so every request touching one table — whatever its task
+    or question — prefers the same replica and the fleet caches each
+    table's serialization and hidden states exactly once instead of
+    N times.  Table-free requests (retrieval) key on the query text.
+    Routing by this key is a cache-locality *hint*, never a correctness
+    requirement: predictions are byte-identical on every replica.
+    """
+    from .cache import table_fingerprint
+
+    table = getattr(example, "table", None)
+    if isinstance(table, Table):
+        return table_fingerprint(table, None)
+    return f"{task}:{getattr(example, 'query', '')}"
 
 
 def build_predictor(task: str, encoder: Module, tables: list[Table],

@@ -1,35 +1,102 @@
-"""A minimal stdlib HTTP front-end for the inference engine.
+"""The HTTP surface of the serving tier: ``/v1`` endpoints over a
+threaded server and the replicated front-end.
 
-Endpoints:
+One :class:`ServerConfig`-driven entry point — :func:`run_server` —
+replaces the old ``make_server``/``serve_forever`` pair (both remain as
+thin deprecated shims).  The wire surface is versioned:
 
-- ``POST /predict`` — JSON body ``{"task": ..., <task inputs>}`` (or a
-  JSON list of such objects for a client-side batch); answers with the
-  prediction(s) as JSON.
-- ``GET /healthz`` — liveness + queue/cache gauges.
-- ``GET /metrics`` — the registry's full instrument snapshot.
+- ``POST /v1/predict`` — JSON body ``{"task": ..., <task inputs>}`` or a
+  JSON list of such objects (a client-side batch, admitted atomically so
+  it dispatches as one wave);
+- ``GET /v1/healthz`` — liveness, replica fleet and queue/cache gauges;
+- ``GET /v1/metrics`` — the registry's full instrument snapshot
+  (counters, timers with p50/p99, histograms).
 
-The handler is synchronous: a POST submits its request(s) and drains the
-engine, so micro-batching shows up across the objects of one body (and
-across the encoding cache between bodies).  That keeps the server
-dependency-free and deterministic — the concurrency story of a real
-deployment (worker pools, streaming) is out of scope for the repro.
+Legacy unversioned paths (``/predict``, ``/healthz``, ``/metrics``)
+still answer identically but carry a ``Deprecation: true`` header and a
+``Link: …; rel="successor-version"`` pointer.
+
+Every error is a structured envelope —
+``{"error": {"code", "message", "retryable"}}`` — never an ad-hoc
+string: ``retryable`` tells clients whether backing off and retrying
+can succeed (shed/deadline) or the request itself is at fault
+(``bad_request``) or the server is (``internal``).  A single-object
+body maps its failure to the HTTP status (429-family semantics via
+503/504); a list body always answers 200 with per-item envelopes, so
+one shed item never hides its batch-mates' answers.
+
+Requests flow handler thread → :class:`ReplicatedFrontend` ticket →
+dispatcher → replica (or inline engine), so ``ThreadingHTTPServer``'s
+per-connection threads overlap network IO with model compute, and
+admission control — not the accept queue — decides who gets served
+under overload.
 """
 
 from __future__ import annotations
 
 import json
-from http.server import BaseHTTPRequestHandler, HTTPServer
+import warnings
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from .engine import InferenceEngine
+from .frontend import FrontendConfig, ReplicatedFrontend, ServeTicket
 from .requests import RequestError, build_example
 from ..runtime import get_registry
 
-__all__ = ["make_server", "serve_forever"]
+__all__ = ["ServerConfig", "run_server", "make_http_server",
+           "make_server", "serve_forever"]
+
+#: ticket error code → HTTP status.  Unlisted codes are server bugs.
+_ERROR_STATUS = {
+    "bad_request": 400,
+    "not_found": 404,
+    "internal": 500,
+    "overloaded": 503,
+    "shutdown": 503,
+    "deadline_exceeded": 504,
+    "timeout": 504,
+}
 
 
-def _handle_predict(engine: InferenceEngine, body: Any) -> Any:
-    """Decode one POST body and answer it through the engine."""
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` needs beyond the engine itself.
+
+    ``replicas=0`` serves in-process; ``deadline_ms=0`` disables
+    per-request deadlines.  ``max_requests`` bounds the accept loop for
+    tests and demos (``None`` = run forever).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    replicas: int = 0
+    max_queue: int = 64
+    deadline_ms: float = 0.0
+    max_batch: int = 8
+    verbose: bool = False
+    max_requests: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms < 0:
+            raise ValueError("deadline_ms must be non-negative")
+        self.frontend_config()  # validates the remaining knobs
+
+    def frontend_config(self) -> FrontendConfig:
+        return FrontendConfig(replicas=self.replicas,
+                              max_queue=self.max_queue,
+                              deadline_seconds=self.deadline_ms / 1000.0,
+                              max_batch=self.max_batch)
+
+
+def _error_body(code: str, message: str, retryable: bool) -> dict[str, Any]:
+    return {"error": {"code": code, "message": message,
+                      "retryable": retryable}}
+
+
+def _decode_body(body: Any) -> tuple[bool, list[tuple[str, Any]]]:
+    """Decode one POST body into typed submissions (raises RequestError)."""
     single = isinstance(body, dict)
     items = [body] if single else body
     if not isinstance(items, list) or not items:
@@ -42,68 +109,179 @@ def _handle_predict(engine: InferenceEngine, body: Any) -> Any:
         if not isinstance(task, str):
             raise RequestError("request is missing required field 'task'")
         submissions.append((task, build_example(task, item)))
-    try:
-        responses = engine.process(submissions)
-    except KeyError as error:
-        raise RequestError(str(error)) from error
-    payloads = [r.to_dict() for r in responses]
-    return payloads[0] if single else payloads
+    return single, submissions
 
 
-def make_server(engine: InferenceEngine, host: str = "127.0.0.1",
-                port: int = 8080) -> HTTPServer:
-    """An :class:`HTTPServer` bound to ``host:port`` serving ``engine``."""
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer owning the front-end's lifecycle."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, frontend: ReplicatedFrontend) -> None:
+        super().__init__(address, handler)
+        self.frontend = frontend
+
+    def server_close(self) -> None:
+        try:
+            self.frontend.close()
+        finally:
+            super().server_close()
+
+
+def make_http_server(engine: InferenceEngine,
+                     config: ServerConfig | None = None) -> _ServeHTTPServer:
+    """Build (and start the front-end of) the HTTP server for ``engine``.
+
+    Prefer :func:`run_server` unless you need the server object itself
+    (tests drive ``handle_request`` one call at a time).  The returned
+    server's ``server_close`` also closes the front-end and its replica
+    fleet.
+    """
+    config = config or ServerConfig()
+    frontend = ReplicatedFrontend(engine, config.frontend_config())
 
     class Handler(BaseHTTPRequestHandler):
-        def log_message(self, *args: Any) -> None:  # quiet by default
-            pass
+        protocol_version = "HTTP/1.1"
 
-        def _reply(self, status: int, payload: Any) -> None:
+        def log_message(self, format: str, *args: Any) -> None:
+            # Request lines used to vanish here; now they flow through
+            # the runtime event stream when --verbose asked for them,
+            # so JSONL sinks capture access logs next to serve metrics.
+            if not config.verbose:
+                return
+            get_registry().emit({"kind": "http",
+                                 "client": self.address_string(),
+                                 "line": format % args})
+
+        # -- plumbing ---------------------------------------------------
+        def _reply(self, status: int, payload: Any, *,
+                   deprecated: bool = False,
+                   successor: str | None = None) -> None:
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if deprecated:
+                self.send_header("Deprecation", "true")
+                if successor:
+                    self.send_header(
+                        "Link", f'<{successor}>; rel="successor-version"')
             self.end_headers()
             self.wfile.write(body)
 
-        def do_GET(self) -> None:
-            if self.path == "/healthz":
-                self._reply(200, {
-                    "status": "ok",
-                    "tasks": sorted(engine.predictors),
-                    "queue_depth": engine.queue_depth,
-                    "cache_entries": len(engine.cache),
-                    "cache_hits": engine.cache.hits,
-                    "cache_misses": engine.cache.misses,
-                })
-            elif self.path == "/metrics":
-                self._reply(200, get_registry().snapshot())
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+        def _route(self, path: str) -> tuple[str | None, bool]:
+            """``(endpoint, legacy?)`` — legacy paths answer deprecated."""
+            if path.startswith("/v1/"):
+                return path[len("/v1"):], False
+            return path, True
 
+        # -- GET --------------------------------------------------------
+        def do_GET(self) -> None:
+            endpoint, legacy = self._route(self.path)
+            if endpoint == "/healthz":
+                self._reply(200, frontend.healthz(), deprecated=legacy,
+                            successor="/v1/healthz")
+            elif endpoint == "/metrics":
+                self._reply(200, get_registry().snapshot(),
+                            deprecated=legacy, successor="/v1/metrics")
+            else:
+                self._reply(404, _error_body(
+                    "not_found", f"unknown path {self.path}", False))
+
+        # -- POST -------------------------------------------------------
         def do_POST(self) -> None:
-            if self.path != "/predict":
-                self._reply(404, {"error": f"unknown path {self.path}"})
+            endpoint, legacy = self._route(self.path)
+            if endpoint != "/predict":
+                self._reply(404, _error_body(
+                    "not_found", f"unknown path {self.path}", False))
                 return
             length = int(self.headers.get("Content-Length", 0))
             try:
                 body = json.loads(self.rfile.read(length) or b"null")
-                self._reply(200, _handle_predict(engine, body))
+                single, submissions = _decode_body(body)
             except (json.JSONDecodeError, RequestError) as error:
-                self._reply(400, {"error": str(error)})
+                self._reply(400, _error_body("bad_request", str(error),
+                                             False),
+                            deprecated=legacy, successor="/v1/predict")
+                return
+            frontend.start()
+            try:
+                tickets = frontend.submit_many(submissions)
+            except KeyError as error:
+                self._reply(400, _error_body("bad_request", str(error),
+                                             False),
+                            deprecated=legacy, successor="/v1/predict")
+                return
+            payloads = [self._await(ticket) for ticket in tickets]
+            if single:
+                payload = payloads[0]
+                status = 200
+                if "error" in payload:
+                    status = _ERROR_STATUS.get(payload["error"]["code"], 500)
+                self._reply(status, payload, deprecated=legacy,
+                            successor="/v1/predict")
+            else:
+                # Client-side batches answer 200 with per-item payloads
+                # (each either a response or an error envelope).
+                self._reply(200, payloads, deprecated=legacy,
+                            successor="/v1/predict")
 
-    return HTTPServer((host, port), Handler)
+        @staticmethod
+        def _await(ticket: ServeTicket) -> dict[str, Any]:
+            # Deadlines bound the wait when configured; otherwise the
+            # front-end's recovery machinery (heartbeats, respawn,
+            # inline fallback) guarantees eventual resolution.
+            grace = (config.deadline_ms / 1000.0 + 30.0
+                     if config.deadline_ms > 0 else None)
+            if not ticket.wait(grace):
+                ticket.fail("timeout", "server wait timed out", True)
+            return ReplicatedFrontend.result_payload(ticket)
+
+    server = _ServeHTTPServer((config.host, config.port), Handler, frontend)
+    frontend.start()
+    return server
+
+
+def run_server(engine: InferenceEngine,
+               config: ServerConfig | None = None) -> None:
+    """Serve ``engine`` over HTTP per ``config`` until stopped.
+
+    The one blessed entry point: builds the replicated front-end, binds
+    the threaded HTTP server, runs the accept loop (bounded by
+    ``config.max_requests`` when set) and tears the fleet down on exit.
+    """
+    config = config or ServerConfig()
+    server = make_http_server(engine, config)
+    try:
+        if config.max_requests is None:
+            server.serve_forever()
+        else:
+            for _ in range(config.max_requests):
+                server.handle_request()
+    finally:
+        server.server_close()
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims (the pre-v1 Python API)
+# ----------------------------------------------------------------------
+def make_server(engine: InferenceEngine, host: str = "127.0.0.1",
+                port: int = 8080) -> ThreadingHTTPServer:
+    """Deprecated: use ``run_server(engine, ServerConfig(...))``."""
+    warnings.warn(
+        "make_server is deprecated; use "
+        "repro.serve.run_server(engine, ServerConfig(host=..., port=...))",
+        DeprecationWarning, stacklevel=2)
+    return make_http_server(engine, ServerConfig(host=host, port=port))
 
 
 def serve_forever(engine: InferenceEngine, host: str = "127.0.0.1",
                   port: int = 8080, max_requests: int | None = None) -> None:
-    """Run the HTTP loop; ``max_requests`` bounds it for tests/demos."""
-    server = make_server(engine, host, port)
-    try:
-        if max_requests is None:
-            server.serve_forever()
-        else:
-            for _ in range(max_requests):
-                server.handle_request()
-    finally:
-        server.server_close()
+    """Deprecated: use ``run_server(engine, ServerConfig(...))``."""
+    warnings.warn(
+        "serve_forever is deprecated; use "
+        "repro.serve.run_server(engine, ServerConfig(host=..., port=..., "
+        "max_requests=...))",
+        DeprecationWarning, stacklevel=2)
+    run_server(engine, ServerConfig(host=host, port=port,
+                                    max_requests=max_requests))

@@ -150,3 +150,56 @@ class TestEmitTrainRecord:
         assert event["source"] == "finetune"
         assert event["loss"] == 2.0
         assert event["epoch"] == 0
+
+
+class TestPercentiles:
+    def test_reservoir_nearest_rank(self):
+        from repro.runtime.registry import _Reservoir
+
+        reservoir = _Reservoir(capacity=100)
+        assert reservoir.percentile(99.0) == 0.0        # empty → 0
+        for value in range(1, 101):                     # 1..100
+            reservoir.add(float(value))
+        assert reservoir.percentile(50.0) == 50.0
+        assert reservoir.percentile(99.0) == 99.0
+        assert reservoir.percentile(100.0) == 100.0
+        assert reservoir.percentile(0.0) == 1.0
+
+    def test_reservoir_ring_keeps_recent_window(self):
+        from repro.runtime.registry import _Reservoir
+
+        reservoir = _Reservoir(capacity=4)
+        for value in (1.0, 1.0, 1.0, 1.0):
+            reservoir.add(value)
+        for value in (9.0, 9.0, 9.0, 9.0):              # overwrite the ring
+            reservoir.add(value)
+        assert reservoir.percentile(50.0) == 9.0
+        assert len(reservoir) == 4
+
+    def test_reservoir_rejects_empty_capacity(self):
+        from repro.runtime.registry import _Reservoir
+
+        with pytest.raises(ValueError):
+            _Reservoir(capacity=0)
+
+    def test_histogram_snapshot_has_percentiles(self):
+        from repro.runtime import Histogram
+
+        histogram = Histogram("serve.queue_depth")
+        for value in range(100):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot["p50"] == 49.0
+        assert snapshot["p99"] == 98.0
+        assert Histogram("empty").snapshot()["p99"] == 0.0
+
+    def test_timer_percentiles(self):
+        from repro.runtime import Timer
+
+        timer = Timer("serve.latency_seconds")
+        for value in range(1, 11):
+            timer.observe(value / 10.0)
+        assert timer.percentile(50.0) == pytest.approx(0.5)
+        snapshot = timer.snapshot()
+        assert snapshot["p99_seconds"] == pytest.approx(1.0)
+        assert snapshot["p50_seconds"] == pytest.approx(0.5)

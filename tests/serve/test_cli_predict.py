@@ -134,3 +134,19 @@ class TestServeEndpoints:
             assert "serve.requests" in names
         finally:
             server.server_close()
+
+
+class TestServeOperatorErrors:
+    """Bad serve knobs are operator errors: exit 2, one line, no traceback."""
+
+    @pytest.mark.parametrize("flags, fragment", [
+        (["--replicas", "-1"], "replicas"),
+        (["--deadline-ms", "-5"], "deadline_ms"),
+        (["--max-queue", "0"], "max_queue"),
+    ])
+    def test_invalid_knobs_exit_2(self, corpus_dir, flags, fragment, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(corpus_dir), "--model", "bert", *flags])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and fragment in err
