@@ -27,14 +27,42 @@ from repro.tables import Table, TableContext
 
 def pytest_addoption(parser):
     """``--quick``: CI smoke sizing for the load bench (fewer requests,
-    same gates)."""
+    same gates).  ``--sanitize-threads``: run the whole bench session
+    under the runtime lock sanitizer and fail on any violation."""
     parser.addoption("--quick", action="store_true", default=False,
                      help="run load benches at CI smoke scale")
+    parser.addoption("--sanitize-threads", action="store_true",
+                     default=False,
+                     help="wrap every lock created during the session in "
+                          "the runtime lock sanitizer; fail the session "
+                          "on lock-order violations")
 
 
 @pytest.fixture(scope="session")
 def quick(request):
     return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_lock_sanitizer(request):
+    """Optionally sanitize the whole bench session (``--sanitize-threads``).
+
+    The sanitizer installs before any bench builds its serving stack, so
+    cache/front-end/queue/registry locks are all wrapped; at teardown any
+    recorded lock-order inversion fails the session with its witness.
+    """
+    if not request.config.getoption("--sanitize-threads"):
+        yield None
+        return
+    from repro.analysis import LockSanitizer
+
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+    assert sanitizer.violations == [], sanitizer.render_report()
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -11,6 +11,10 @@ Three layers, all offline:
   dead parameters, untouched ops, float64 creep, NaN-prone fan-out.
 - **Lint** (:mod:`.lint`) — AST rules for repo invariants
   (``repro lint``).
+- **Concurrency** (:mod:`.concurrency`, :mod:`.locksan`) — static
+  race/lock-order analysis (REPRO008/REPRO009, ``repro check
+  --concurrency``) plus the runtime :class:`LockSanitizer`
+  (``repro serve --sanitize-threads``).
 
 :mod:`.gradcheck` adds finite-difference spot checks
 (``repro check --numeric``).
@@ -24,9 +28,17 @@ from .checker import (
     check_pair,
     numeric_spot_check,
 )
+from .concurrency import (
+    ConcurrencyReport,
+    GuardInfo,
+    LockEdge,
+    analyze_files,
+    analyze_source,
+)
 from .gradcheck import check_gradient, numeric_gradient
 from .infer import check_attention_mask, infer_decoder, infer_shapes, register_handler
 from .lint import LintFinding, RULES, lint_file, lint_source, run_lint
+from .locksan import LockSanitizer, SanitizerError
 from .shapes import Dim, ShapeError, ShapeSpec, broadcast_shapes, dims_equal
 from .tape import (
     Finding,
@@ -47,5 +59,8 @@ __all__ = [
     "Finding", "TapeReport", "OpCounter", "TapeTracer",
     "trace_tape", "sanitize_tape", "reachable_from",
     "LintFinding", "RULES", "run_lint", "lint_file", "lint_source",
+    "ConcurrencyReport", "GuardInfo", "LockEdge",
+    "analyze_files", "analyze_source",
+    "LockSanitizer", "SanitizerError",
     "numeric_gradient", "check_gradient",
 ]

@@ -1,0 +1,859 @@
+"""Static concurrency analysis: data races and lock-order hazards.
+
+Two rules over the threaded serving & parallel stack (wired into
+``repro lint`` next to the single-threaded AST rules):
+
+- **REPRO008** — a *guarded* attribute is read or written outside its
+  lock on a code path another thread can reach.  The guard map comes
+  from two sources: an explicit ``# guarded-by: <lock-attr>`` comment
+  on the attribute's initialising assignment, and automatic inference
+  (an attribute touched under ``with self._lock:`` in a clear majority
+  of its uses — at least two locked accesses, strictly more locked
+  than unlocked — is treated as guarded by that lock; the minority
+  unlocked accesses are exactly the suspects).  Thread entry points
+  are ``threading.Thread(target=...)`` targets (methods and nested
+  closures), every method of a ``BaseHTTPRequestHandler`` subclass,
+  and the public methods of any class whose ``class`` line carries a
+  ``# thread-shared`` comment; reachability follows ``self.method()``
+  calls from those entries.
+- **REPRO009** — lock-order hazards: a cycle in the static
+  lock-acquisition graph built from nested ``with`` statements (plus
+  one level of same-class / same-module call summaries), or a blocking
+  call (``sleep``, pipe ``send``/``recv``, ``accept``, ``join``/
+  ``wait``/``get`` without a timeout) made while holding a lock.
+  Waiting on a held condition releases *that* lock, so it only counts
+  as blocking when other locks stay held.
+
+Annotation conventions (line comments, consumed here):
+
+- ``# guarded-by: <lock-attr>`` — on an attribute's assignment:
+  declares the guard explicitly (stricter than inference: *every*
+  thread-reachable access must hold the lock).
+- ``# thread-shared`` — on a ``class`` line: instances are handed to
+  multiple threads, so every public method is an entry point.
+- ``# holds-lock: <lock-attr>`` — on a ``def`` line: callers must hold
+  the lock; the body is analyzed as if inside ``with`` it.
+- ``# race-ok: <reason>`` — suppresses REPRO008 on that line (e.g. a
+  benign racy fast-path probe).
+- ``# lock-ok: <reason>`` — suppresses REPRO009 on that line (e.g. a
+  lock that exists precisely to serialize pipe writes).
+
+Known limitations, by design: the analysis is per-class for guards and
+name-based for lock identity, so cross-object aliasing (two attributes
+holding the same lock instance across classes) is unified only when it
+is lexically visible (``threading.Condition(self._lock)``).  The
+runtime :class:`~repro.analysis.locksan.LockSanitizer` covers the
+dynamic side — real instance identity, cross-class inversions and hold
+times.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .lint import LintFinding, RULES
+
+__all__ = ["GuardInfo", "LockEdge", "ConcurrencyReport",
+           "analyze_source", "analyze_files"]
+
+#: The two rules this module owns (descriptions live in ``lint.RULES``).
+CONCURRENCY_RULES: dict[str, str] = {
+    rule: RULES[rule] for rule in ("REPRO008", "REPRO009")}
+
+#: ``threading.X()`` constructors that create a lock (guard-capable).
+_LOCK_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+#: Constructors that create *self-synchronizing* objects — their own
+#: methods are atomic, so attributes holding them never need a guard.
+_SYNC_FACTORIES = frozenset({
+    "Event", "Barrier", "Queue", "SimpleQueue", "JoinableQueue", "local",
+})
+
+#: Attribute / variable names that denote a lock even without a
+#: recognizable constructor on the right-hand side.
+_LOCKISH = re.compile(r"(?:^|_)(?:lock|mutex|cond(?:ition)?|not_empty|not_full)$")
+
+#: Calls that block regardless of arguments.
+_BLOCKING_ALWAYS = frozenset({
+    "sleep", "recv", "recv_bytes", "send", "send_bytes", "accept", "select",
+})
+
+#: Calls that block only when no timeout bounds them.
+_BLOCKING_NO_TIMEOUT = frozenset({"wait", "wait_for", "join", "get"})
+
+#: Condition-style methods that *release* the lock they are called on.
+_CONDITION_METHODS = frozenset({"wait", "wait_for", "notify", "notify_all"})
+
+_HANDLER_BASE_MARKER = "HTTPRequestHandler"
+
+_GUARDED_BY = re.compile(r"#.*guarded-by:\s*([A-Za-z_]\w*)")
+_HOLDS_LOCK = re.compile(r"#.*holds-lock:\s*([A-Za-z_]\w*)")
+_THREAD_SHARED = re.compile(r"#.*thread-shared\b")
+_RACE_OK = re.compile(r"#.*race-ok\b")
+_LOCK_OK = re.compile(r"#.*lock-ok\b")
+
+
+# ----------------------------------------------------------------------
+# Public result types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GuardInfo:
+    """One entry of a class's lock-guard map."""
+
+    attr: str
+    lock: str
+    how: str  # "annotated" | "inferred"
+    line: int
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """Lock ``src`` was held while ``dst`` was acquired at path:line."""
+
+    src: str
+    dst: str
+    path: str
+    line: int
+
+
+@dataclass
+class ConcurrencyReport:
+    """Findings plus the evidence they were derived from."""
+
+    findings: list[LintFinding]
+    guards: dict[str, tuple[GuardInfo, ...]]
+    edges: tuple[LockEdge, ...]
+
+    def render(self) -> str:
+        """Human-readable guard map, lock graph and findings."""
+        lines = ["lock-guard map:"]
+        if not self.guards:
+            lines.append("  (no guarded classes)")
+        for qualname in sorted(self.guards):
+            for guard in self.guards[qualname]:
+                lines.append(f"  {qualname}.{guard.attr} <- "
+                             f"self.{guard.lock} [{guard.how}]")
+        lines.append("lock-acquisition graph:")
+        if not self.edges:
+            lines.append("  (no nested acquisitions)")
+        for edge in self.edges:
+            lines.append(f"  {edge.src} -> {edge.dst} "
+                         f"({edge.path}:{edge.line})")
+        lines.append(f"findings: {len(self.findings)}")
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Internal model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Held:
+    """One lock on the lexical acquisition stack."""
+
+    lock_id: str                      # globally unique graph node name
+    cls: "object | None" = None       # _ClassInfo when a same-class lock
+    attr: str | None = None           # canonical self attribute, if so
+
+
+@dataclass
+class _Scope:
+    """A function/method/closure body being analyzed."""
+
+    qualname: str
+    cls: "object | None"
+    method: str | None                # owning top-level method name
+    parent: "object | None" = None
+    entry: bool = False               # explicit thread target
+    holds: tuple[_Held, ...] = ()
+    acquires: dict[str, int] = field(default_factory=dict)
+    calls: list[tuple[str, str, tuple[_Held, ...], int]] = \
+        field(default_factory=list)   # (kind, name, held, line)
+    children: dict[str, "object"] = field(default_factory=dict)
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    col: int
+    held_attrs: frozenset[str]        # canonical same-class lock attrs held
+    scope: _Scope
+    suppressed: bool
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    qualname: str
+    path: str
+    line: int
+    thread_shared: bool = False
+    handler: bool = False
+    method_names: set[str] = field(default_factory=set)
+    locks: dict[str, str] = field(default_factory=dict)   # attr -> canonical
+    sync_attrs: set[str] = field(default_factory=set)
+    guards: dict[str, tuple[str, int]] = field(default_factory=dict)
+    methods: dict[str, _Scope] = field(default_factory=dict)
+    scopes: list[_Scope] = field(default_factory=list)
+    entry_methods: set[str] = field(default_factory=set)
+    accesses: dict[str, list[_Access]] = field(default_factory=dict)
+
+
+def _line_comments(source: str) -> dict[int, str]:
+    """Map line number -> trailing comment text (tokenizer-accurate)."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return comments
+    return comments
+
+
+def _dotted(node: ast.expr) -> list[str] | None:
+    """``self.queue.not_empty`` -> ["self", "queue", "not_empty"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        segs = _dotted(base)
+        if segs:
+            names.append(segs[-1])
+    return names
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _call_has_timeout(call: ast.Call) -> bool:
+    """Heuristic: any non-``None`` argument can bound the wait."""
+    for keyword in call.keywords:
+        if keyword.arg == "timeout" and not _is_none(keyword.value):
+            return True
+    return any(not _is_none(arg) and not isinstance(arg, ast.Starred)
+               for arg in call.args)
+
+
+# ----------------------------------------------------------------------
+# Module walker
+# ----------------------------------------------------------------------
+class _ModuleWalker:
+    """One pass over one module: scopes, accesses, edges, blocking calls."""
+
+    def __init__(self, path: str, source: str,
+                 select: frozenset[str] | None) -> None:
+        self.path = path
+        self.select = select
+        self.comments = _line_comments(source)
+        self.tree = ast.parse(source, filename=path)
+        self.classes: list[_ClassInfo] = []
+        self.findings: list[LintFinding] = []
+        self.edge_map: dict[tuple[str, str], LockEdge] = {}
+        self.module_scope = _Scope(qualname=Path(path).stem, cls=None,
+                                   method=None)
+        self.scopes: list[_Scope] = [self.module_scope]
+        self._pending_targets: list[tuple[_Scope, str]] = []
+        self.module_locks: dict[str, str] = {}
+        self._collect_module_locks()
+
+    def _collect_module_locks(self) -> None:
+        """Map module-level lock names to canonical graph node ids.
+
+        A module-level ``x = threading.Lock()`` is a definite lock; an
+        imported lockish name (``from a import lock_a``) canonicalizes
+        to its *defining* module's id, so a lock shared by import keeps
+        one graph node and AB/BA cycles split between files still meet.
+        """
+        for stmt in self.tree.body:
+            if (isinstance(stmt, ast.ImportFrom) and stmt.module
+                    and stmt.level == 0):
+                owner = stmt.module.rsplit(".", 1)[-1]
+                for alias in stmt.names:
+                    name = alias.asname or alias.name
+                    if _LOCKISH.search(alias.name) or "lock" in alias.name:
+                        self.module_locks.setdefault(
+                            name, f"{owner}.{alias.name}")
+            elif isinstance(stmt, ast.Assign):
+                if not isinstance(stmt.value, ast.Call):
+                    continue
+                segs = _dotted(stmt.value.func)
+                if (segs[-1] if segs else "") not in _LOCK_FACTORIES:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_locks[target.id] = (
+                            f"{self.module_scope.qualname}.{target.id}")
+
+    # -- plumbing ------------------------------------------------------
+    def _want(self, rule: str) -> bool:
+        return self.select is None or rule in self.select
+
+    def _comment(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def _report(self, rule: str, line: int, col: int, detail: str) -> None:
+        if self._want(rule):
+            self.findings.append(LintFinding(
+                self.path, line, col, rule,
+                CONCURRENCY_RULES[rule] + f" ({detail})"))
+
+    def _edge(self, src: _Held, dst: _Held, line: int) -> None:
+        if src.lock_id == dst.lock_id:
+            return  # reentrant re-acquire: not an ordering edge
+        self.edge_map.setdefault(
+            (src.lock_id, dst.lock_id),
+            LockEdge(src.lock_id, dst.lock_id, self.path, line))
+
+    # -- entry ---------------------------------------------------------
+    def run(self) -> None:
+        self._walk_body(self.tree.body, self.module_scope, ())
+        self._resolve_thread_targets()
+        self._interprocedural_edges()
+
+    # -- statement walk ------------------------------------------------
+    def _walk_body(self, stmts: list[ast.stmt], scope: _Scope,
+                   held: tuple[_Held, ...]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, scope, held)
+
+    def _walk_stmt(self, node: ast.AST, scope: _Scope,
+                   held: tuple[_Held, ...]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._walk_with(node, scope, held)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_function(node, scope)
+        elif isinstance(node, ast.ClassDef):
+            self._walk_class(node, scope)
+        else:
+            for _name, value in ast.iter_fields(node):
+                if isinstance(value, list):
+                    for item in value:
+                        if isinstance(item, (ast.stmt, ast.excepthandler)):
+                            self._walk_stmt(item, scope, held)
+                        elif isinstance(item, ast.expr):
+                            self._visit_expr(item, scope, held)
+                elif isinstance(value, ast.expr):
+                    self._visit_expr(value, scope, held)
+
+    def _walk_with(self, node: ast.With | ast.AsyncWith, scope: _Scope,
+                   held: tuple[_Held, ...]) -> None:
+        for item in node.items:
+            self._visit_expr(item.context_expr, scope, held)
+            lock = self._lock_from_expr(item.context_expr, scope)
+            if lock is not None:
+                if all(h.lock_id != lock.lock_id for h in held):
+                    for h in held:
+                        self._edge(h, lock, item.context_expr.lineno)
+                    scope.acquires.setdefault(lock.lock_id,
+                                              item.context_expr.lineno)
+                    held = held + (lock,)
+            if item.optional_vars is not None:
+                self._visit_expr(item.optional_vars, scope, held)
+        self._walk_body(node.body, scope, held)
+
+    def _walk_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                       scope: _Scope) -> None:
+        for decorator in node.decorator_list:
+            self._visit_expr(decorator, scope, ())
+        for default in (node.args.defaults
+                        + [d for d in node.args.kw_defaults if d is not None]):
+            self._visit_expr(default, scope, ())
+        child = _Scope(qualname=f"{scope.qualname}.{node.name}",
+                       cls=scope.cls,
+                       method=scope.method if scope.cls else None,
+                       parent=scope)
+        holds_match = _HOLDS_LOCK.search(self._comment(node.lineno))
+        if holds_match is not None:
+            lock = self._self_lock(holds_match.group(1), scope.cls)
+            if lock is not None:
+                child.holds = (lock,)
+        scope.children[node.name] = child
+        self.scopes.append(child)
+        if isinstance(scope.cls, _ClassInfo):
+            scope.cls.scopes.append(child)
+        self._walk_body(node.body, child, child.holds)
+
+    def _walk_class(self, node: ast.ClassDef, scope: _Scope) -> None:
+        info = _ClassInfo(
+            name=node.name,
+            qualname=f"{scope.qualname}.{node.name}",
+            path=self.path, line=node.lineno,
+            thread_shared=bool(
+                _THREAD_SHARED.search(self._comment(node.lineno))),
+            handler=any(_HANDLER_BASE_MARKER in base
+                        for base in _base_names(node)),
+        )
+        self.classes.append(info)
+        info.method_names = {
+            stmt.name for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        self._collect_class_state(node, info)
+        class_scope = _Scope(qualname=info.qualname, cls=info, method=None,
+                             parent=scope)
+        scope.children[node.name] = class_scope
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_scope_parent = _Scope(
+                    qualname=info.qualname, cls=info, method=stmt.name,
+                    parent=class_scope)
+                self._walk_function(stmt, method_scope_parent)
+                method = method_scope_parent.children[stmt.name]
+                info.methods[stmt.name] = method
+                class_scope.children[stmt.name] = method
+            else:
+                self._walk_stmt(stmt, class_scope, ())
+        if info.handler:
+            info.entry_methods |= set(info.method_names)
+        if info.thread_shared:
+            info.entry_methods |= {
+                name for name in info.method_names
+                if not name.startswith("_")
+                or (name.startswith("__") and name.endswith("__")
+                    and name not in ("__init__", "__new__", "__del__"))}
+
+    def _collect_class_state(self, node: ast.ClassDef,
+                             info: _ClassInfo) -> None:
+        """Pre-pass: lock attributes, sync attributes, guard annotations."""
+        raw: dict[str, str | None] = {}  # lock attr -> alias target
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            else:
+                continue
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                attr = target.attr
+                kind, alias = self._classify_value(attr, value)
+                if kind == "lock":
+                    raw[attr] = alias
+                elif kind == "sync":
+                    info.sync_attrs.add(attr)
+                guard = _GUARDED_BY.search(self._comment(target.lineno))
+                if guard is not None:
+                    info.guards.setdefault(attr,
+                                           (guard.group(1), target.lineno))
+        for attr, alias in raw.items():
+            canonical = attr
+            seen = {attr}
+            while alias is not None and alias in raw and alias not in seen:
+                canonical = alias
+                seen.add(alias)
+                alias = raw[alias]
+            if alias is not None and alias not in raw:
+                canonical = alias if _LOCKISH.search(alias) else canonical
+            info.locks[attr] = canonical
+
+    @staticmethod
+    def _classify_value(attr: str,
+                        value: ast.expr) -> tuple[str | None, str | None]:
+        """Classify ``self.attr = value`` as lock / sync object / neither."""
+        def of_call(call: ast.Call) -> tuple[str | None, str | None]:
+            segs = _dotted(call.func)
+            name = segs[-1] if segs else ""
+            if name in _LOCK_FACTORIES:
+                alias = None
+                if name == "Condition" and call.args:
+                    arg = _dotted(call.args[0])
+                    if arg and arg[0] == "self" and len(arg) == 2:
+                        alias = arg[1]
+                return "lock", alias
+            if name in _SYNC_FACTORIES:
+                return "sync", None
+            return None, None
+
+        if isinstance(value, ast.Call):
+            kind, alias = of_call(value)
+            if kind is not None:
+                return kind, alias
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                if isinstance(operand, ast.Call):
+                    kind, alias = of_call(operand)
+                    if kind is not None:
+                        return kind, alias
+        if _LOCKISH.search(attr):
+            return "lock", None
+        return None, None
+
+    # -- lock resolution ----------------------------------------------
+    def _self_lock(self, attr: str, cls: object | None) -> _Held | None:
+        if not isinstance(cls, _ClassInfo):
+            return None
+        canonical = cls.locks.get(attr)
+        if canonical is None and _LOCKISH.search(attr):
+            canonical = attr
+        if canonical is None:
+            return None
+        return _Held(f"{cls.qualname}.{canonical}", cls, canonical)
+
+    def _lock_from_expr(self, expr: ast.expr,
+                        scope: _Scope) -> _Held | None:
+        segs = _dotted(expr)
+        if segs is None:
+            return None
+        if segs[0] == "self" and len(segs) == 2:
+            return self._self_lock(segs[1], scope.cls)
+        if len(segs) == 1 and segs[0] in self.module_locks:
+            return _Held(self.module_locks[segs[0]])
+        if not _LOCKISH.search(segs[-1]):
+            return None
+        if segs[0] == "self" and isinstance(scope.cls, _ClassInfo):
+            return _Held(f"{scope.cls.qualname}.{'.'.join(segs[1:])}")
+        return _Held(f"{scope.qualname}:{'.'.join(segs)}")
+
+    # -- expression walk -----------------------------------------------
+    def _visit_expr(self, expr: ast.expr, scope: _Scope,
+                    held: tuple[_Held, ...]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                self._record_access(node, scope, held)
+            elif isinstance(node, ast.Call):
+                self._record_call(node, scope, held)
+
+    def _record_access(self, node: ast.Attribute, scope: _Scope,
+                       held: tuple[_Held, ...]) -> None:
+        cls = scope.cls
+        if not isinstance(cls, _ClassInfo):
+            return
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        attr = node.attr
+        if attr in cls.method_names or attr in cls.locks:
+            return
+        held_attrs = frozenset(
+            h.attr for h in held if h.cls is cls and h.attr is not None)
+        suppressed = bool(_RACE_OK.search(self._comment(node.lineno)))
+        cls.accesses.setdefault(attr, []).append(_Access(
+            attr, node.lineno, node.col_offset, held_attrs, scope,
+            suppressed))
+
+    def _record_call(self, node: ast.Call, scope: _Scope,
+                     held: tuple[_Held, ...]) -> None:
+        segs = _dotted(node.func)
+        name = segs[-1] if segs else ""
+        if name == "Thread":
+            self._record_thread_target(node, scope)
+        if (segs is not None and len(segs) == 2 and segs[0] == "self"
+                and isinstance(scope.cls, _ClassInfo)
+                and name in scope.cls.method_names):
+            scope.calls.append(("self", name, held, node.lineno))
+        elif isinstance(node.func, ast.Name):
+            scope.calls.append(("name", name, held, node.lineno))
+        if held:
+            self._check_blocking(node, name, scope, held)
+
+    def _record_thread_target(self, node: ast.Call, scope: _Scope) -> None:
+        for keyword in node.keywords:
+            if keyword.arg != "target":
+                continue
+            segs = _dotted(keyword.value)
+            if segs is None:
+                continue
+            if (segs[0] == "self" and len(segs) == 2
+                    and isinstance(scope.cls, _ClassInfo)):
+                scope.cls.entry_methods.add(segs[1])
+            elif len(segs) == 1:
+                self._pending_targets.append((scope, segs[0]))
+
+    def _check_blocking(self, node: ast.Call, name: str, scope: _Scope,
+                        held: tuple[_Held, ...]) -> None:
+        effective = held
+        if isinstance(node.func, ast.Attribute) and name in _CONDITION_METHODS:
+            receiver = self._lock_from_expr(node.func.value, scope)
+            if receiver is not None:
+                # Condition.wait/notify release the lock they are
+                # called on; only *other* held locks stay blocked.
+                effective = tuple(h for h in held
+                                  if h.lock_id != receiver.lock_id)
+        if not effective:
+            return
+        blocking = (name in _BLOCKING_ALWAYS
+                    or (name in _BLOCKING_NO_TIMEOUT
+                        and not _call_has_timeout(node)))
+        if not blocking:
+            return
+        if _LOCK_OK.search(self._comment(node.lineno)):
+            return
+        locks = ", ".join(h.lock_id for h in effective)
+        self._report(
+            "REPRO009", node.lineno, node.col_offset,
+            f"blocking call {name}() while holding {locks}; add a timeout "
+            f"or move it outside the lock")
+
+    # -- post passes ---------------------------------------------------
+    def _resolve_thread_targets(self) -> None:
+        for scope, name in self._pending_targets:
+            probe: object | None = scope
+            while isinstance(probe, _Scope):
+                child = probe.children.get(name)
+                if isinstance(child, _Scope):
+                    child.entry = True
+                    break
+                probe = probe.parent
+            else:
+                child = self.module_scope.children.get(name)
+                if isinstance(child, _Scope):
+                    child.entry = True
+
+    def _resolve_callee(self, scope: _Scope, kind: str,
+                        name: str) -> _Scope | None:
+        if kind == "self" and isinstance(scope.cls, _ClassInfo):
+            return scope.cls.methods.get(name)
+        probe: object | None = scope
+        while isinstance(probe, _Scope):
+            child = probe.children.get(name)
+            if isinstance(child, _Scope):
+                return child
+            probe = probe.parent
+        child = self.module_scope.children.get(name)
+        return child if isinstance(child, _Scope) else None
+
+    def _summary(self, scope: _Scope,
+                 memo: dict[int, frozenset[str]],
+                 visiting: set[int]) -> frozenset[str]:
+        """All lock ids a call into ``scope`` may acquire (transitive)."""
+        key = id(scope)
+        if key in memo:
+            return memo[key]
+        if key in visiting:
+            return frozenset()
+        visiting.add(key)
+        acquired = set(scope.acquires)
+        for kind, name, _held, _line in scope.calls:
+            callee = self._resolve_callee(scope, kind, name)
+            if callee is not None:
+                acquired |= self._summary(callee, memo, visiting)
+        visiting.discard(key)
+        memo[key] = frozenset(acquired)
+        return memo[key]
+
+    def _interprocedural_edges(self) -> None:
+        memo: dict[int, frozenset[str]] = {}
+        for scope in self.scopes:
+            for kind, name, held, line in scope.calls:
+                if not held:
+                    continue
+                callee = self._resolve_callee(scope, kind, name)
+                if callee is None:
+                    continue
+                for lock_id in sorted(self._summary(callee, memo, set())):
+                    for h in held:
+                        if h.lock_id != lock_id:
+                            self.edge_map.setdefault(
+                                (h.lock_id, lock_id),
+                                LockEdge(h.lock_id, lock_id, self.path,
+                                         line))
+
+    # -- REPRO008 assembly ---------------------------------------------
+    def class_findings(self) -> tuple[list[LintFinding],
+                                      dict[str, tuple[GuardInfo, ...]]]:
+        findings: list[LintFinding] = []
+        guard_map: dict[str, tuple[GuardInfo, ...]] = {}
+        for info in self.classes:
+            if not info.locks:
+                continue
+            guards = self._class_guards(info, findings)
+            if guards:
+                guard_map[info.qualname] = tuple(guards)
+            reached = self._reached_methods(info)
+            for guard in guards:
+                for access in info.accesses.get(guard.attr, ()):
+                    if access.scope.method == "__init__":
+                        continue
+                    if access.suppressed or guard.lock in access.held_attrs:
+                        continue
+                    if not self._scope_reached(access.scope, reached):
+                        continue
+                    if self._want("REPRO008"):
+                        findings.append(LintFinding(
+                            self.path, access.line, access.col, "REPRO008",
+                            CONCURRENCY_RULES["REPRO008"]
+                            + (f" (self.{guard.attr} requires "
+                               f"self.{guard.lock} [{guard.how}]; unlocked "
+                               f"access in {access.scope.qualname}, "
+                               f"thread-reachable)")))
+        return findings, guard_map
+
+    def _class_guards(self, info: _ClassInfo,
+                      findings: list[LintFinding]) -> list[GuardInfo]:
+        guards: list[GuardInfo] = []
+        for attr, (lock_name, line) in sorted(info.guards.items()):
+            canonical = info.locks.get(lock_name)
+            if canonical is None:
+                if self._want("REPRO008"):
+                    findings.append(LintFinding(
+                        self.path, line, 0, "REPRO008",
+                        CONCURRENCY_RULES["REPRO008"]
+                        + (f" (guarded-by: {lock_name} on self.{attr} names "
+                           f"no known lock attribute of {info.qualname})")))
+                continue
+            guards.append(GuardInfo(attr, canonical, "annotated", line))
+        annotated = {guard.attr for guard in guards} | set(info.guards)
+        for attr, accesses in sorted(info.accesses.items()):
+            if (attr in annotated or attr in info.locks
+                    or attr in info.sync_attrs):
+                continue
+            counted = [access for access in accesses
+                       if access.scope.method != "__init__"
+                       and not access.suppressed]
+            if not counted:
+                continue
+            tally: dict[str, int] = {}
+            for access in counted:
+                for lock in access.held_attrs:
+                    tally[lock] = tally.get(lock, 0) + 1
+            if not tally:
+                continue
+            lock, locked = max(sorted(tally.items()),
+                               key=lambda item: item[1])
+            if locked >= 2 and locked > len(counted) - locked:
+                guards.append(GuardInfo(
+                    attr, lock, "inferred",
+                    min(access.line for access in counted)))
+        return guards
+
+    def _reached_methods(self, info: _ClassInfo) -> set[str]:
+        reached = {name for name in info.entry_methods
+                   if name in info.methods}
+        changed = True
+        while changed:
+            changed = False
+            for scope in info.scopes:
+                if not (scope.entry
+                        or (scope.method in reached
+                            and scope.method is not None)):
+                    continue
+                for kind, name, _held, _line in scope.calls:
+                    if (kind == "self" and name in info.methods
+                            and name not in reached):
+                        reached.add(name)
+                        changed = True
+        return reached
+
+    @staticmethod
+    def _scope_reached(scope: _Scope, reached: set[str]) -> bool:
+        probe: object | None = scope
+        while isinstance(probe, _Scope):
+            if probe.entry:
+                return True
+            probe = probe.parent
+        return scope.method is not None and scope.method in reached
+
+
+# ----------------------------------------------------------------------
+# Cycle detection and the public entry points
+# ----------------------------------------------------------------------
+def _cycle_findings(edges: dict[tuple[str, str], LockEdge],
+                    select: frozenset[str] | None) -> list[LintFinding]:
+    if select is not None and "REPRO009" not in select:
+        return []
+    adjacency: dict[str, list[str]] = {}
+    for src, dst in sorted(edges):
+        adjacency.setdefault(src, []).append(dst)
+    findings: list[LintFinding] = []
+    state: dict[str, int] = {}
+    stack: list[str] = []
+    seen_cycles: set[frozenset[str]] = set()
+
+    def visit(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in adjacency.get(node, ()):
+            if state.get(nxt, 0) == 0:
+                visit(nxt)
+            elif state.get(nxt) == 1:
+                cycle = stack[stack.index(nxt):]
+                key = frozenset(cycle)
+                if key in seen_cycles:
+                    continue
+                seen_cycles.add(key)
+                pairs = list(zip(cycle, cycle[1:] + [cycle[0]]))
+                sites = "; ".join(
+                    f"{edges[pair].src} -> {edges[pair].dst} at "
+                    f"{edges[pair].path}:{edges[pair].line}"
+                    for pair in pairs)
+                first = edges[pairs[0]]
+                findings.append(LintFinding(
+                    first.path, first.line, 0, "REPRO009",
+                    CONCURRENCY_RULES["REPRO009"]
+                    + (f" (lock-order cycle "
+                       f"{' -> '.join(cycle + [cycle[0]])}; {sites})")))
+        state[node] = 2
+        stack.pop()
+
+    for node in sorted(adjacency):
+        if state.get(node, 0) == 0:
+            visit(node)
+    return findings
+
+
+def _analyze_modules(units: Sequence[tuple[str, str]],
+                     select: frozenset[str] | None) -> ConcurrencyReport:
+    findings: list[LintFinding] = []
+    guards: dict[str, tuple[GuardInfo, ...]] = {}
+    edges: dict[tuple[str, str], LockEdge] = {}
+    for path, source in units:
+        walker = _ModuleWalker(path, source, select)
+        walker.run()
+        findings.extend(walker.findings)
+        class_findings, class_guards = walker.class_findings()
+        findings.extend(class_findings)
+        guards.update(class_guards)
+        for key, edge in walker.edge_map.items():
+            edges.setdefault(key, edge)
+    findings.extend(_cycle_findings(edges, select))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return ConcurrencyReport(findings=findings, guards=guards,
+                             edges=tuple(edges.values()))
+
+
+def analyze_source(source: str, path: str,
+                   select: Iterable[str] | None = None) -> ConcurrencyReport:
+    """Run the concurrency pass over one unit of python source."""
+    chosen = frozenset(select) if select is not None else None
+    return _analyze_modules([(path, source)], chosen)
+
+
+def analyze_files(paths: Sequence[str | Path],
+                  select: Iterable[str] | None = None) -> ConcurrencyReport:
+    """Run the concurrency pass over files and directory trees.
+
+    The lock-acquisition graph is global across all the analyzed
+    modules, so AB/BA cycles split between files are still caught.
+    """
+    chosen = frozenset(select) if select is not None else None
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    units = [(str(file), file.read_text()) for file in files]
+    return _analyze_modules(units, chosen)

@@ -29,10 +29,18 @@ Rules — each guards a convention the rest of the codebase relies on:
   repeatedly hidden real worker/transport failures — handle them, name
   a narrower type, or at minimum record why ignoring is correct in the
   handler body.
+- **REPRO008** guarded attributes (``# guarded-by:`` annotations plus
+  lock-usage inference) must not be read or written outside their lock
+  on thread-reachable paths — see :mod:`repro.analysis.concurrency`.
+- **REPRO009** no lock-order cycles in the static acquisition graph
+  and no blocking calls (``sleep``, pipe IO, untimed ``wait``/``join``)
+  while holding a lock — see :mod:`repro.analysis.concurrency`.
 
 Rule applicability is decided from *directory parts* of each file's
 path (``nn``, ``serve``, ...), so fixture trees in tests exercise the
-same logic as the real source tree.
+same logic as the real source tree.  REPRO008/REPRO009 are whole-tree
+passes (guard maps and the lock graph span files), so they run from
+:func:`run_lint` rather than :func:`lint_source`.
 """
 
 from __future__ import annotations
@@ -52,6 +60,8 @@ RULES: dict[str, str] = {
     "REPRO005": "public function missing type annotations",
     "REPRO006": "op math must go through the backend",
     "REPRO007": "exception silently swallowed (bare except / except-pass)",
+    "REPRO008": "guarded attribute accessed outside its lock",
+    "REPRO009": "lock-order hazard (cycle or blocking call under lock)",
 }
 
 #: Exceptions whose silent suppression is legitimate shutdown noise —
@@ -283,4 +293,11 @@ def run_lint(paths: Sequence[str | Path],
     findings: list[LintFinding] = []
     for file in files:
         findings.extend(lint_file(file, select=select))
+    chosen = frozenset(select) if select is not None else None
+    if chosen is None or chosen & {"REPRO008", "REPRO009"}:
+        # Whole-tree pass: guard maps and the lock-acquisition graph
+        # span files, so the concurrency rules run over the file set.
+        from .concurrency import analyze_files
+        findings.extend(analyze_files(files, select=chosen).findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

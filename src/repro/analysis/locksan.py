@@ -1,0 +1,366 @@
+"""Runtime lock sanitizer: lock-order inversions and hold times, live.
+
+The static pass (:mod:`repro.analysis.concurrency`) reasons about lock
+*names*; this module watches lock *instances*.  While installed, a
+:class:`LockSanitizer` replaces :func:`threading.Lock` and
+:func:`threading.RLock` with wrapping factories (``Condition`` needs no
+patching — it builds on ``RLock`` and works with wrapped locks through
+the ``_is_owned`` / ``_release_save`` / ``_acquire_restore`` protocol
+the wrapper implements).  Every wrapped lock records, per thread:
+
+- the **acquisition stack** — which locks this thread already held,
+  and from which call sites;
+- the **lock-order edge set** — lock A held while B was acquired.
+  Observing edge (B, A) when (A, B) is already on record is a
+  *lock-order inversion*: two threads interleaving those paths can
+  deadlock.  The witness (both stacks, both threads) is kept on
+  :attr:`violations` and emitted as a ``kind="concurrency"`` event.
+- **hold times** — releases held longer than ``long_hold_seconds``
+  become warnings (never violations: coarse locking can be a
+  deliberate design, e.g. the fleet cache holding its lock across a
+  forward pass).
+
+Locks are keyed by *creation site* (lockdep-style), so every request
+ticket creating its own lock maps to one logical lock.  Locks created
+by ``threading`` / ``multiprocessing`` internals (every ``Event`` owns
+a ``Condition``) are left unwrapped to keep overhead and noise down.
+
+Usage::
+
+    with LockSanitizer() as san:
+        ...  # create locks, run threads
+    assert not san.violations, san.render_report()
+
+or ``repro serve --sanitize-threads``, or the ``lock_sanitizer``
+pytest fixture in ``tests/concurrency``.
+
+Only one sanitizer may be installed at a time; locks created before
+``install()`` (or after ``uninstall()``) are invisible to it.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Callable
+
+from ..runtime import get_registry
+
+__all__ = ["LockSanitizer", "SanitizerError"]
+
+#: The true factories, captured at import before anyone can patch them.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: Module prefixes whose internal locks stay unwrapped.
+_INTERNAL_MODULES = ("threading", "multiprocessing", "concurrent", "queue")
+
+#: How many caller frames a witness records per acquisition.
+_WITNESS_FRAMES = 6
+
+
+class SanitizerError(RuntimeError):
+    """Install-state misuse (double install, uninstall before install)."""
+
+
+def _caller_frames(skip: int) -> tuple[str, ...]:
+    """Compact ``file:line in func`` strings for the caller's stack."""
+    frames: list[str] = []
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:
+        return ()
+    while frame is not None and len(frames) < _WITNESS_FRAMES:
+        code = frame.f_code
+        frames.append(f"{code.co_filename}:{frame.f_lineno} "
+                      f"in {code.co_name}")
+        frame = frame.f_back
+    return tuple(frames)
+
+
+def _creation_site(skip: int) -> str:
+    """``file:line`` of the first frame outside this module."""
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:
+        return "<unknown>"
+    while frame is not None:
+        if frame.f_globals.get("__name__") != __name__:
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class _TrackedLock:
+    """Wraps a real lock; reports transitions to the sanitizer.
+
+    Provides the private protocol :class:`threading.Condition` relies
+    on, so ``Condition(wrapped_lock)`` behaves exactly like the real
+    thing while waits keep the bookkeeping consistent.
+    """
+
+    __slots__ = ("_inner", "_san", "key", "kind")
+
+    def __init__(self, inner: Any, sanitizer: "LockSanitizer", kind: str,
+                 key: str) -> None:
+        self._inner = inner
+        self._san = sanitizer
+        self.kind = kind
+        self.key = key
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._san._on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._san._on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<sanitized {self.kind} {self.key}>"
+
+    # -- Condition protocol -------------------------------------------
+    def _release_save(self) -> tuple[str, Any, int]:
+        depth = self._san._depth_of(self)
+        self._san._on_release_all(self)
+        if hasattr(self._inner, "_release_save"):
+            return ("rlock", self._inner._release_save(), depth)
+        self._inner.release()
+        return ("lock", None, depth)
+
+    def _acquire_restore(self, state: tuple[str, Any, int]) -> None:
+        kind, inner_state, depth = state
+        if kind == "rlock":
+            self._inner._acquire_restore(inner_state)
+        else:
+            self._inner.acquire()
+        self._san._on_acquire(self, depth=max(depth, 1))
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        return self._san._depth_of(self) > 0
+
+
+class _HeldRecord:
+    __slots__ = ("lock", "key", "since", "frames")
+
+    def __init__(self, lock: _TrackedLock, since: float,
+                 frames: tuple[str, ...]) -> None:
+        self.lock = lock
+        self.key = lock.key
+        self.since = since
+        self.frames = frames
+
+
+class LockSanitizer:  # thread-shared
+    """Record per-thread lock acquisition order; flag inversions live."""
+
+    def __init__(self, long_hold_seconds: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic,
+                 wrap_internal: bool = False) -> None:
+        self.long_hold_seconds = long_hold_seconds
+        self.wrap_internal = wrap_internal
+        self._clock = clock
+        self._meta_lock = _REAL_LOCK()  # guards every field below
+        self.installed = False
+        self.acquisitions = 0          # guarded-by: _meta_lock
+        self.long_holds = 0            # guarded-by: _meta_lock
+        self.max_hold_seconds = 0.0    # guarded-by: _meta_lock
+        self.violations: list[dict[str, Any]] = []   # guarded-by: _meta_lock
+        self.warnings: list[dict[str, Any]] = []     # guarded-by: _meta_lock
+        self._edges: dict[tuple[str, str],
+                          dict[str, Any]] = {}       # guarded-by: _meta_lock
+        self._tls = threading.local()
+
+    # -- lifecycle -----------------------------------------------------
+    def install(self) -> "LockSanitizer":
+        """Patch ``threading.Lock``/``RLock`` to produce tracked locks."""
+        if self.installed:
+            raise SanitizerError("LockSanitizer is already installed")
+        if threading.Lock is not _REAL_LOCK:
+            raise SanitizerError("another LockSanitizer is installed")
+        self.installed = True
+        threading.Lock = self._factory("Lock", _REAL_LOCK)
+        threading.RLock = self._factory("RLock", _REAL_RLOCK)
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the real factories and push totals to the registry."""
+        if not self.installed:
+            raise SanitizerError("LockSanitizer is not installed")
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        self.installed = False
+        registry = get_registry()
+        with self._meta_lock:
+            acquisitions = self.acquisitions
+            long_holds = self.long_holds
+            inversions = len(self.violations)
+        registry.counter("concurrency.acquisitions").inc(acquisitions)
+        registry.counter("concurrency.long_holds").inc(long_holds)
+        registry.counter("concurrency.lock_inversions").inc(inversions)
+
+    def __enter__(self) -> "LockSanitizer":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+    # -- factory -------------------------------------------------------
+    def _factory(self, kind: str, real: Callable[[], Any]) -> Callable[[], Any]:
+        def make_lock() -> Any:
+            inner = real()
+            try:
+                caller = sys._getframe(1)
+            except ValueError:
+                return inner
+            module = caller.f_globals.get("__name__", "")
+            if not self.wrap_internal and module.split(".")[0] in \
+                    _INTERNAL_MODULES:
+                return inner
+            return _TrackedLock(inner, self, kind, _creation_site(1))
+        return make_lock
+
+    # -- per-thread state ---------------------------------------------
+    def _state(self) -> Any:
+        tls = self._tls
+        if not hasattr(tls, "stack"):
+            tls.stack = []
+            tls.depths = {}
+            tls.in_hook = False
+        return tls
+
+    def _depth_of(self, lock: _TrackedLock) -> int:
+        return self._state().depths.get(id(lock), 0)
+
+    # -- hooks ---------------------------------------------------------
+    def _on_acquire(self, lock: _TrackedLock, depth: int = 1) -> None:
+        tls = self._state()
+        if tls.in_hook:
+            return
+        tls.in_hook = True
+        try:
+            prior_depth = tls.depths.get(id(lock), 0)
+            tls.depths[id(lock)] = prior_depth + depth
+            if prior_depth:
+                return  # reentrant RLock re-acquire: no new ordering
+            frames = _caller_frames(3)
+            record = _HeldRecord(lock, self._clock(), frames)
+            thread = threading.current_thread().name
+            inversions: list[dict[str, Any]] = []
+            with self._meta_lock:
+                self.acquisitions += 1
+                for held in tls.stack:
+                    if held.key == lock.key:
+                        continue
+                    edge = (held.key, lock.key)
+                    reverse = (lock.key, held.key)
+                    witness = self._edges.get(reverse)
+                    if witness is not None and edge not in self._edges:
+                        inversions.append({
+                            "kind": "lock_order_inversion",
+                            "locks": [held.key, lock.key],
+                            "thread": thread,
+                            "frames": list(frames),
+                            "prior_thread": witness["thread"],
+                            "prior_frames": list(witness["frames"]),
+                        })
+                    self._edges.setdefault(edge, {
+                        "thread": thread, "frames": frames})
+                self.violations.extend(inversions)
+            tls.stack.append(record)
+            for inversion in inversions:
+                get_registry().emit(dict(inversion, kind="concurrency",
+                                         violation="lock_order_inversion"))
+        finally:
+            tls.in_hook = False
+
+    def _on_release(self, lock: _TrackedLock) -> None:
+        tls = self._state()
+        if tls.in_hook:
+            return
+        tls.in_hook = True
+        try:
+            prior_depth = tls.depths.get(id(lock), 0)
+            if prior_depth == 0:
+                return  # acquired before install, or foreign thread
+            tls.depths[id(lock)] = prior_depth - 1
+            if prior_depth > 1:
+                return
+            self._finish_hold(tls, lock)
+        finally:
+            tls.in_hook = False
+
+    def _on_release_all(self, lock: _TrackedLock) -> None:
+        """Condition.wait released the lock fully, whatever its depth."""
+        tls = self._state()
+        if tls.in_hook:
+            return
+        tls.in_hook = True
+        try:
+            if tls.depths.get(id(lock), 0) == 0:
+                return
+            tls.depths[id(lock)] = 0
+            self._finish_hold(tls, lock)
+        finally:
+            tls.in_hook = False
+
+    def _finish_hold(self, tls: Any, lock: _TrackedLock) -> None:
+        for index in reversed(range(len(tls.stack))):
+            if tls.stack[index].lock is lock:
+                record = tls.stack.pop(index)
+                break
+        else:
+            return
+        duration = self._clock() - record.since
+        with self._meta_lock:
+            if duration > self.max_hold_seconds:
+                self.max_hold_seconds = duration
+            if duration >= self.long_hold_seconds:
+                self.long_holds += 1
+                self.warnings.append({
+                    "kind": "long_hold",
+                    "lock": record.key,
+                    "seconds": duration,
+                    "thread": threading.current_thread().name,
+                    "frames": list(record.frames),
+                })
+
+    # -- reporting -----------------------------------------------------
+    def render_report(self) -> str:
+        """Violations and warnings with their witness stacks."""
+        with self._meta_lock:
+            violations = [dict(v) for v in self.violations]
+            warnings = [dict(w) for w in self.warnings]
+            acquisitions = self.acquisitions
+        lines = [f"lock sanitizer: {acquisitions} acquisitions, "
+                 f"{len(violations)} violation(s), "
+                 f"{len(warnings)} warning(s)"]
+        for violation in violations:
+            lock_a, lock_b = violation["locks"]
+            lines.append(f"VIOLATION lock-order inversion: {lock_a} -> "
+                         f"{lock_b} on thread {violation['thread']}, but "
+                         f"{lock_b} -> {lock_a} was seen on thread "
+                         f"{violation['prior_thread']}")
+            lines.extend(f"    now: {frame}"
+                         for frame in violation["frames"])
+            lines.extend(f"  prior: {frame}"
+                         for frame in violation["prior_frames"])
+        for warning in warnings:
+            lines.append(f"warning: {warning['lock']} held "
+                         f"{warning['seconds']:.3f}s on thread "
+                         f"{warning['thread']}")
+        return "\n".join(lines)

@@ -13,9 +13,12 @@ Subcommands mirror the hands-on session's stages:
   batched/cached inference engine (``repro.serve``);
 - ``repro serve``      the same engine behind a local HTTP loop, optionally
   replicated (``--replicas``) with admission control and deadlines;
+  ``--sanitize-threads`` wraps every lock in the runtime lock sanitizer;
 - ``repro check``      statically validate model × task × serializer
   wiring with symbolic shapes — zero forward passes (``repro.analysis``);
-- ``repro lint``       run the repo's AST lint rules over source trees.
+  ``--concurrency`` runs the static race / lock-order analysis instead;
+- ``repro lint``       run the repo's AST lint rules over source trees
+  (including the whole-tree concurrency rules REPRO008/REPRO009).
 
 Every command is pure-stdout and deterministic given ``--seed``.
 ``encode``, ``pretrain``, ``profile``, ``predict`` and ``serve`` all
@@ -201,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compile", action="store_true",
                        help="serve through compiled tape-replay encoders "
                             "(bit-identical outputs)")
+    serve.add_argument("--sanitize-threads", action="store_true",
+                       help="wrap every lock the serving stack creates in "
+                            "the runtime lock sanitizer; report lock-order "
+                            "inversions and long holds at shutdown and "
+                            "exit 1 on violations")
     serve.add_argument("--seed", type=int, default=0)
 
     check = sub.add_parser(
@@ -217,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--numeric", action="store_true",
                        help="also finite-difference check one sampled "
                             "layer per model (runs real forwards)")
+    check.add_argument("--concurrency", action="store_true",
+                       help="run the static race / lock-order analysis "
+                            "(REPRO008/REPRO009) over the installed "
+                            "repro package and print the guard map")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--verbose", action="store_true",
                        help="print the full stage trace for passing pairs")
@@ -539,7 +551,7 @@ class _EventEchoSink:
     only appears at shutdown is useless for watching a live server.
     """
 
-    KINDS = frozenset({"http", "frontend"})
+    KINDS = frozenset({"http", "frontend", "concurrency"})
 
     def emit(self, event: dict) -> None:
         kind = event.get("kind")
@@ -562,6 +574,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .runtime import get_registry
     from .serve import ServerConfig, run_server
 
+    sanitizer = None
+    if args.sanitize_threads:
+        from .analysis import LockSanitizer
+
+        # Installed before the engine exists so every lock the serving
+        # stack creates (cache, front-end, queue, registry sinks) is
+        # wrapped from birth.
+        sanitizer = LockSanitizer()
+        sanitizer.install()
     engine = _build_engine(args)
     try:
         config = ServerConfig(host=args.host, port=args.port,
@@ -584,6 +605,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pass
         except WorkerError as error:
             _fail(str(error))
+        finally:
+            if sanitizer is not None:
+                sanitizer.uninstall()
+                print(sanitizer.render_report(), file=sys.stderr)
+    if sanitizer is not None and sanitizer.violations:
+        return 1
     return 0
 
 
@@ -592,6 +619,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .models import MODEL_CLASSES
     from .nn.tensor import set_tape_hook
     from .serialize import SERIALIZERS
+
+    if args.concurrency:
+        from .analysis import analyze_files
+
+        package_root = Path(__file__).parent
+        report = analyze_files([package_root])
+        print(report.render())
+        return 1 if report.findings else 0
 
     if args.model is not None and args.model not in MODEL_CLASSES:
         _fail(f"unknown model {args.model!r}; "

@@ -83,7 +83,10 @@ def _send_frame(connection, frame: tuple, lock: threading.Lock) -> bool:
     """Best-effort pipe send; ``False`` when the peer is gone."""
     try:
         with lock:
-            connection.send(frame)
+            # The send lock only serializes heartbeat vs reply frames
+            # on one pipe; a wedged peer is reaped by the supervisor's
+            # heartbeat timeout, never waited out here.
+            connection.send(frame)  # lock-ok: supervisor reaps wedged peers
         return True
     except (BrokenPipeError, EOFError, OSError):
         return False

@@ -22,12 +22,18 @@ key.  The kinds the library emits (the JSONL metrics schema):
   ``null`` in the JSONL artifact (JSON has no NaN/Inf literals).
 
 Sinks must tolerate any extra keys — the schema is additive.
+
+Sinks are invoked concurrently (HTTP handler threads, the serve
+dispatcher, heartbeat daemons) and the registry deliberately calls
+``emit`` *outside* its own lock, so each sink guards its buffer with a
+private lock of its own.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
 from typing import Any, IO
 
@@ -54,53 +60,63 @@ class MetricSink:
         self.close()
 
 
-class InMemorySink(MetricSink):
+class InMemorySink(MetricSink):  # thread-shared
     """Collect events in a list — the default for tests and notebooks."""
 
     def __init__(self) -> None:
-        self.events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self.events: list[dict[str, Any]] = []  # guarded-by: _lock
 
     def emit(self, event: dict[str, Any]) -> None:
-        self.events.append(dict(event))
+        with self._lock:
+            self.events.append(dict(event))
 
     def of_kind(self, kind: str) -> list[dict[str, Any]]:
         """Events whose ``kind`` field matches."""
-        return [e for e in self.events if e.get("kind") == kind]
+        with self._lock:
+            return [e for e in self.events if e.get("kind") == kind]
 
     def clear(self) -> None:
-        self.events.clear()
+        with self._lock:
+            self.events.clear()
 
 
-class JsonlSink(MetricSink):
+class JsonlSink(MetricSink):  # thread-shared
     """Append one JSON object per line to a file (the metrics artifact).
 
     The file is opened lazily on the first event so constructing the sink
-    never touches the filesystem.
+    never touches the filesystem.  The internal lock keeps concurrent
+    emitters from interleaving partial lines in the artifact.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._file: IO[str] | None = None
-        self.events_written = 0
+        self._lock = threading.Lock()
+        self._file: IO[str] | None = None  # guarded-by: _lock
+        self.events_written = 0            # guarded-by: _lock
 
     def emit(self, event: dict[str, Any]) -> None:
-        if self._file is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self.path.open("a", encoding="utf-8")
         # Health events can legitimately carry NaN/Inf losses; the JSON
         # spec has no literal for them, so map to null to keep the
         # artifact parseable outside Python.
-        self._file.write(json.dumps(_finite(event), default=_jsonify) + "\n")
-        self.events_written += 1
+        line = json.dumps(_finite(event), default=_jsonify) + "\n"
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line)
+            self.events_written += 1
 
     def flush(self) -> None:
-        if self._file is not None:
-            self._file.flush()
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
 
 def _jsonify(value: Any) -> Any:
@@ -123,7 +139,7 @@ def _finite(value: Any) -> Any:
     return value
 
 
-class StdoutTableSink(MetricSink):
+class StdoutTableSink(MetricSink):  # thread-shared
     """Buffer events and render them as aligned text tables on flush.
 
     ``train_step`` events are grouped by ``source`` and summarized;
@@ -135,17 +151,22 @@ class StdoutTableSink(MetricSink):
         if every < 1:
             raise ValueError("every must be positive")
         self.every = every
-        self._events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._events: list[dict[str, Any]] = []  # guarded-by: _lock
 
     def emit(self, event: dict[str, Any]) -> None:
-        self._events.append(dict(event))
+        with self._lock:
+            self._events.append(dict(event))
 
     def flush(self) -> None:
-        if not self._events:
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+        if not events:
             return
-        steps = [e for e in self._events if e.get("kind") == "train_step"]
-        ops = [e for e in self._events if e.get("kind") == "profile_op"]
-        rest = [e for e in self._events
+        steps = [e for e in events if e.get("kind") == "train_step"]
+        ops = [e for e in events if e.get("kind") == "profile_op"]
+        rest = [e for e in events
                 if e.get("kind") not in ("train_step", "profile_op")]
         if steps:
             self._print_steps(steps)
@@ -156,7 +177,6 @@ class StdoutTableSink(MetricSink):
             detail = " ".join(f"{k}={v}" for k, v in event.items()
                               if k != "kind")
             print(f"[{kind}] {detail}")
-        self._events.clear()
 
     # ------------------------------------------------------------------
     def _print_steps(self, steps: list[dict[str, Any]]) -> None:

@@ -113,7 +113,7 @@ def model_fingerprint(model: Module) -> str:
     return digest.hexdigest()
 
 
-class EncodingCache:
+class EncodingCache:  # thread-shared
     """Size-bounded LRU of per-table hidden states.
 
     Parameters
@@ -132,13 +132,13 @@ class EncodingCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.metrics_prefix = metrics_prefix
-        self._entries: "OrderedDict[tuple[str, str], np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[tuple[str, str], np.ndarray]" = OrderedDict()  # guarded-by: _lock
         self._feature_entries: "OrderedDict[tuple[int, str], tuple]" = \
-            OrderedDict()
+            OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0       # guarded-by: _lock
+        self.misses = 0     # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

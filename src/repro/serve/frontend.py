@@ -146,23 +146,45 @@ class ServeTicket:
             self._event.set()
 
 
-class AdmissionQueue:
+class AdmissionQueue:  # thread-shared
     """The bounded FIFO between admission and dispatch (thread-safe).
 
     ``admit`` is the only entry point under caller threads; everything
     else runs on the dispatcher.  ``max_queue`` counts *waiting*
     tickets only — in-flight waves have already left the queue.
+
+    ``close`` wakes every waiter and makes both future waits return
+    immediately and future admissions shed — a ticket admitted after
+    shutdown's final drain would otherwise hang its client forever.
     """
 
     def __init__(self, max_queue: int) -> None:
         self.max_queue = max_queue
         self._lock = threading.Lock()
         self.not_empty = threading.Condition(self._lock)
-        self._queue: "deque[ServeTicket]" = deque()
+        self._queue: "deque[ServeTicket]" = deque()  # guarded-by: _lock
+        self._stopping = False                       # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    def close(self) -> None:
+        """Stop admissions and wake every ``wait_for_work`` caller.
+
+        The flag flips under the same lock the waiters' predicate reads,
+        so a waiter is either already past its predicate check (the
+        ``notify_all`` lands) or has not reached it yet (it sees the
+        flag) — there is no window where a close can be missed.
+        """
+        with self.not_empty:
+            self._stopping = True
+            self.not_empty.notify_all()
+
+    def reopen(self) -> None:
+        """Accept admissions again (frontend restart after ``close``)."""
+        with self._lock:
+            self._stopping = False
 
     def admit(self, ticket: ServeTicket) -> bool:
         """Append unless full; ``False`` means the caller must shed."""
@@ -176,11 +198,12 @@ class AdmissionQueue:
         client batch is never split by a racing wave pop.  Tickets past
         the admission bound get ``False`` (the caller sheds them);
         admission is first-come within the batch, like the queue itself.
+        A closed queue sheds everything.
         """
         with self._lock:
             verdicts = []
             for ticket in tickets:
-                if len(self._queue) >= self.max_queue:
+                if self._stopping or len(self._queue) >= self.max_queue:
                     verdicts.append(False)
                     continue
                 self._queue.append(ticket)
@@ -234,13 +257,23 @@ class AdmissionQueue:
                 taken.append(self._queue.popleft())
             return taken
 
-    def wait_for_work(self, timeout: float) -> None:
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block until work arrives, the queue closes, or ``timeout``.
+
+        ``True`` means "something to do" (work queued or shutting
+        down); ``False`` is a plain timeout.  The predicate runs under
+        the same lock ``close``/``admit_many`` hold while mutating and
+        notifying, so a close or admission landing between a caller's
+        earlier emptiness probe and this wait cannot be lost; the
+        bounded timeout caps the cost of any wakeup the OS still drops.
+        """
         with self.not_empty:
-            if not self._queue:
-                self.not_empty.wait(timeout)
+            if self._queue or self._stopping:
+                return True
+            return self.not_empty.wait(timeout)
 
 
-class ReplicatedFrontend:
+class ReplicatedFrontend:  # thread-shared
     """N byte-identical model replicas behind one admission queue.
 
     Parameters
@@ -273,12 +306,18 @@ class ReplicatedFrontend:
                 heartbeat_interval=self.config.heartbeat_interval)
         self._parent_pid = os.getpid()
         self._ids_lock = threading.Lock()
-        self._next_id = 0
-        self._inflight: dict[int, tuple[int, list[ServeTicket], float]] = {}
-        self._wave_ids = 0
+        self._next_id = 0  # guarded-by: _ids_lock
+        # Lock order (outermost first): _lifecycle_lock -> _state_lock
+        # -> queue._lock.  Pipe sends, ticket resolution, sleeps and
+        # pool calls all happen *outside* these locks — a wedged
+        # replica must never wedge healthz or admission bookkeeping.
+        self._state_lock = threading.Lock()
+        self._inflight: dict[int, tuple[int, list[ServeTicket], float]] = {}  # guarded-by: _state_lock
+        self._wave_ids = 0  # guarded-by: _state_lock
+        self._replica_cache: dict[int, dict[str, int]] = {}  # guarded-by: _state_lock
         self._respawn_attempts: dict[int, int] = {}
-        self._replica_cache: dict[int, dict[str, int]] = {}
-        self._dispatcher: threading.Thread | None = None
+        self._lifecycle_lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None  # guarded-by: _lifecycle_lock
         self._stopping = threading.Event()
 
     # ------------------------------------------------------------------
@@ -291,28 +330,33 @@ class ReplicatedFrontend:
         replica inherits the same model bytes and any pre-warmed cache,
         and no handler thread holds a lock mid-fork.
         """
-        if self._dispatcher is not None:
-            return self
-        if self._pool is not None:
-            self._pool.start()
-        self._stopping.clear()
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="serve-dispatcher", daemon=True)
-        self._dispatcher.start()
+        with self._lifecycle_lock:
+            if self._dispatcher is not None:
+                return self
+            if self._pool is not None:
+                self._pool.start()
+            self._stopping.clear()
+            self.queue.reopen()
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="serve-dispatcher",
+                daemon=True)
+            self._dispatcher.start()
         return self
 
     def close(self) -> None:
         """Stop dispatching, fail whatever is still pending, reap workers."""
         self._stopping.set()
-        with self.queue.not_empty:
-            self.queue.not_empty.notify_all()
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=10.0)
-            self._dispatcher = None
-        for _, tickets, _ in self._inflight.values():
+        self.queue.close()
+        with self._lifecycle_lock:
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.join(timeout=10.0)
+        with self._state_lock:
+            pending = list(self._inflight.values())
+            self._inflight.clear()
+        for _, tickets, _ in pending:
             for ticket in tickets:
                 ticket.fail("shutdown", "server shutting down", True)
-        self._inflight.clear()
         for ticket in self.queue.pop_any(self.config.max_queue):
             ticket.fail("shutdown", "server shutting down", True)
         if self._pool is not None:
@@ -421,7 +465,11 @@ class ReplicatedFrontend:
         configured = self.config.replicas
         fleet: dict[str, int] = {"entries": 0, "hits": 0, "misses": 0,
                                  "evictions": 0}
-        for stats in self._replica_cache.values():
+        with self._state_lock:
+            replica_stats = [dict(stats)
+                             for stats in self._replica_cache.values()]
+            inflight_waves = len(self._inflight)
+        for stats in replica_stats:
             for key in fleet:
                 fleet[key] += int(stats.get(key, 0))
         parent = self.engine.cache.stats()
@@ -435,7 +483,7 @@ class ReplicatedFrontend:
             "live_replicas": live,
             "queue_depth": self.queue_depth,
             "max_queue": self.config.max_queue,
-            "inflight_waves": len(self._inflight),
+            "inflight_waves": inflight_waves,
             "shed": int(registry.counter(f"{prefix}.shed").value),
             "deadline_expired":
                 int(registry.counter(f"{prefix}.deadline_expired").value),
@@ -496,9 +544,11 @@ class ReplicatedFrontend:
     def _idle_wait(self) -> None:
         if self._stopping.is_set():
             return
-        if self._pool is not None and self._inflight:
+        if self._pool is not None:
+            with self._state_lock:
+                busy = list(self._inflight)
             connections = [self._pool.handle(slot).connection
-                           for slot in self._inflight
+                           for slot in busy
                            if slot in self._pool.live_slots()]
             if connections:
                 _mp_connection.wait(connections, timeout=_POLL_GRANULARITY)
@@ -537,7 +587,9 @@ class ReplicatedFrontend:
             if batch:
                 self._execute_inline(batch)
             return
-        free = [slot for slot in live if slot not in self._inflight]
+        with self._state_lock:
+            busy = set(self._inflight)
+        free = [slot for slot in live if slot not in busy]
         for slot in free:
             batch = self.queue.pop_for(
                 lambda t: self._slot_of(t, live), slot, self.config.max_batch)
@@ -551,18 +603,22 @@ class ReplicatedFrontend:
 
     def _send_wave(self, slot: int, batch: list[ServeTicket]) -> None:
         payload = [(t.request_id, t.task, t.example) for t in batch]
-        wave_id = self._wave_ids
-        self._wave_ids += 1
+        with self._state_lock:
+            wave_id = self._wave_ids
+            self._wave_ids += 1
         registry = get_registry()
         prefix = self.config.metrics_prefix
         try:
+            # Pipe send stays outside _state_lock; only the dispatcher
+            # sends, so registering the wave after the send is safe.
             self._pool.send(slot, wave_id, None, [(wave_id, payload)],
                             deadline=self.config.dispatch_deadline)
         except (BrokenPipeError, EOFError, OSError):
             self._handle_loss(slot, "replica pipe closed at dispatch")
             self.queue.requeue(batch)
             return
-        self._inflight[slot] = (wave_id, batch, time.monotonic())
+        with self._state_lock:
+            self._inflight[slot] = (wave_id, batch, time.monotonic())
         registry.counter(f"{prefix}.dispatches").inc()
         registry.histogram(f"{prefix}.wave_size").observe(len(batch))
 
@@ -583,7 +639,9 @@ class ReplicatedFrontend:
         self._complete_wave(batch, result, replica=-1)
 
     def _drain_replies(self) -> None:
-        for slot in list(self._inflight):
+        with self._state_lock:
+            slots = list(self._inflight)
+        for slot in slots:
             if slot not in self._pool.live_slots():
                 continue
             while True:
@@ -591,7 +649,8 @@ class ReplicatedFrontend:
                 if status == "hb":
                     continue
                 if status == "ok":
-                    wave_id, batch, _sent = self._inflight.pop(slot)
+                    with self._state_lock:
+                        wave_id, batch, _sent = self._inflight.pop(slot)
                     for shard_index, result, _stats, _secs in payload:
                         self._complete_wave(batch, result, replica=slot)
                     break
@@ -599,7 +658,8 @@ class ReplicatedFrontend:
                     # run_shard catches per request; this frame means the
                     # replica loop itself blew up — deterministic, so
                     # re-execution would fail again.  Fail the wave.
-                    _wave_id, batch, _sent = self._inflight.pop(slot)
+                    with self._state_lock:
+                        _wave_id, batch, _sent = self._inflight.pop(slot)
                     for ticket in batch:
                         ticket.fail("internal",
                                     f"replica {slot} failed: {payload}",
@@ -614,7 +674,9 @@ class ReplicatedFrontend:
         """Death / heartbeat-silence / dispatch-deadline detection."""
         config = self.config
         now = time.monotonic()
-        for slot in list(self._inflight):
+        with self._state_lock:
+            slots = list(self._inflight)
+        for slot in slots:
             if slot not in self._pool.live_slots():
                 continue
             handle = self._pool.handle(slot)
@@ -633,8 +695,9 @@ class ReplicatedFrontend:
 
     def _recover_slot(self, slot: int, reason: str) -> None:
         """Reap a failed replica, requeue its wave, respawn or degrade."""
-        _wave_id, batch, _sent = self._inflight.pop(
-            slot, (None, [], 0.0))
+        with self._state_lock:
+            _wave_id, batch, _sent = self._inflight.pop(
+                slot, (None, [], 0.0))
         self._handle_loss(slot, reason)
         now = self.clock()
         expired = [t for t in batch if t.expired(now)]
@@ -650,7 +713,8 @@ class ReplicatedFrontend:
         registry = get_registry()
         prefix = self.config.metrics_prefix
         self._pool.reap(slot)
-        self._replica_cache.pop(slot, None)
+        with self._state_lock:
+            self._replica_cache.pop(slot, None)
         registry.counter(f"{prefix}.worker_deaths").inc()
         registry.emit({"kind": "frontend", "action": "worker_death",
                        "worker": slot, "reason": reason})
@@ -678,7 +742,8 @@ class ReplicatedFrontend:
                        replica: int) -> None:
         by_id = {ticket.request_id: ticket for ticket in batch}
         if replica >= 0 and "cache" in result:
-            self._replica_cache[replica] = result["cache"]
+            with self._state_lock:
+                self._replica_cache[replica] = result["cache"]
         now = self.clock()
         registry = get_registry()
         prefix = self.config.metrics_prefix

@@ -30,6 +30,14 @@ dispatcher → replica (or inline engine), so ``ThreadingHTTPServer``'s
 per-connection threads overlap network IO with model compute, and
 admission control — not the accept queue — decides who gets served
 under overload.
+
+Thread-ownership discipline: handler threads own nothing shared — every
+mutable thing they touch is either per-request local, or reached through
+the front-end's locked surfaces (admission queue, ticket events, the
+registry).  The static analyzer (REPRO008/REPRO009) treats every
+``Handler`` method as thread-reachable, so any shared state added here
+must declare its guard; the lock-order hierarchy lives in
+``frontend.py`` and DESIGN.md's "Concurrency discipline" section.
 """
 
 from __future__ import annotations

@@ -1,0 +1,418 @@
+"""The static concurrency analyzer: REPRO008 races, REPRO009 ordering.
+
+Every planted fixture asserts the *witness*: exact file, line, and the
+attribute/lock (or cycle sites) named in the message — a finding an
+operator cannot locate is a finding they cannot fix.
+"""
+
+import textwrap
+
+from repro.analysis import analyze_files, analyze_source
+from repro.analysis.lint import run_lint
+
+PATH = "src/repro/serve/example.py"
+
+
+def _analyze(source, path=PATH, select=None):
+    return analyze_source(textwrap.dedent(source), path, select=select)
+
+
+def _findings(source, **kwargs):
+    return _analyze(source, **kwargs).findings
+
+
+# ----------------------------------------------------------------------
+# REPRO008: guarded attributes
+# ----------------------------------------------------------------------
+RACE_FIXTURE = """\
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self._jobs = []
+
+    def start(self):
+        thread = threading.Thread(target=self._run)
+        thread.start()
+
+    def add(self):
+        with self._lock:
+            self.count += 1
+
+    def total(self):
+        with self._lock:
+            return self.count
+
+    def _run(self):
+        self.count -= 1
+"""
+
+
+def test_inferred_guard_flags_unlocked_thread_reachable_write():
+    findings = _findings(RACE_FIXTURE)
+    assert [f.rule for f in findings] == ["REPRO008"]
+    finding = findings[0]
+    assert finding.path == PATH
+    # The witness names the exact unlocked statement (`self.count -= 1`).
+    assert finding.line == 23
+    assert "self.count" in finding.message
+    assert "self._lock" in finding.message
+    assert "inferred" in finding.message
+    assert "_run" in finding.message
+
+
+def test_single_locked_access_never_infers_a_guard():
+    # `_jobs` is touched only in __init__; `count` needs >= 2 locked
+    # accesses before inference kicks in, so a class with one locked
+    # read stays silent.
+    source = """\
+    import threading
+
+
+    class Quiet:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0
+
+        def start(self):
+            threading.Thread(target=self._run).start()
+
+        def read(self):
+            with self._lock:
+                return self.value
+
+        def _run(self):
+            self.value += 1
+    """
+    assert _findings(source) == []
+
+
+ANNOTATED_FIXTURE = """\
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded-by: _lock
+
+    def start(self):
+        threading.Thread(target=self.worker).start()
+
+    def worker(self):
+        self.items.append(1)
+"""
+
+
+def test_annotated_guard_is_strict_even_without_majority():
+    findings = _findings(ANNOTATED_FIXTURE)
+    assert [f.rule for f in findings] == ["REPRO008"]
+    finding = findings[0]
+    assert finding.line == 13
+    assert "self.items" in finding.message
+    assert "self._lock" in finding.message
+    assert "annotated" in finding.message
+
+
+def test_guard_map_records_the_annotation():
+    report = _analyze(ANNOTATED_FIXTURE)
+    (qualname,) = report.guards
+    assert qualname.endswith("Buffer")
+    (guard,) = report.guards[qualname]
+    assert (guard.attr, guard.lock, guard.how) == ("items", "_lock",
+                                                   "annotated")
+    rendered = report.render()
+    assert "lock-guard map:" in rendered
+    assert ".items <- self._lock [annotated]" in rendered
+
+
+def test_unlocked_registry_counter_pattern_is_the_first_catch():
+    # The exact shape the real MetricsRegistry had before this PR:
+    # counters incremented from handler threads with the lock only
+    # taken for snapshots.
+    source = """\
+    import threading
+
+
+    class Counter:  # thread-shared
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0  # guarded-by: _lock
+
+        def inc(self, amount=1):
+            self.value += amount
+
+        def snapshot(self):
+            with self._lock:
+                return self.value
+    """
+    findings = _findings(source)
+    assert [f.rule for f in findings] == ["REPRO008"]
+    assert findings[0].line == 10
+    assert "self.value" in findings[0].message
+
+
+def test_race_ok_waiver_suppresses_the_access():
+    source = """\
+    import threading
+
+
+    class Gauge:  # thread-shared
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = []  # guarded-by: _lock
+
+        def put(self, item):
+            with self._lock:
+                self.items.append(item)
+
+        def probe(self):
+            return len(self.items)  # race-ok: approximate gauge
+    """
+    assert _findings(source) == []
+
+
+def test_holds_lock_annotation_covers_callee_bodies():
+    source = """\
+    import threading
+
+
+    class Holder:  # thread-shared
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = []  # guarded-by: _lock
+
+        def flush(self):
+            with self._lock:
+                self._drain()
+
+        def _drain(self):  # holds-lock: _lock
+            self.items.clear()
+    """
+    assert _findings(source) == []
+
+
+def test_condition_alias_counts_as_holding_the_wrapped_lock():
+    source = """\
+    import threading
+
+
+    class Queue:  # thread-shared
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.ready = threading.Condition(self._lock)
+            self.items = []  # guarded-by: _lock
+
+        def put(self, item):
+            with self.ready:
+                self.items.append(item)
+                self.ready.notify()
+
+        def take(self):
+            with self._lock:
+                return self.items.pop()
+    """
+    assert _findings(source) == []
+
+
+def test_unknown_guard_annotation_is_itself_a_finding():
+    source = """\
+    import threading
+
+
+    class Typo:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = []  # guarded-by: _lokc
+    """
+    findings = _findings(source)
+    assert [f.rule for f in findings] == ["REPRO008"]
+    assert "_lokc" in findings[0].message
+    assert "no known lock" in findings[0].message
+
+
+def test_non_thread_reachable_access_is_not_flagged():
+    # No Thread targets, no thread-shared marker, no handler base: the
+    # unlocked access cannot race because nothing else runs.
+    source = """\
+    import threading
+
+
+    class Local:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = []  # guarded-by: _lock
+
+        def mutate(self):
+            self.items.append(1)
+    """
+    assert _findings(source) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO009: lock ordering and blocking calls
+# ----------------------------------------------------------------------
+CYCLE_FIXTURE = """\
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+
+    def forward(self):
+        with self._alpha:
+            with self._beta:
+                pass
+
+    def backward(self):
+        with self._beta:
+            with self._alpha:
+                pass
+"""
+
+
+def test_ab_ba_cycle_is_flagged_with_both_sites():
+    findings = [f for f in _findings(CYCLE_FIXTURE) if "cycle" in f.message]
+    assert [f.rule for f in findings] == ["REPRO009"]
+    message = findings[0].message
+    assert "_alpha" in message and "_beta" in message
+    # Both acquisition sites are named file:line (lines of the inner
+    # `with` statements).
+    assert f"{PATH}:11" in message
+    assert f"{PATH}:16" in message
+
+
+def test_cycle_is_caught_across_files(tmp_path):
+    first = tmp_path / "a.py"
+    second = tmp_path / "b.py"
+    first.write_text(textwrap.dedent("""\
+        import threading
+
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+    """))
+    second.write_text(textwrap.dedent("""\
+        from a import lock_a, lock_b
+
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+    """))
+    report = analyze_files([first, second])
+    cycles = [f for f in report.findings if "cycle" in f.message]
+    assert len(cycles) == 1
+    assert "lock_a" in cycles[0].message
+    assert "lock_b" in cycles[0].message
+
+
+def test_sleep_under_lock_is_flagged():
+    source = """\
+    import threading
+    import time
+
+
+    class Blocker:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def slow(self):
+            with self._lock:
+                time.sleep(0.1)
+    """
+    findings = _findings(source)
+    assert [f.rule for f in findings] == ["REPRO009"]
+    assert findings[0].line == 11
+    assert "sleep" in findings[0].message
+
+
+def test_lock_ok_waiver_suppresses_blocking_call():
+    source = """\
+    import threading
+    import time
+
+
+    class Blocker:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def slow(self):
+            with self._lock:
+                time.sleep(0.1)  # lock-ok: deliberate pacing
+    """
+    assert _findings(source) == []
+
+
+def test_untimed_join_flagged_but_timed_join_and_str_join_are_not():
+    source = """\
+    import threading
+
+
+    class Joiner:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def bad(self, thread):
+            with self._lock:
+                thread.join()
+
+        def good(self, thread, parts):
+            with self._lock:
+                thread.join(1.0)
+                return ", ".join(parts)
+    """
+    findings = _findings(source)
+    assert [f.rule for f in findings] == ["REPRO009"]
+    assert findings[0].line == 10
+    assert "join" in findings[0].message
+
+
+def test_condition_wait_releases_its_own_lock():
+    # cond.wait() releases the lock it wraps, so waiting on a condition
+    # under its own (aliased) lock is not a blocking call *under* it.
+    source = """\
+    import threading
+
+
+    class Waiter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.ready = threading.Condition(self._lock)
+
+        def wait_ready(self):
+            with self.ready:
+                self.ready.wait(0.5)
+    """
+    assert _findings(source) == []
+
+
+# ----------------------------------------------------------------------
+# Integration with the lint driver
+# ----------------------------------------------------------------------
+def test_run_lint_surfaces_concurrency_rules(tmp_path):
+    planted = tmp_path / "planted.py"
+    planted.write_text(ANNOTATED_FIXTURE)
+    findings = run_lint([planted], select={"REPRO008"})
+    assert [f.rule for f in findings] == ["REPRO008"]
+    assert findings[0].path == str(planted)
+    assert findings[0].line == 13
+
+    # Selecting only per-file rules skips the whole-tree pass.
+    assert run_lint([planted], select={"REPRO003"}) == []
+
+
+def test_select_excludes_unwanted_concurrency_rule():
+    report = _analyze(CYCLE_FIXTURE, select={"REPRO008"})
+    assert report.findings == []

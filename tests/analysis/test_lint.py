@@ -206,7 +206,7 @@ def test_finding_renders_location_and_rule():
 
 
 def test_every_rule_has_a_description():
-    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 8)}
+    assert set(RULES) == {f"REPRO00{n}" for n in range(1, 10)}
     assert all(RULES.values())
 
 

@@ -1,0 +1,22 @@
+"""Fixtures for the runtime concurrency tests.
+
+``lock_sanitizer`` wraps ``threading.Lock``/``RLock`` for the duration
+of one test and *fails the test* on any lock-order inversion the code
+under test produced — the runtime counterpart of the static REPRO009
+pass.
+"""
+
+import pytest
+
+from repro.analysis import LockSanitizer
+
+
+@pytest.fixture
+def lock_sanitizer():
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+    assert sanitizer.violations == [], sanitizer.render_report()

@@ -1,0 +1,116 @@
+"""AdmissionQueue shutdown semantics: the lost-wakeup regression.
+
+The original ``close`` path set the stop flag and notified *without
+coordinating with the waiter's predicate*: a close landing between the
+dispatcher's emptiness probe and its ``wait`` was lost, and the waiter
+slept out its full timeout on a dead queue.  ``wait_for_work`` now
+checks ``queued-or-stopping`` under the same lock ``close`` holds while
+notifying, so the planted orderings below are deterministic.
+"""
+
+import threading
+import time
+
+from repro.serve.frontend import AdmissionQueue, ServeTicket
+
+
+def _ticket(request_id=0):
+    return ServeTicket(request_id, "imputation", object(), "affinity",
+                       arrived=0.0, deadline_at=None)
+
+
+def test_close_before_wait_returns_immediately():
+    # The planted race, made deterministic: close lands first, then the
+    # waiter arrives.  The old implementation slept the full timeout.
+    queue = AdmissionQueue(4)
+    queue.close()
+    start = time.monotonic()
+    assert queue.wait_for_work(30.0) is True
+    assert time.monotonic() - start < 5.0
+
+
+def test_concurrent_close_wakes_a_blocked_waiter():
+    queue = AdmissionQueue(4)
+    woke = threading.Event()
+
+    def waiter():
+        queue.wait_for_work(30.0)
+        woke.set()
+
+    thread = threading.Thread(target=waiter, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    queue.close()
+    assert woke.wait(5.0)
+    thread.join(5.0)
+
+
+def test_admission_wakes_a_blocked_waiter():
+    queue = AdmissionQueue(4)
+    results = []
+
+    def waiter():
+        results.append(queue.wait_for_work(30.0))
+
+    thread = threading.Thread(target=waiter, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert queue.admit(_ticket())
+    thread.join(5.0)
+    assert results == [True]
+
+
+def test_wait_times_out_false_on_an_idle_open_queue():
+    queue = AdmissionQueue(4)
+    assert queue.wait_for_work(0.01) is False
+
+
+def test_queued_work_short_circuits_the_wait():
+    queue = AdmissionQueue(4)
+    assert queue.admit(_ticket())
+    assert queue.wait_for_work(0.0) is True
+
+
+def test_closed_queue_sheds_admissions_until_reopened():
+    queue = AdmissionQueue(4)
+    queue.close()
+    assert queue.admit(_ticket()) is False
+    assert len(queue) == 0
+    queue.reopen()
+    assert queue.admit(_ticket()) is True
+    assert len(queue) == 1
+
+
+def test_queue_hammer_under_sanitizer(lock_sanitizer):
+    # Locks created after install are wrapped; the producer/consumer
+    # hammer must finish with zero lock-order violations.
+    queue = AdmissionQueue(1024)
+    popped = []
+    popped_lock = threading.Lock()
+
+    def producer(base):
+        for i in range(50):
+            queue.admit(_ticket(base + i))
+
+    def consumer():
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with popped_lock:
+                if len(popped) >= 200:
+                    return
+            taken = queue.pop_any(8)
+            if taken:
+                with popped_lock:
+                    popped.extend(taken)
+            else:
+                queue.wait_for_work(0.01)
+
+    threads = ([threading.Thread(target=producer, args=(base * 50,))
+                for base in range(4)]
+               + [threading.Thread(target=consumer) for _ in range(2)])
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(15.0)
+    assert len(popped) == 200
+    assert sorted(t.request_id for t in popped) == list(range(200))

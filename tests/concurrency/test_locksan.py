@@ -1,0 +1,162 @@
+"""The runtime lock sanitizer: wrapping, inversion detection, reporting."""
+
+import threading
+
+import pytest
+
+from repro.analysis import LockSanitizer, SanitizerError
+from repro.runtime import MetricsRegistry, using_registry
+
+
+def test_planted_inversion_is_caught_with_witness():
+    with LockSanitizer() as sanitizer:
+        alpha = threading.Lock()
+        beta = threading.Lock()
+        with alpha:
+            with beta:
+                pass
+        with beta:
+            with alpha:
+                pass
+    assert len(sanitizer.violations) == 1
+    violation = sanitizer.violations[0]
+    lock_a, lock_b = violation["locks"]
+    assert lock_a != lock_b
+    # Both creation-site keys point into this test file, and the
+    # witness stacks capture where each order was taken.
+    assert "test_locksan" in lock_a and "test_locksan" in lock_b
+    assert violation["frames"] and violation["prior_frames"]
+    assert any("test_locksan" in frame for frame in violation["frames"])
+    report = sanitizer.render_report()
+    assert "lock-order inversion" in report
+    assert "1 violation(s)" in report
+
+
+def test_consistent_order_produces_no_violation():
+    with LockSanitizer() as sanitizer:
+        alpha = threading.Lock()
+        beta = threading.Lock()
+        for _ in range(3):
+            with alpha:
+                with beta:
+                    pass
+    assert sanitizer.violations == []
+    assert sanitizer.acquisitions >= 6
+
+
+def test_reentrant_rlock_is_not_an_edge():
+    with LockSanitizer() as sanitizer:
+        lock = threading.RLock()
+        with lock:
+            with lock:
+                pass
+    assert sanitizer.violations == []
+
+
+def test_inversion_across_threads_is_caught():
+    with LockSanitizer() as sanitizer:
+        alpha = threading.Lock()
+        beta = threading.Lock()
+
+        def forward():
+            with alpha:
+                with beta:
+                    pass
+
+        def backward():
+            with beta:
+                with alpha:
+                    pass
+
+        first = threading.Thread(target=forward)
+        first.start()
+        first.join(5.0)
+        second = threading.Thread(target=backward)
+        second.start()
+        second.join(5.0)
+    assert len(sanitizer.violations) == 1
+    violation = sanitizer.violations[0]
+    assert violation["thread"] != violation["prior_thread"]
+
+
+def test_long_hold_is_a_warning_not_a_violation():
+    with LockSanitizer(long_hold_seconds=0.0) as sanitizer:
+        lock = threading.Lock()
+        with lock:
+            pass
+    assert sanitizer.violations == []
+    assert sanitizer.long_holds >= 1
+    assert any(w["kind"] == "long_hold" for w in sanitizer.warnings)
+    assert "warning" in sanitizer.render_report()
+
+
+def test_condition_on_wrapped_lock_round_trips():
+    with LockSanitizer() as sanitizer:
+        lock = threading.Lock()
+        condition = threading.Condition(lock)
+        seen = []
+
+        def waiter():
+            with condition:
+                while not seen:
+                    condition.wait(5.0)
+                seen.append("woke")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with condition:
+            seen.append("posted")
+            condition.notify()
+        thread.join(5.0)
+        assert not thread.is_alive()
+    assert seen == ["posted", "woke"]
+    assert sanitizer.violations == []
+
+
+def test_uninstall_restores_factories_and_pushes_counters():
+    real_lock, real_rlock = threading.Lock, threading.RLock
+    registry = MetricsRegistry()
+    with using_registry(registry):
+        with LockSanitizer() as sanitizer:
+            assert threading.Lock is not real_lock
+            with threading.Lock():
+                pass
+        assert threading.Lock is real_lock
+        assert threading.RLock is real_rlock
+    assert not sanitizer.installed
+    assert registry.counter("concurrency.acquisitions").value >= 1
+    assert registry.counter("concurrency.lock_inversions").value == 0
+
+
+def test_double_install_raises():
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        with pytest.raises(SanitizerError):
+            sanitizer.install()
+        other = LockSanitizer()
+        with pytest.raises(SanitizerError):
+            other.install()
+    finally:
+        sanitizer.uninstall()
+
+
+def test_violation_emits_concurrency_event():
+    from repro.runtime import InMemorySink
+
+    registry = MetricsRegistry()
+    sink = InMemorySink()
+    registry.add_sink(sink)
+    with using_registry(registry):
+        with LockSanitizer():
+            alpha = threading.Lock()
+            beta = threading.Lock()
+            with alpha:
+                with beta:
+                    pass
+            with beta:
+                with alpha:
+                    pass
+    events = sink.of_kind("concurrency")
+    assert len(events) == 1
+    assert events[0]["violation"] == "lock_order_inversion"

@@ -3,7 +3,10 @@
 
 Equivalent to ``repro lint`` but importable without installing the
 package — CI and pre-commit hooks can run ``python tools/lint.py [paths]``
-from the repository root.
+from the repository root.  Runs the per-file AST rules plus the
+whole-tree concurrency pass (REPRO008 guarded-attribute races and
+REPRO009 lock-order/blocking-call hazards; see
+``repro.analysis.concurrency``).
 """
 
 from __future__ import annotations
