@@ -61,10 +61,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write telemetry events to this JSONL file")
 
     corpus = sub.add_parser("corpus", help="generate a synthetic table corpus")
-    corpus.add_argument("--kind", choices=("wiki", "git"), default="wiki")
+    corpus.add_argument("--kind", choices=("wiki", "git", "infobox"),
+                        default="wiki")
     corpus.add_argument("--size", type=int, default=20)
     corpus.add_argument("--seed", type=int, default=0)
-    corpus.add_argument("--out", required=True, help="output directory")
+    corpus.add_argument("--shard-tables", type=int, default=64,
+                        help="tables per deterministically seeded shard")
+    corpus.add_argument("--shards", action="store_true",
+                        help="dry run: print per-shard fingerprints instead "
+                             "of writing tables (debugs determinism drift)")
+    corpus.add_argument("--out", default=None,
+                        help="output directory (required unless --shards)")
 
     encode = sub.add_parser("encode", help="encode a CSV table (Fig. 2a)",
                             parents=[metrics_parent])
@@ -128,6 +135,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "it through the compiled tape executor; "
                                "bit-identical to the default serial path "
                                "(incompatible with --workers > 1)")
+    pretrain.add_argument("--stream", action="store_true",
+                          help="treat CORPUS as a generator kind (wiki, git, "
+                               "infobox) and stream deterministically seeded "
+                               "shards on demand instead of loading a "
+                               "directory of CSVs")
+    pretrain.add_argument("--corpus-size", type=int, default=256,
+                          help="tables in the streamed corpus "
+                               "(0 = infinite; only with --stream)")
+    pretrain.add_argument("--corpus-seed", type=int, default=None,
+                          help="stream corpus seed (defaults to --seed)")
+    pretrain.add_argument("--shard-tables", type=int, default=64,
+                          help="tables per streamed shard (with --stream)")
+    pretrain.add_argument("--stream-window", type=int, default=8,
+                          help="max generated shards resident in memory; "
+                               "pure cache — never changes training bytes")
+    pretrain.add_argument("--materialize", action="store_true",
+                          help="load the whole stream into memory before "
+                               "training (differential debugging; "
+                               "byte-identical to the streamed run)")
 
     prof = sub.add_parser(
         "profile",
@@ -286,19 +312,35 @@ def _resolve_model(spec: str, tables: list, seed: int):
 # Commands
 # ----------------------------------------------------------------------
 def _cmd_corpus(args: argparse.Namespace) -> int:
-    from .corpus import KnowledgeBase, generate_git_corpus, generate_wiki_corpus
+    from .corpus import open_stream, shard_fingerprint
     from .tables import save_table
 
-    if args.kind == "wiki":
-        tables = generate_wiki_corpus(KnowledgeBase(seed=args.seed),
-                                      args.size, seed=args.seed)
-    else:
-        tables = generate_git_corpus(args.size, seed=args.seed)
+    if args.size < 1:
+        _fail("--size must be at least 1")
+    if args.shard_tables < 1:
+        _fail("--shard-tables must be at least 1")
+    stream = open_stream(args.kind, size=args.size, seed=args.seed,
+                         shard_tables=args.shard_tables)
 
+    if args.shards:
+        # Dry run: the per-shard fingerprints are a stable signature of
+        # the generator output, so two builds (or two machines) can be
+        # diffed for determinism drift without writing a byte to disk.
+        print(f"kind={args.kind} seed={args.seed} size={args.size} "
+              f"shard_tables={args.shard_tables} "
+              f"shards={stream.num_shards} "
+              f"stream_fingerprint={stream.fingerprint()}")
+        for index, shard in enumerate(stream):
+            print(f"shard {index:4d}: tables={len(shard)} "
+                  f"fingerprint={shard_fingerprint(shard)}")
+        return 0
+
+    if args.out is None:
+        _fail("--out is required unless --shards is given")
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     manifest = []
-    for table in tables:
+    for table in stream.iter_tables():  # one shard resident at a time
         path = save_table(table, out / f"{table.table_id}.csv")
         manifest.append({
             "table_id": table.table_id,
@@ -308,7 +350,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             "title": table.context.title,
         })
     (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
-    print(f"wrote {len(tables)} {args.kind} tables to {out}")
+    print(f"wrote {len(manifest)} {args.kind} tables to {out}")
     return 0
 
 
@@ -362,15 +404,18 @@ def _metrics_scope(path: str | None):
     return scope()
 
 
-def _build_cli_config(tokenizer, dim: int, layers: int):
+def _build_cli_config(tokenizer, dim: int, layers: int,
+                      num_entities: int = 8):
     from .models import EncoderConfig
 
-    # CSV corpora carry no entity annotations, so give TURL a small slack
-    # entity vocabulary; MER simply finds no targets and MLM drives training.
+    # CSV corpora carry no entity annotations, so the default gives TURL
+    # a small slack entity vocabulary; MER simply finds no targets and
+    # MLM drives training.  Streamed corpora keep their knowledge-base
+    # annotations and size the vocabulary to match.
     return EncoderConfig(
         vocab_size=len(tokenizer.vocab), dim=dim, num_heads=4,
         num_layers=layers, hidden_dim=dim * 2, max_position=192,
-        num_entities=max(1, 8),
+        num_entities=max(1, num_entities),
     )
 
 
@@ -381,9 +426,48 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     from .parallel import FixedClock, ParallelConfig, parse_fault_plan
     from .pretrain import Pretrainer, PretrainConfig
 
-    tables = _load_corpus_dir(args.corpus)
-    tokenizer = build_tokenizer_for_tables(tables, vocab_size=args.vocab_size)
-    config = _build_cli_config(tokenizer, args.dim, args.layers)
+    if args.stream:
+        from .corpus import STREAM_KINDS, open_stream
+
+        if args.corpus not in STREAM_KINDS:
+            _fail(f"--stream interprets CORPUS as a generator kind; choose "
+                  f"one of {', '.join(STREAM_KINDS)}, got {args.corpus!r}")
+        if args.corpus_size < 0:
+            _fail("--corpus-size must be non-negative (0 = infinite)")
+        if args.shard_tables < 1:
+            _fail("--shard-tables must be at least 1")
+        if args.stream_window < 1:
+            _fail("--stream-window must be at least 1")
+        corpus_seed = (args.seed if args.corpus_seed is None
+                       else args.corpus_seed)
+        stream = open_stream(args.corpus, size=args.corpus_size or None,
+                             seed=corpus_seed,
+                             shard_tables=args.shard_tables)
+        # The tokenizer sees the same bounded prefix however the corpus
+        # is consumed, keeping streamed and materialized checkpoints
+        # byte-identical.
+        vocab_tables = stream.head_tables(256)
+        if args.materialize:
+            if stream.is_infinite:
+                _fail("--materialize cannot load an infinite stream "
+                      "(--corpus-size 0) into memory")
+            corpus = stream.materialize()
+        else:
+            corpus = stream
+        size_label = ("unbounded" if stream.is_infinite
+                      else f"{stream.size} tables")
+        corpus_label = f"a streamed {args.corpus} corpus ({size_label})"
+    else:
+        if args.materialize:
+            _fail("--materialize only applies to --stream runs")
+        corpus = vocab_tables = _load_corpus_dir(args.corpus)
+        corpus_label = f"{len(corpus)} tables"
+    tokenizer = build_tokenizer_for_tables(vocab_tables,
+                                           vocab_size=args.vocab_size)
+    kb = getattr(stream, "kb", None) if args.stream else None
+    config = _build_cli_config(
+        tokenizer, args.dim, args.layers,
+        num_entities=kb.num_entities if kb is not None else 8)
     model = create_model(args.model, tokenizer, config=config, seed=args.seed)
     checkpoint_every = args.checkpoint_every
     if args.checkpoint_dir and not checkpoint_every:
@@ -415,7 +499,8 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
             learning_rate=args.learning_rate, seed=args.seed,
             checkpoint_every=checkpoint_every,
             keep_checkpoints=args.keep_checkpoints,
-            parallel=parallel, compile=args.compile)
+            parallel=parallel, compile=args.compile,
+            stream_window=args.stream_window)
     except ValueError as error:
         _fail(str(error))
     clock = FixedClock() if args.fixed_clock else time.perf_counter
@@ -427,16 +512,16 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
         print(f"resumed from {args.resume} at step {restored}")
     with _metrics_scope(args.metrics_out):
         if args.sanitize:
-            print(trainer.sanitize_check(tables).render())
+            print(trainer.sanitize_check(corpus).render())
         if len(trainer.history) < args.steps:
-            history = trainer.train(tables,
+            history = trainer.train(corpus,
                                     checkpoint_dir=args.checkpoint_dir)
         else:
             history = trainer.history
             print("checkpoint already covers the requested steps; "
                   "nothing to train")
     print(f"pretrained {args.model} for {args.steps} steps over "
-          f"{len(tables)} tables")
+          f"{corpus_label}")
     print(f"loss: {history[0].loss:.3f} -> {history[-1].loss:.3f}")
     tokens_per_second = [r.tokens_per_second for r in history
                          if r.tokens_per_second > 0]
@@ -730,12 +815,13 @@ def main(argv: list[str] | None = None) -> int:
     except SystemExit:
         raise
     except Exception as error:
+        from .corpus import EmptyCorpusError
         from .nn import CheckpointError
         from .parallel import WorkerError
         from .runtime import TrainingDivergedError
 
         if isinstance(error, (CheckpointError, TrainingDivergedError,
-                              WorkerError,
+                              WorkerError, EmptyCorpusError,
                               FileNotFoundError, NotADirectoryError,
                               IsADirectoryError, PermissionError,
                               json.JSONDecodeError)):

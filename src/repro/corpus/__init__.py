@@ -19,6 +19,21 @@ from .gittables import GitTablesConfig, generate_git_corpus, generate_git_table
 from .infobox import generate_infobox, generate_infobox_corpus
 from .knowledge import DOMAINS, Entity, KnowledgeBase
 from .splits import assign_split, split_tables, stable_hash
+from .stream import (
+    STREAM_KINDS,
+    EmptyCorpusError,
+    GitTableStream,
+    InfoboxStream,
+    MaterializedCorpus,
+    ShardWindow,
+    StreamingCorpus,
+    WikiTableStream,
+    as_stream,
+    open_stream,
+    shard_fingerprint,
+    shard_seed,
+    table_fingerprint,
+)
 from .wikitables import WikiTablesConfig, generate_wiki_corpus, generate_wiki_table
 
 __all__ = [
@@ -33,4 +48,8 @@ __all__ = [
     "ColumnTypeExample", "build_coltype_dataset",
     "Text2SqlExample", "build_text2sql_dataset",
     "stable_hash", "assign_split", "split_tables",
+    "EmptyCorpusError", "StreamingCorpus", "MaterializedCorpus",
+    "WikiTableStream", "GitTableStream", "InfoboxStream",
+    "ShardWindow", "shard_seed", "table_fingerprint", "shard_fingerprint",
+    "as_stream", "open_stream", "STREAM_KINDS",
 ]

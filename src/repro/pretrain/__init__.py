@@ -8,11 +8,13 @@ from .masking import (
     mask_for_mlm,
 )
 from .objectives import masked_accuracy, mer_loss, mlm_loss
-from .trainer import Pretrainer, PretrainConfig, TrainerCheckpoint
+from .trainer import EmptyCorpusError, Pretrainer, PretrainConfig, \
+    TrainerCheckpoint
 
 __all__ = [
     "IGNORE_INDEX", "MaskedBatch", "mask_for_mlm", "mask_for_mer",
     "combine_masking",
     "mlm_loss", "mer_loss", "masked_accuracy",
     "PretrainConfig", "Pretrainer", "TrainerCheckpoint",
+    "EmptyCorpusError",
 ]

@@ -38,6 +38,7 @@ import numpy as np
 from .masking import IGNORE_INDEX, MaskedBatch, combine_masking, \
     mask_for_mer, mask_for_mlm
 from .objectives import masked_accuracy, mer_loss, mlm_loss
+from ..corpus.stream import EmptyCorpusError, ShardWindow, StreamingCorpus
 from ..models import MlmHead, TableEncoder
 from ..models.base import forward_bindings
 from ..nn import Adam, LinearWarmupSchedule, Tensor, clip_gradients
@@ -61,7 +62,8 @@ from ..runtime import (
 )
 from ..tables import Table
 
-__all__ = ["PretrainConfig", "Pretrainer", "TrainerCheckpoint"]
+__all__ = ["PretrainConfig", "Pretrainer", "TrainerCheckpoint",
+           "EmptyCorpusError"]
 
 TRAINER_CHECKPOINT_VERSION = 1
 _CHECKPOINT_PREFIX = "ckpt-"
@@ -95,10 +97,13 @@ class PretrainConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
     parallel: ParallelConfig | None = None   # None = legacy fused path
     compile: bool = False         # record the step once, replay it after
+    stream_window: int = 8        # max shards resident for streamed corpora
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.batch_size < 1:
             raise ValueError("steps and batch_size must be positive")
+        if self.stream_window < 1:
+            raise ValueError("stream_window must be positive")
         if not (self.use_mlm or self.use_mer):
             raise ValueError("at least one pretraining objective must be enabled")
         if self.checkpoint_every < 0:
@@ -251,6 +256,111 @@ def _slice_masked(masked: MaskedBatch, rows: slice) -> MaskedBatch:
                        mer_targets=masked.mer_targets[rows])
 
 
+# ----------------------------------------------------------------------
+# Corpus sources: one batch-drawing protocol over lists and streams
+# ----------------------------------------------------------------------
+class _ListSource:
+    """Legacy whole-list corpus: random access over a ``list[Table]``."""
+
+    streaming = False
+
+    def __init__(self, tables: list[Table]) -> None:
+        self.origin = tables
+        self.tables = tables
+        self.size = len(tables)
+
+    def draw(self, rng: np.random.Generator, batch_size: int,
+             step_index: int) -> list[Table]:
+        count = min(batch_size, self.size)
+        indices = rng.choice(self.size, size=count, replace=False)
+        return [self.tables[int(i)] for i in indices]
+
+    def checkpoint_info(self, completed_steps: int,
+                        batch_size: int) -> dict | None:
+        return None
+
+
+class _WindowSource:
+    """Finite stream: bounded-memory random access via a shard window.
+
+    Draws the *identical* RNG stream as :class:`_ListSource` over the
+    stream's materialization (same ``choice`` call, same index order),
+    then resolves indices through the LRU window instead of a list — so
+    a streamed run and a materialized run of the same finite corpus are
+    bit-identical, and the checkpoint carries no stream identity (the
+    window is pure cache, i.e. scheduling, not numerics).
+    """
+
+    streaming = True
+
+    def __init__(self, stream: StreamingCorpus, window: ShardWindow) -> None:
+        self.origin = stream
+        self.stream = stream
+        self.window = window
+        self.size = stream.size
+
+    def draw(self, rng: np.random.Generator, batch_size: int,
+             step_index: int) -> list[Table]:
+        count = min(batch_size, self.size)
+        indices = rng.choice(self.size, size=count, replace=False)
+        return self.window.tables(indices)
+
+    def checkpoint_info(self, completed_steps: int,
+                        batch_size: int) -> dict | None:
+        return None
+
+
+class _SequentialSource:
+    """Infinite stream: in-order consumption with a derivable cursor.
+
+    There is no population to sample from, so batches are consecutive
+    stream slices and the sampling RNG is never consumed.  The cursor is
+    a pure function of progress (``completed_steps * batch_size``) —
+    rollbacks, sanitize preflights and checkpoint resumes all re-derive
+    it from the history length, which is how a resumed run re-enters
+    mid-stream bit-identically.
+    """
+
+    streaming = True
+    size = None
+
+    def __init__(self, stream: StreamingCorpus, window: ShardWindow) -> None:
+        self.origin = stream
+        self.stream = stream
+        self.window = window
+
+    def draw(self, rng: np.random.Generator, batch_size: int,
+             step_index: int) -> list[Table]:
+        start = step_index * batch_size
+        return self.window.tables(range(start, start + batch_size))
+
+    def checkpoint_info(self, completed_steps: int,
+                        batch_size: int) -> dict | None:
+        return {"mode": "sequential",
+                "fingerprint": self.stream.fingerprint(),
+                "cursor": completed_steps * batch_size}
+
+
+@dataclass(frozen=True)
+class _ShardDescriptor:
+    """A regenerable reference to one micro-shard of a streamed batch.
+
+    Replaces the pickled :class:`_ShardPayload` on worker pipes when the
+    corpus is streamed and workers > 1: the worker re-draws the step's
+    batch from its fork-inherited corpus source under the parent's
+    captured RNG state, re-masks it, and row-slices its shard — all pure
+    functions, so a lost shard regenerates bit-identically on respawn
+    and step frames shrink from whole pickled batches to a few hundred
+    bytes of RNG state.
+    """
+
+    step: int
+    rng_state: dict
+    rows: tuple[int, int]
+    mlm_weight: float
+    mer_weight: float
+
+
 class Pretrainer:
     """Runs MLM (+MER where supported) pretraining over a table corpus."""
 
@@ -301,6 +411,9 @@ class Pretrainer:
         self._shard_size = (
             self.config.parallel.resolve_shard_size(self.config.batch_size)
             if self.config.parallel is not None else None)
+        self._source: "_ListSource | _WindowSource | _SequentialSource | None" = None
+        self._desc_memo: tuple[int, MaskedBatch] | None = None
+        self._restored_stream: dict | None = None
 
     # ------------------------------------------------------------------
     # Checkpoint capture / restore
@@ -381,6 +494,7 @@ class Pretrainer:
         self._check_config_compatible(checkpoint.config)
         step = self.restore(checkpoint)
         self._last_good = checkpoint
+        self._restored_stream = checkpoint.config.get("stream")
         return step
 
     def _config_dict(self) -> dict:
@@ -395,6 +509,16 @@ class Pretrainer:
         config["parallel"] = (
             parallel.numeric_signature(self.config.batch_size)
             if parallel is not None else None)
+        # Streaming a *finite* corpus is pure scheduling (the shard
+        # window is a cache), so streamed and materialized runs share
+        # checkpoint bytes and "stream" stays None.  An *infinite*
+        # stream is numeric identity: its fingerprint and cursor are
+        # what let a resume re-enter mid-stream bit-identically.
+        source = self._source
+        config["stream"] = (
+            source.checkpoint_info(len(self.history), self.config.batch_size)
+            if source is not None else None)
+        config.pop("stream_window", None)
         # Compiled replay is bit-identical to eager execution, so the
         # flag is not part of a run's numeric identity: dropping it keeps
         # compiled and eager checkpoints byte-identical and lets runs
@@ -420,26 +544,87 @@ class Pretrainer:
                 f"({details}); resuming would not be bit-identical")
 
     # ------------------------------------------------------------------
+    def _bind_source(self, corpus: "list[Table] | StreamingCorpus"):
+        """Resolve (and cache) the batch source for a corpus argument.
+
+        A ``list[Table]`` samples in place; a finite stream samples
+        through a bounded :class:`ShardWindow` with the identical RNG
+        stream; an infinite stream is consumed in order via a derivable
+        cursor.  Rebinding happens only when a *different* corpus object
+        is offered — worker descriptors rely on the source being stable
+        across the steps of one ``train()`` run.
+        """
+        source = self._source
+        if source is not None and source.origin is corpus:
+            return source
+        if isinstance(corpus, StreamingCorpus):
+            window = ShardWindow(corpus,
+                                 max_shards=self.config.stream_window)
+            if corpus.is_infinite:
+                source = _SequentialSource(corpus, window)
+            else:
+                source = _WindowSource(corpus, window)
+        else:
+            source = _ListSource(corpus)
+        if source.size == 0:
+            raise EmptyCorpusError("pretraining corpus is empty")
+        self._source = source
+        self._desc_memo = None
+        return source
+
+    def _check_stream_resume(self, source) -> None:
+        """Validate a mid-stream resume against the checkpoint's cursor.
+
+        Only sequential (infinite-stream) checkpoints record a stream
+        identity; offering such a checkpoint a different stream — or no
+        stream at all — cannot be bit-identical and is rejected up
+        front.
+        """
+        restored = self._restored_stream
+        if restored is None:
+            return
+        info = source.checkpoint_info(len(self.history),
+                                      self.config.batch_size)
+        if info is None or info["fingerprint"] != restored.get("fingerprint"):
+            have = None if info is None else info["fingerprint"]
+            raise CheckpointError(
+                f"checkpoint was written mid-stream (stream fingerprint "
+                f"{restored.get('fingerprint')!r}, cursor "
+                f"{restored.get('cursor')}) but train() was offered a "
+                f"corpus with stream fingerprint {have!r}; resuming would "
+                f"not be bit-identical")
+        self._restored_stream = None
+
     def _sample_tables(self, corpus: list[Table]) -> list[Table]:
         count = min(self.config.batch_size, len(corpus))
         indices = self.rng.choice(len(corpus), size=count, replace=False)
         return [corpus[int(i)] for i in indices]
 
     def _masked_batch(self, tables: list[Table]):
+        return self._masked_batch_rng(tables, self.rng)
+
+    def _masked_batch_rng(self, tables: list[Table],
+                          rng: np.random.Generator):
+        """Batch + mask ``tables`` drawing masking noise from ``rng``.
+
+        Factored out of :meth:`_masked_batch` so worker-side shard
+        regeneration can replay a step's masking under a restored
+        generator without touching the trainer's own RNG stream.
+        """
         batch, serialized = self.model.batch(tables)
         vocab = self.model.tokenizer.vocab
         use_mer = self.config.use_mer and self.supports_mer
         if self.config.use_mlm and use_mer:
-            mlm = mask_for_mlm(batch, serialized, vocab, self.rng,
+            mlm = mask_for_mlm(batch, serialized, vocab, rng,
                                mask_probability=self.config.mask_probability,
                                whole_cell=self.config.whole_cell_masking)
-            mer = mask_for_mer(batch, serialized, vocab, self.rng,
+            mer = mask_for_mer(batch, serialized, vocab, rng,
                                mask_probability=self.config.mer_mask_probability)
             return combine_masking(mlm, mer)
         if use_mer:
-            return mask_for_mer(batch, serialized, vocab, self.rng,
+            return mask_for_mer(batch, serialized, vocab, rng,
                                 mask_probability=self.config.mer_mask_probability)
-        return mask_for_mlm(batch, serialized, vocab, self.rng,
+        return mask_for_mlm(batch, serialized, vocab, rng,
                             mask_probability=self.config.mask_probability,
                             whole_cell=self.config.whole_cell_masking)
 
@@ -561,7 +746,7 @@ class Pretrainer:
         executor.backward()
         return outs
 
-    def sanitize_check(self, corpus: list[Table]):
+    def sanitize_check(self, corpus: "list[Table] | StreamingCorpus"):
         """Preflight tape sanitization of one pretraining forward.
 
         Samples a batch, computes the configured objectives under
@@ -581,11 +766,12 @@ class Pretrainer:
         """
         from ..analysis.tape import sanitize_tape, trace_tape
 
-        if not corpus:
-            raise ValueError("pretraining corpus is empty")
+        source = self._bind_source(corpus)
         state = self.rng.bit_generator.state
         try:
-            masked = self._masked_batch(self._sample_tables(corpus))
+            masked = self._masked_batch(
+                source.draw(self.rng, self.config.batch_size,
+                            len(self.history)))
             use_mlm, use_mer = self._objectives(masked)
             if not (use_mlm or use_mer):
                 raise ValueError(
@@ -629,14 +815,41 @@ class Pretrainer:
             self._engine.close()
             self._engine = None
 
-    def _shard_compute(self, payload: _ShardPayload) -> dict:
+    def _resolve_descriptor(self, desc: _ShardDescriptor) -> _ShardPayload:
+        """Regenerate a shard payload from its descriptor (pure).
+
+        Re-draws and re-masks the step's full batch under a throwaway
+        generator restored from the descriptor's RNG state — never the
+        trainer's own ``self.rng``, because this also runs in the
+        *parent* when the engine degrades to its in-process fallback —
+        then row-slices the shard.  The regenerated batch is memoized
+        per step so a worker resolving several shards of one step pays
+        for the batch once.
+        """
+        memo = self._desc_memo
+        if memo is None or memo[0] != desc.step:
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = desc.rng_state
+            tables = self._source.draw(rng, self.config.batch_size,
+                                       desc.step)
+            self._desc_memo = (desc.step, self._masked_batch_rng(tables, rng))
+        masked = self._desc_memo[1]
+        shard = _slice_masked(masked, slice(desc.rows[0], desc.rows[1]))
+        return _ShardPayload(shard, desc.mlm_weight, desc.mer_weight)
+
+    def _shard_compute(self, payload: "_ShardPayload | _ShardDescriptor"
+                       ) -> dict:
         """Forward+backward one micro-shard (runs in-process or forked).
 
         Losses arrive pre-normalized (``payload.*_weight`` is this
         shard's share of the step's prediction targets), so the engine's
         unweighted fixed-order sum of shard losses/gradients equals the
-        fused mean-over-targets objective.
+        fused mean-over-targets objective.  Streamed runs ship
+        :class:`_ShardDescriptor` references instead of batch slices;
+        they are resolved (regenerated) here first.
         """
+        if isinstance(payload, _ShardDescriptor):
+            payload = self._resolve_descriptor(payload)
         masked = payload.masked
         stats = {"loss": 0.0, "mlm_loss": 0.0, "mer_loss": 0.0,
                  "mlm_correct": 0, "mlm_count": 0,
@@ -672,13 +885,21 @@ class Pretrainer:
         total.backward()
         return stats
 
-    def _parallel_backward(self, masked: MaskedBatch):
+    def _parallel_backward(self, masked: MaskedBatch, *,
+                           step: int | None = None,
+                           rng_state: dict | None = None):
         """Shard the batch, run the engine, install combined gradients.
 
         Returns ``(loss, mlm_loss, mer_loss, mlm_acc, mer_acc)`` or
         ``None`` when the batch produced no prediction targets (the
         serial path's "no losses" case).  All RNG work already happened
         in the parent, so worker count cannot perturb the random stream.
+
+        With ``rng_state`` set (streamed corpus, workers > 1) the engine
+        is handed :class:`_ShardDescriptor` references instead of batch
+        slices: workers regenerate their shards from the fork-inherited
+        corpus source, which keeps step frames small and makes lost
+        shards replayable bit-identically after a respawn.
         """
         use_mer = self.supports_mer and self.config.use_mer
         total_mlm = masked.num_mlm_targets if self.config.use_mlm else 0
@@ -688,13 +909,24 @@ class Pretrainer:
         payloads = []
         for rows in shard_slices(masked.batch.batch_size, self._shard_size):
             shard = _slice_masked(masked, rows)
-            payloads.append(_ShardPayload(
-                masked=shard,
-                mlm_weight=(shard.num_mlm_targets / total_mlm
-                            if total_mlm else 0.0),
-                mer_weight=(shard.num_mer_targets / total_mer
-                            if total_mer else 0.0),
-            ))
+            mlm_weight = (shard.num_mlm_targets / total_mlm
+                          if total_mlm else 0.0)
+            mer_weight = (shard.num_mer_targets / total_mer
+                          if total_mer else 0.0)
+            if rng_state is not None:
+                payloads.append(_ShardDescriptor(
+                    step=step, rng_state=rng_state,
+                    rows=(rows.start, rows.stop),
+                    mlm_weight=mlm_weight, mer_weight=mer_weight))
+            else:
+                payloads.append(_ShardPayload(
+                    masked=shard, mlm_weight=mlm_weight,
+                    mer_weight=mer_weight))
+        if rng_state is not None:
+            # Seed the descriptor memo with the batch the parent already
+            # built, so the engine's degraded in-process fallback does
+            # not regenerate it (and provably cannot touch self.rng).
+            self._desc_memo = (step, masked)
         engine = self._ensure_engine()
         try:
             outcome = engine.step(payloads)
@@ -715,7 +947,8 @@ class Pretrainer:
         return (totals["loss"], totals["mlm_loss"], totals["mer_loss"],
                 mlm_acc, mer_acc)
 
-    def train_step(self, corpus: list[Table]) -> TrainRecord:
+    def train_step(self, corpus: "list[Table] | StreamingCorpus"
+                   ) -> TrainRecord:
         """One optimization step over a sampled batch; returns the record.
 
         Steps the health monitor judges bad (NaN/Inf loss or gradient,
@@ -724,9 +957,16 @@ class Pretrainer:
         the returned record belongs to the discarded timeline and is not
         appended to :attr:`history`.
         """
+        source = self._bind_source(corpus)
         step = len(self.history)
         started = self.clock()
-        masked = self._masked_batch(self._sample_tables(corpus))
+        ship_descriptors = (source.streaming
+                            and self.config.parallel is not None
+                            and self.config.parallel.workers > 1)
+        rng_state = (self.rng.bit_generator.state
+                     if ship_descriptors else None)
+        masked = self._masked_batch(
+            source.draw(self.rng, self.config.batch_size, step))
         tokens = int(masked.batch.token_ids.size)
 
         self.optimizer.zero_grad()
@@ -734,7 +974,8 @@ class Pretrainer:
         mlm_acc = mer_acc = 0.0
         total_value = 0.0
         if self.config.parallel is not None:
-            summary = self._parallel_backward(masked)
+            summary = self._parallel_backward(masked, step=step,
+                                              rng_state=rng_state)
             has_grads = summary is not None
             if has_grads:
                 total_value, mlm_value, mer_value, mlm_acc, mer_acc = summary
@@ -799,9 +1040,15 @@ class Pretrainer:
             manifest = stale.with_name(stale.name + ".manifest.json")
             manifest.unlink(missing_ok=True)
 
-    def train(self, corpus: list[Table],
+    def train(self, corpus: "list[Table] | StreamingCorpus",
               checkpoint_dir: str | Path | None = None) -> list[TrainRecord]:
         """Run (or continue) the configured number of steps.
+
+        ``corpus`` may be a ``list[Table]`` (legacy), a finite
+        :class:`StreamingCorpus` (bounded-memory, bit-identical to
+        training over its materialization) or an infinite stream
+        (consumed in order behind a derivable cursor).  An empty corpus
+        raises :class:`EmptyCorpusError` before any model work.
 
         A fresh trainer runs ``config.steps`` steps; a trainer restored
         via :meth:`resume` continues from its checkpoint until the same
@@ -813,8 +1060,8 @@ class Pretrainer:
         that cadence (and written to ``checkpoint_dir`` when given, with
         the last ``config.keep_checkpoints`` retained on disk).
         """
-        if not corpus:
-            raise ValueError("pretraining corpus is empty")
+        source = self._bind_source(corpus)
+        self._check_stream_resume(source)
         if len(self.history) >= self.config.steps:
             raise RuntimeError(
                 f"training already completed {len(self.history)} of "

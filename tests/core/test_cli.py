@@ -43,6 +43,31 @@ class TestCorpusCommand:
                      "--out", str(tmp_path / "git")]) == 0
         assert len(list((tmp_path / "git").glob("*.csv"))) == 3
 
+    def test_infobox_kind(self, tmp_path):
+        assert main(["corpus", "--kind", "infobox", "--size", "3",
+                     "--out", str(tmp_path / "ib")]) == 0
+        assert len(list((tmp_path / "ib").glob("*.csv"))) == 3
+
+    def test_shards_dry_run_prints_fingerprints(self, tmp_path, capsys):
+        argv = ["corpus", "--kind", "wiki", "--size", "10",
+                "--shard-tables", "4", "--shards"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert "stream_fingerprint=" in lines[0]
+        assert len(lines) == 1 + 3          # header + ceil(10/4) shards
+        assert "shard    2: tables=2" in lines[3]
+        assert not list(tmp_path.iterdir())  # dry run writes nothing
+        # Determinism: a second invocation prints identical fingerprints.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == out
+
+    def test_shard_tables_does_not_change_count(self, tmp_path):
+        assert main(["corpus", "--kind", "wiki", "--size", "5",
+                     "--shard-tables", "2",
+                     "--out", str(tmp_path / "sharded")]) == 0
+        assert len(list((tmp_path / "sharded").glob("*.csv"))) == 5
+
 
 class TestEncodeCommand:
     def test_encode_prints_summary(self, corpus_dir, capsys):
@@ -79,6 +104,33 @@ class TestPretrainCommand:
     def test_empty_corpus_dir_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["pretrain", str(tmp_path), "--out", str(tmp_path / "b")])
+
+    def test_streamed_pretrain_saves_bundle(self, tmp_path, capsys):
+        bundle = tmp_path / "stream-bundle"
+        assert main(["pretrain", "wiki", "--stream", "--corpus-size", "12",
+                     "--shard-tables", "4", "--model", "bert",
+                     "--steps", "3", "--dim", "16", "--layers", "1",
+                     "--vocab-size", "400", "--out", str(bundle)]) == 0
+        assert (bundle / "weights.npz").exists()
+        out = capsys.readouterr().out
+        assert "streamed wiki corpus (12 tables)" in out
+
+    def test_streamed_equals_materialized_checkpoints(self, tmp_path):
+        """The CLI-level differential: --materialize must not move a
+        checkpoint byte relative to the streamed run."""
+        snapshots = {}
+        for mode, extra in (("stream", []), ("mat", ["--materialize"])):
+            ckpts = tmp_path / f"ckpt-{mode}"
+            assert main(["pretrain", "wiki", "--stream",
+                         "--corpus-size", "12", "--shard-tables", "4",
+                         "--model", "bert", "--steps", "4",
+                         "--dim", "16", "--layers", "1",
+                         "--vocab-size", "400", "--fixed-clock",
+                         "--checkpoint-dir", str(ckpts),
+                         "--checkpoint-every", "4",
+                         "--out", str(tmp_path / f"b-{mode}")] + extra) == 0
+            snapshots[mode] = (ckpts / "ckpt-00000004.npz").read_bytes()
+        assert snapshots["stream"] == snapshots["mat"]
 
 
 class TestBehavioralCommand:
@@ -131,6 +183,29 @@ class TestOperatorErrors:
     def test_pretrain_missing_corpus(self, tmp_path, capsys):
         self._assert_fails_cleanly(
             ["pretrain", str(tmp_path / "nope"), "--out", str(tmp_path / "b")],
+            capsys)
+
+    def test_corpus_without_out_or_shards(self, capsys):
+        self._assert_fails_cleanly(["corpus", "--kind", "wiki"], capsys)
+
+    def test_corpus_zero_size(self, tmp_path, capsys):
+        self._assert_fails_cleanly(
+            ["corpus", "--size", "0", "--out", str(tmp_path / "x")], capsys)
+
+    def test_stream_with_unknown_kind(self, tmp_path, capsys):
+        self._assert_fails_cleanly(
+            ["pretrain", "parquet", "--stream", "--steps", "2",
+             "--out", str(tmp_path / "b")], capsys)
+
+    def test_materialize_without_stream(self, corpus_dir, tmp_path, capsys):
+        self._assert_fails_cleanly(
+            ["pretrain", str(corpus_dir), "--materialize", "--steps", "2",
+             "--out", str(tmp_path / "b")], capsys)
+
+    def test_materialize_infinite_stream(self, tmp_path, capsys):
+        self._assert_fails_cleanly(
+            ["pretrain", "wiki", "--stream", "--corpus-size", "0",
+             "--materialize", "--steps", "2", "--out", str(tmp_path / "b")],
             capsys)
 
     def test_encode_missing_table(self, tmp_path, capsys):

@@ -1,0 +1,77 @@
+"""Shared fixtures for the streaming-corpus differential harness.
+
+Everything is seeded and session-scoped, mirroring the data-parallel
+suite: the differential tests compare checkpoint *bytes* between
+streamed and materialized runs, so each run must start from an identical
+tokenizer and model initialization.  The tokenizer is trained on the
+stream's bounded head prefix — the same prefix both consumption modes
+see.
+"""
+
+import pytest
+
+from repro.core import create_model
+from repro.corpus import KnowledgeBase, open_stream
+from repro.models import EncoderConfig
+from repro.text import train_tokenizer
+
+#: Shared stream geometry: 16 tables in 4-table shards.
+STREAM_SIZE = 16
+SHARD_TABLES = 4
+
+
+def corpus_texts(tables):
+    texts = []
+    for table in tables:
+        texts.append(table.context.text())
+        texts.append(" ".join(table.header))
+        for _, _, cell in table.iter_cells():
+            texts.append(cell.text())
+    return texts
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return KnowledgeBase(seed=0)
+
+
+def make_stream(kind: str, kb, size=STREAM_SIZE, seed=0,
+                shard_tables=SHARD_TABLES):
+    return open_stream(kind, size=size, seed=seed,
+                       shard_tables=shard_tables, kb=kb)
+
+
+@pytest.fixture(scope="session")
+def stream_factory(kb):
+    """Build a fresh stream per call — streams are stateless, but tests
+    that mutate windows or resume mid-stream want their own objects."""
+    def build(kind="wiki", size=STREAM_SIZE, seed=0,
+              shard_tables=SHARD_TABLES):
+        return make_stream(kind, kb, size=size, seed=seed,
+                           shard_tables=shard_tables)
+    return build
+
+
+@pytest.fixture(scope="session")
+def tokenizer(kb):
+    # One vocabulary over the union of all three generator prefixes so a
+    # single session-scoped model config serves every differential case.
+    texts = []
+    for kind in ("wiki", "git", "infobox"):
+        texts.extend(corpus_texts(make_stream(kind, kb).materialize()))
+    return train_tokenizer(texts, vocab_size=900)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer, kb):
+    return EncoderConfig(
+        vocab_size=len(tokenizer.vocab), dim=16, num_heads=2, num_layers=1,
+        hidden_dim=32, max_position=128, num_entities=kb.num_entities,
+    )
+
+
+@pytest.fixture
+def make_model(tokenizer, config):
+    def build(name: str = "bert", seed: int = 0):
+        return create_model(name, tokenizer, config=config, seed=seed)
+    return build

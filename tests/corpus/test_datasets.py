@@ -197,3 +197,45 @@ class TestText2Sql:
         rng = np.random.default_rng(2)
         for ex in build_text2sql_dataset(wiki_tables, rng):
             assert ex.question == question_from_query(ex.sql)
+
+
+class TestBuilderEdgeCases:
+    """Degenerate inputs: empty corpora, size-1 corpora, seed stability."""
+
+    BUILDERS = (build_imputation_dataset, build_qa_dataset,
+                build_nli_dataset, build_retrieval_dataset,
+                build_text2sql_dataset)
+
+    def test_empty_corpus_yields_no_examples(self):
+        for builder in self.BUILDERS:
+            assert builder([], np.random.default_rng(0)) == []
+        assert build_coltype_dataset([]) == []
+
+    def test_size_one_corpus(self, wiki_tables):
+        corpus = wiki_tables[:1]
+        for builder in self.BUILDERS:
+            examples = builder(corpus, np.random.default_rng(0))
+            assert all(ex.table.table_id == corpus[0].table_id
+                       for ex in examples if hasattr(ex, "table"))
+        retrieval = build_retrieval_dataset(corpus, np.random.default_rng(0))
+        assert all(ex.positive_table_id == corpus[0].table_id
+                   for ex in retrieval)
+
+    def test_seed_stability_across_calls(self, wiki_tables):
+        """The same seeded generator drives byte-equal example sets."""
+        for builder in self.BUILDERS:
+            first = builder(wiki_tables, np.random.default_rng(7))
+            second = builder(wiki_tables, np.random.default_rng(7))
+            assert first == second, builder.__name__
+
+    def test_different_seeds_change_sampled_cells(self, wiki_tables):
+        a = build_imputation_dataset(wiki_tables, np.random.default_rng(0))
+        b = build_imputation_dataset(wiki_tables, np.random.default_rng(1))
+        assert [(e.row, e.column) for e in a] != [(e.row, e.column)
+                                                 for e in b]
+
+    def test_imputation_skips_tables_without_candidates(self):
+        numeric_only = Table(["n"], [["1"], ["2"]], table_id="num")
+        examples = build_imputation_dataset([numeric_only],
+                                            np.random.default_rng(0))
+        assert examples == []

@@ -1,0 +1,86 @@
+"""Golden shard-fingerprint fixtures: the generators' content, pinned.
+
+One fixture per generator pins the fingerprints of the first four
+shards (seed 0, 8-table shards).  Any change to a generator's draw
+order, value pools or table identity shows up here as a readable
+shard-addressed diff *before* it silently invalidates the streamed-vs-
+materialized differential suite (which compares two runs of the same
+build and therefore cannot see generator drift by itself).
+
+Regenerate intentionally with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/corpus/test_golden_shards.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import KnowledgeBase, open_stream, shard_fingerprint
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+KINDS = ("wiki", "git", "infobox")
+SHARDS = 4
+SHARD_TABLES = 8
+
+
+def shard_prints(kind: str) -> list[dict]:
+    stream = open_stream(kind, size=SHARDS * SHARD_TABLES, seed=0,
+                         shard_tables=SHARD_TABLES,
+                         kb=KnowledgeBase(seed=0))
+    return [{"shard": index,
+             "tables": len(stream.generate_shard(index)),
+             "fingerprint": shard_fingerprint(stream.generate_shard(index))}
+            for index in range(SHARDS)]
+
+
+def golden_path(kind: str) -> Path:
+    return GOLDEN_DIR / f"shards-{kind}.json"
+
+
+def check_against_golden(kind: str, actual: list[dict]) -> None:
+    path = golden_path(kind)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(
+            {"kind": kind, "seed": 0, "shard_tables": SHARD_TABLES,
+             "records": actual}, indent=2) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(f"golden fixture missing: {path} "
+                    f"(run with REPRO_REGEN_GOLDEN=1 to create it)")
+    expected = json.loads(path.read_text())["records"]
+    rows = []
+    for want, got in zip(expected, actual):
+        if want != got:
+            rows.append(f"  shard {want['shard']}: expected "
+                        f"{want['fingerprint']} ({want['tables']} tables), "
+                        f"got {got['fingerprint']} ({got['tables']} tables)")
+    if rows:
+        pytest.fail(
+            f"{kind!r} shard content drifted from the golden fixture "
+            f"({len(rows)} shard(s)) — the streamed-vs-materialized "
+            f"differential suite can no longer be compared against "
+            f"earlier builds.\nIf the change is intentional, regenerate "
+            f"with REPRO_REGEN_GOLDEN=1.\n" + "\n".join(rows))
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_shard_fingerprints_match_golden(kind):
+    check_against_golden(kind, shard_prints(kind))
+
+
+def test_golden_diff_is_readable():
+    """A perturbed fingerprint must fail with a shard-addressed message."""
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regenerating fixtures")
+    expected = json.loads(golden_path("wiki").read_text())["records"]
+    perturbed = [dict(r) for r in expected]
+    perturbed[2]["fingerprint"] = "0" * 16
+    with pytest.raises(pytest.fail.Exception) as failure:
+        check_against_golden("wiki", perturbed)
+    message = str(failure.value)
+    assert "shard 2" in message
+    assert "REPRO_REGEN_GOLDEN" in message

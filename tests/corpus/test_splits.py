@@ -63,3 +63,53 @@ class TestSplitTables:
         second = split_tables(corpus)
         for a, b in zip(first, second):
             assert [t.table_id for t in a] == [t.table_id for t in b]
+
+
+class TestSplitEdgeCases:
+    """Degenerate inputs: empty fractions, empty/size-1 corpora."""
+
+    def test_empty_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            assign_split("x", fractions=())
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 2, seed=0)
+        with pytest.raises(ValueError):
+            split_tables(corpus, fractions=())
+
+    def test_zero_fraction_group_stays_empty(self):
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 50, seed=0)
+        train, valid, test = split_tables(corpus, fractions=(0.9, 0.0, 0.1))
+        assert valid == []
+        assert len(train) + len(test) == 50
+
+    def test_single_full_fraction_takes_everything(self):
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 10, seed=0)
+        (everything,) = split_tables(corpus, fractions=(1.0,))
+        assert len(everything) == 10
+
+    def test_empty_corpus_yields_empty_groups(self):
+        assert split_tables([]) == ([], [], [])
+
+    def test_size_one_corpus_lands_in_exactly_one_group(self):
+        corpus = generate_wiki_corpus(KnowledgeBase(seed=0), 1, seed=0)
+        groups = split_tables(corpus)
+        occupied = [g for g in groups if g]
+        assert len(occupied) == 1
+        assert occupied[0][0].table_id == corpus[0].table_id
+        # And the assignment is stable across calls.
+        assert [len(g) for g in split_tables(corpus)] == [len(g)
+                                                          for g in groups]
+
+    def test_assign_split_stable_across_calls(self):
+        ids = [f"t{i}" for i in range(50)]
+        assert ([assign_split(i, salt="s") for i in ids]
+                == [assign_split(i, salt="s") for i in ids])
+
+    def test_regenerated_corpus_splits_identically(self):
+        """Splits key on table_id, so regenerating the same seeded corpus
+        (fresh objects, same ids) reproduces the same partition."""
+        first = split_tables(generate_wiki_corpus(KnowledgeBase(seed=0),
+                                                  30, seed=0))
+        second = split_tables(generate_wiki_corpus(KnowledgeBase(seed=0),
+                                                   30, seed=0))
+        for a, b in zip(first, second):
+            assert [t.table_id for t in a] == [t.table_id for t in b]

@@ -1,0 +1,252 @@
+"""Unit and property tests for the streaming-corpus substrate.
+
+The load-bearing invariants of the shard-seeding scheme — order
+freedom, prefix stability, spawn-key collision freedom, and the shard
+window being pure cache — are exercised with hypothesis so the
+differential suite can lean on them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import (
+    EmptyCorpusError,
+    GitTableStream,
+    InfoboxStream,
+    KnowledgeBase,
+    MaterializedCorpus,
+    ShardWindow,
+    WikiTableStream,
+    as_stream,
+    open_stream,
+    shard_fingerprint,
+    shard_seed,
+    table_fingerprint,
+)
+
+KB = KnowledgeBase(seed=0)
+
+
+def wiki(size, seed=0, shard_tables=4):
+    return WikiTableStream(KB, size, seed=seed, shard_tables=shard_tables)
+
+
+# ----------------------------------------------------------------------
+# Seeding scheme
+# ----------------------------------------------------------------------
+class TestShardSeed:
+    def test_matches_spawn(self):
+        import numpy as np
+
+        parent = np.random.SeedSequence(7)
+        children = parent.spawn(5)
+        for index, child in enumerate(children):
+            direct = shard_seed(7, index)
+            assert (np.random.default_rng(direct).integers(2**32)
+                    == np.random.default_rng(child).integers(2**32))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            shard_seed(0, -1)
+
+    @given(st.integers(0, 2**16), st.integers(0, 256), st.integers(0, 256))
+    @settings(max_examples=50, deadline=None)
+    def test_collision_free_across_indices(self, seed, i, j):
+        import numpy as np
+
+        draw = lambda s: np.random.default_rng(s).integers(2**63)  # noqa: E731
+        if i != j:
+            assert draw(shard_seed(seed, i)) != draw(shard_seed(seed, j))
+
+
+# ----------------------------------------------------------------------
+# Geometry and iteration
+# ----------------------------------------------------------------------
+class TestGeometry:
+    def test_shard_count_and_lengths(self):
+        stream = wiki(10, shard_tables=4)
+        assert stream.num_shards == 3
+        assert [stream.shard_length(i) for i in range(3)] == [4, 4, 2]
+        assert [len(shard) for shard in stream] == [4, 4, 2]
+
+    def test_out_of_range_shard_rejected(self):
+        stream = wiki(10, shard_tables=4)
+        with pytest.raises(IndexError):
+            stream.shard_length(3)
+        with pytest.raises(IndexError):
+            stream.shard_length(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            wiki(10, shard_tables=0)
+        with pytest.raises(ValueError):
+            wiki(-1)
+
+    def test_infinite_stream(self):
+        stream = wiki(None, shard_tables=4)
+        assert stream.is_infinite
+        assert stream.num_shards is None
+        assert stream.shard_length(10**9) == 4
+        it = stream.iter_tables()
+        ids = [next(it).table_id for _ in range(6)]
+        assert ids == [f"wiki-{i}" for i in range(6)]
+        with pytest.raises(ValueError):
+            stream.materialize()
+
+    def test_global_table_ids(self):
+        stream = wiki(10, shard_tables=4)
+        flat = [t.table_id for t in stream.iter_tables()]
+        assert flat == [f"wiki-{i}" for i in range(10)]
+
+    def test_head_tables_bounded(self):
+        stream = wiki(10, shard_tables=4)
+        head = stream.head_tables(5)
+        assert [t.table_id for t in head] == [f"wiki-{i}" for i in range(5)]
+        assert stream.head_tables(0) == []
+        assert len(stream.head_tables(99)) == 10
+
+
+# ----------------------------------------------------------------------
+# Determinism invariants
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_order_free_regeneration(self):
+        stream = wiki(12)
+        backwards = [shard_fingerprint(stream.generate_shard(i))
+                     for i in (2, 1, 0)]
+        forwards = [shard_fingerprint(shard) for shard in stream]
+        assert backwards == list(reversed(forwards))
+
+    @given(small=st.integers(1, 6), extra=st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_stable_across_sizes(self, small, extra):
+        """Growing a corpus never changes its existing full shards."""
+        a = wiki(small * 4, shard_tables=4)
+        b = wiki((small + extra) * 4, shard_tables=4)
+        for index in range(small):
+            assert (shard_fingerprint(a.generate_shard(index))
+                    == shard_fingerprint(b.generate_shard(index)))
+
+    def test_finite_prefix_matches_infinite(self):
+        finite = wiki(12, shard_tables=4)
+        infinite = wiki(None, shard_tables=4)
+        for index in range(3):
+            assert (shard_fingerprint(finite.generate_shard(index))
+                    == shard_fingerprint(infinite.generate_shard(index)))
+
+    def test_seed_changes_content(self):
+        assert (shard_fingerprint(wiki(8, seed=0).generate_shard(0))
+                != shard_fingerprint(wiki(8, seed=1).generate_shard(0)))
+
+    def test_fingerprint_identity(self):
+        assert wiki(8).fingerprint() == wiki(8).fingerprint()
+        assert wiki(8).fingerprint() != wiki(12).fingerprint()
+        assert wiki(8).fingerprint() != wiki(8, seed=3).fingerprint()
+        assert (wiki(8, shard_tables=2).fingerprint()
+                != wiki(8, shard_tables=4).fingerprint())
+
+    def test_table_fingerprint_sensitive(self):
+        tables = wiki(4).generate_shard(0)
+        prints = {table_fingerprint(t) for t in tables}
+        assert len(prints) == len(tables)
+        assert table_fingerprint(tables[0]) == table_fingerprint(tables[0])
+
+
+# ----------------------------------------------------------------------
+# Materialization bridge
+# ----------------------------------------------------------------------
+class TestMaterialized:
+    def test_round_trip(self):
+        stream = wiki(10)
+        wrapped = MaterializedCorpus(stream.materialize(), shard_tables=4)
+        assert wrapped.size == 10
+        for index in range(stream.num_shards):
+            assert (shard_fingerprint(wrapped.generate_shard(index))
+                    == shard_fingerprint(stream.generate_shard(index)))
+
+    def test_spec_is_content_addressed(self):
+        tables = wiki(8).materialize()
+        a = MaterializedCorpus(tables, shard_tables=4)
+        b = MaterializedCorpus(list(tables), shard_tables=4)
+        assert a.fingerprint() == b.fingerprint()
+        c = MaterializedCorpus(tables[:-1] + [tables[0]], shard_tables=4)
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_as_stream_dispatch(self):
+        tables = wiki(8).materialize()
+        assert isinstance(as_stream(tables), MaterializedCorpus)
+        stream = wiki(8)
+        assert as_stream(stream) is stream
+
+
+class TestOpenStream:
+    def test_kinds(self):
+        assert isinstance(open_stream("wiki", size=4, kb=KB), WikiTableStream)
+        assert isinstance(open_stream("git", size=4), GitTableStream)
+        assert isinstance(open_stream("infobox", size=4, kb=KB),
+                          InfoboxStream)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            open_stream("parquet", size=4)
+
+    def test_ids_per_kind(self):
+        for kind, prefix in (("wiki", "wiki"), ("git", "git"),
+                             ("infobox", "infobox")):
+            stream = open_stream(kind, size=3, kb=KB, shard_tables=2)
+            assert [t.table_id for t in stream.iter_tables()] == [
+                f"{prefix}-{i}" for i in range(3)]
+
+
+# ----------------------------------------------------------------------
+# The shard window is pure cache
+# ----------------------------------------------------------------------
+class TestShardWindow:
+    def test_bounded_residency_and_counters(self):
+        window = ShardWindow(wiki(40, shard_tables=4), max_shards=2)
+        for index in range(5):
+            window.shard(index)
+        assert len(window) == 2
+        assert window.generated == 5
+        assert window.evicted == 3
+        window.shard(4)
+        assert window.hits == 1
+
+    def test_lru_eviction_order(self):
+        window = ShardWindow(wiki(40, shard_tables=4), max_shards=2)
+        window.shard(0)
+        window.shard(1)
+        window.shard(0)        # refresh 0 -> 1 is now the LRU entry
+        window.shard(2)        # evicts 1
+        generated = window.generated
+        window.shard(0)        # still resident
+        assert window.generated == generated
+
+    def test_table_lookup_bounds(self):
+        window = ShardWindow(wiki(10, shard_tables=4), max_shards=2)
+        assert window.table(9).table_id == "wiki-9"
+        with pytest.raises(IndexError):
+            window.table(10)
+        with pytest.raises(IndexError):
+            window.table(-1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ShardWindow(wiki(8), max_shards=0)
+
+    @given(capacity=st.integers(1, 6),
+           lookups=st.lists(st.integers(0, 19), min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_never_changes_resolution(self, capacity, lookups):
+        """Window size is scheduling: any capacity, same tables."""
+        reference = wiki(20, shard_tables=4).materialize()
+        window = ShardWindow(wiki(20, shard_tables=4), max_shards=capacity)
+        for index in lookups:
+            assert (table_fingerprint(window.table(index))
+                    == table_fingerprint(reference[index]))
+
+
+class TestEmptyCorpusError:
+    def test_is_a_value_error(self):
+        assert issubclass(EmptyCorpusError, ValueError)
